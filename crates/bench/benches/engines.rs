@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks of the simulator's hot engines: branch
+//! predictor lookups, cache probes, prediction-queue operations, CDFSM
+//! training, store-cache traffic, helper-thread construction, and
+//! end-to-end simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use phelps::cdfsm::CdfsmMatrix;
+use phelps::predq::PredictionQueues;
+use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig};
+use phelps::storecache::StoreCache;
+use phelps_uarch::bpred::{Bimodal, DirectionPredictor, TageScL};
+use phelps_uarch::config::CoreConfig;
+use phelps_uarch::mem::MemoryHierarchy;
+use phelps_workloads::astar::{astar_grid, AstarParams};
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1));
+
+    let mut tage = TageScL::large();
+    let mut x = 1u64;
+    g.bench_function("tagescl_predict_speculate_update", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x1000 + (x % 64) * 4;
+            let actual = (x >> 33) & 1 == 1;
+            let pred = tage.predict(pc);
+            tage.speculate(pc, actual);
+            tage.update(pc, actual, pred);
+        })
+    });
+
+    let mut bim = Bimodal::new(8192);
+    g.bench_function("bimodal_predict_update", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x1000 + (x % 64) * 4;
+            let actual = (x >> 33) & 1 == 1;
+            let pred = bim.predict(pc);
+            bim.update(pc, actual, pred);
+        })
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.throughput(Throughput::Elements(1));
+
+    let mut mh = MemoryHierarchy::new(&CoreConfig::paper_default());
+    let mut i = 0u64;
+    g.bench_function("hierarchy_access_stream", |b| {
+        b.iter(|| {
+            i += 1;
+            mh.access(0x40, (i * 8) & 0xf_ffff, i)
+        })
+    });
+
+    let mut sc = StoreCache::paper_default();
+    g.bench_function("store_cache_write_read", |b| {
+        b.iter(|| {
+            i += 1;
+            sc.write((i % 64) * 8, i);
+            sc.read(((i + 7) % 64) * 8)
+        })
+    });
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predq");
+    g.throughput(Throughput::Elements(1));
+    let mut q = PredictionQueues::new(&[0x10, 0x14, 0x18, 0x1c], 32);
+    let mut i = 0u64;
+    g.bench_function("deposit_consume_cycle", |b| {
+        b.iter(|| {
+            i += 1;
+            q.deposit(0x10, i & 1 == 0);
+            q.deposit(0x14, i & 2 == 0);
+            q.deposit(0x18, i & 4 == 0);
+            q.deposit(0x1c, i & 8 == 0);
+            q.advance_tail();
+            let v = q.consume(0x10);
+            q.advance_spec_head();
+            q.advance_head();
+            v
+        })
+    });
+    g.finish();
+}
+
+fn bench_cdfsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdfsm");
+    g.throughput(Throughput::Elements(4));
+    let mut m = CdfsmMatrix::new(8, 4);
+    let mut i = 0u64;
+    g.bench_function("train_iteration", |b| {
+        b.iter(|| {
+            i += 1;
+            m.on_branch_retire(0, 0, i & 1 == 0);
+            m.on_branch_retire(1, 1, i & 2 == 0);
+            m.on_branch_retire(2, 2, i & 4 == 0);
+            m.on_row_retire(4);
+            m.on_loop_branch_retire();
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let insts = 60_000u64;
+    g.throughput(Throughput::Elements(insts));
+
+    let params = AstarParams {
+        side: 65,
+        worklist: 50_000,
+        seed: 0xa57a,
+    };
+    let mut cfg = RunConfig::scaled(Mode::Baseline);
+    cfg.max_mt_insts = insts;
+    cfg.epoch_len = 20_000;
+
+    g.bench_function("baseline_astar_60k", |b| {
+        b.iter_batched(
+            || astar_grid(&params),
+            |cpu| simulate(cpu, &cfg),
+            BatchSize::PerIteration,
+        )
+    });
+
+    let mut cfg_p = cfg.clone();
+    cfg_p.mode = Mode::Phelps(PhelpsFeatures::full());
+    g.bench_function("phelps_astar_60k", |b| {
+        b.iter_batched(
+            || astar_grid(&params),
+            |cpu| simulate(cpu, &cfg_p),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictors,
+    bench_memory,
+    bench_queues,
+    bench_cdfsm,
+    bench_end_to_end
+);
+criterion_main!(benches);

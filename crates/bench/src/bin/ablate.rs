@@ -1,0 +1,58 @@
+//! Design-choice ablations for the structures DESIGN.md calls out:
+//!
+//! * prediction-queue depth (the paper chooses 32 iterations/columns) —
+//!   shallower queues throttle the helper thread's lead; deeper ones
+//!   don't help once the lead covers the main thread's stall shadow;
+//! * helper-thread store-cache capacity (the paper chooses 16 sets × 2
+//!   ways = 32 doublewords) — too small loses in-window store→load
+//!   dependences, costing outcome accuracy on store-coupled kernels.
+
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{exp_config, pct, print_table};
+use phelps_uarch::stats::speedup;
+use phelps_workloads::suite;
+
+fn main() {
+    let base = phelps_bench::run(suite::astar().cpu, Mode::Baseline);
+    println!(
+        "astar baseline: IPC {:.3}, MPKI {:.1}",
+        base.stats.ipc(),
+        base.stats.mpki()
+    );
+
+    let mut rows = Vec::new();
+    for columns in [8usize, 16, 32, 64] {
+        let mut cfg = exp_config(Mode::Phelps(PhelpsFeatures::full()));
+        cfg.queue_columns = columns;
+        let r = phelps::sim::simulate(suite::astar().cpu, &cfg);
+        rows.push(vec![
+            columns.to_string(),
+            pct(speedup(&base.stats, &r.stats)),
+            format!("{:.1}", r.stats.mpki()),
+            r.stats.queue_untimely.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: prediction-queue depth (paper: 32 columns)",
+        &["columns", "speedup", "MPKI", "untimely"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for sets in [4usize, 8, 16, 32, 64] {
+        let mut cfg = exp_config(Mode::Phelps(PhelpsFeatures::full()));
+        cfg.store_cache_sets = sets;
+        let r = phelps::sim::simulate(suite::astar().cpu, &cfg);
+        rows.push(vec![
+            format!("{} ({} DWs)", sets, sets * 2),
+            pct(speedup(&base.stats, &r.stats)),
+            format!("{:.1}", r.stats.mpki()),
+            r.stats.mispredicts_from_queue.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: helper-thread store cache (paper: 16 sets / 32 DWs)",
+        &["sets", "speedup", "MPKI", "wrong outcomes"],
+        &rows,
+    );
+}

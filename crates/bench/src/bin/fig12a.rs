@@ -1,0 +1,72 @@
+//! Fig. 12a — Speedups of perfect branch prediction, Phelps, Branch
+//! Runahead, and BR-12w over the baseline, across GAP + astar and the
+//! SPEC2017-like kernels.
+//!
+//! Paper shape: Phelps yields large speedups on bc/bfs and a solid one on
+//! astar; BR shows mostly slowdowns except astar; BR-12w turns things
+//! around; SPEC2017-like kernels see little activation.
+
+use phelps_bench::{pct, print_table, Config12a};
+use phelps_uarch::stats::speedup;
+use phelps_workloads::{suite, Workload};
+
+fn bench(make: &dyn Fn() -> Workload, rows: &mut Vec<Vec<String>>) {
+    let name = make().name;
+    let base = Config12a::Baseline.run(make().cpu);
+    let mut row = vec![name.to_string(), format!("{:.3}", base.stats.ipc())];
+    for cfg in [
+        Config12a::PerfBp,
+        Config12a::Phelps,
+        Config12a::Br,
+        Config12a::Br12w,
+    ] {
+        let r = cfg.run(make().cpu);
+        row.push(pct(speedup(&base.stats, &r.stats)));
+    }
+    rows.push(row);
+}
+
+fn main() {
+    let gap: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+        ("bc", Box::new(suite::bc)),
+        ("bfs", Box::new(suite::bfs)),
+        ("pr", Box::new(suite::pr)),
+        ("cc", Box::new(suite::cc)),
+        ("cc_sv", Box::new(suite::cc_sv)),
+        ("sssp", Box::new(suite::sssp)),
+        ("tc", Box::new(suite::tc)),
+        ("astar", Box::new(suite::astar)),
+    ];
+    let mut rows = Vec::new();
+    for (_, make) in &gap {
+        bench(make.as_ref(), &mut rows);
+    }
+    let headers = ["bench", "base IPC", "perfBP", "Phelps", "BR", "BR-12w"];
+    print_table("Fig. 12a (GAP + astar): speedups over baseline", &headers, &rows);
+    phelps_bench::write_csv("fig12a_gap", &headers, &rows);
+
+    let mut rows = Vec::new();
+    for w in suite::spec_suite() {
+        let name = w.name;
+        // Rebuild per config: prepared CPUs are single-use.
+        let rebuild = || {
+            suite::spec_suite()
+                .into_iter()
+                .find(|x| x.name == name)
+                .expect("known workload")
+        };
+        let base = Config12a::Baseline.run(rebuild().cpu);
+        let mut row = vec![name.to_string(), format!("{:.3}", base.stats.ipc())];
+        for cfg in [Config12a::PerfBp, Config12a::Phelps] {
+            let r = cfg.run(rebuild().cpu);
+            row.push(pct(speedup(&base.stats, &r.stats)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 12a (SPEC2017-like): speedups over baseline",
+        &["bench", "base IPC", "perfBP", "Phelps"],
+        &rows,
+    );
+    println!("\npaper shape: Phelps rarely activates on SPEC2017 (see fig14).");
+}

@@ -1,0 +1,39 @@
+//! Fig. 12b — Phelps with and without helper-thread stores.
+//!
+//! Paper shape: predicated stores are critical on bc and astar (stores
+//! both influence and are control-dependent on delinquent branches); bfs
+//! loses a little accuracy without stores but gains timeliness.
+
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{pct, print_table, run};
+use phelps_uarch::stats::speedup;
+use phelps_workloads::{suite, Workload};
+
+fn main() {
+    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+        ("bc", Box::new(suite::bc)),
+        ("bfs", Box::new(suite::bfs)),
+        ("pr", Box::new(suite::pr)),
+        ("cc", Box::new(suite::cc)),
+        ("cc_sv", Box::new(suite::cc_sv)),
+        ("sssp", Box::new(suite::sssp)),
+        ("tc", Box::new(suite::tc)),
+        ("astar", Box::new(suite::astar)),
+    ];
+    let mut rows = Vec::new();
+    for (name, make) in &benches {
+        let base = run(make().cpu, Mode::Baseline);
+        let with = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
+        let without = run(make().cpu, Mode::Phelps(PhelpsFeatures::no_stores()));
+        rows.push(vec![
+            name.to_string(),
+            pct(speedup(&base.stats, &with.stats)),
+            pct(speedup(&base.stats, &without.stats)),
+        ]);
+    }
+    print_table(
+        "Fig. 12b: Phelps speedup with / without stores",
+        &["bench", "with stores", "without stores"],
+        &rows,
+    );
+}

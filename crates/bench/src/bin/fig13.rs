@@ -1,0 +1,78 @@
+//! Fig. 13 — (a) MPKI reduction with/without stores, (b) retired
+//! helper-thread instructions per 100M main-thread instructions, and
+//! (c) the isolated impact of partitioning on the main thread.
+//!
+//! Paper shape: (a) 72–91% MPKI reductions on four of six benchmarks;
+//! (b) a mean overhead around 34.7M helper instructions per 100M retired;
+//! (c) partitioning alone costs 4.1% (pr) to 12.8% (bc).
+
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{print_table, run};
+use phelps_uarch::stats::speedup;
+use phelps_workloads::{suite, Workload};
+
+fn main() {
+    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+        ("bc", Box::new(suite::bc)),
+        ("bfs", Box::new(suite::bfs)),
+        ("pr", Box::new(suite::pr)),
+        ("cc", Box::new(suite::cc)),
+        ("cc_sv", Box::new(suite::cc_sv)),
+        ("sssp", Box::new(suite::sssp)),
+        ("tc", Box::new(suite::tc)),
+        ("astar", Box::new(suite::astar)),
+    ];
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for (name, make) in &benches {
+        let base = run(make().cpu, Mode::Baseline);
+        let ph = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
+        let ph_ns = run(make().cpu, Mode::Phelps(PhelpsFeatures::no_stores()));
+        let part = run(make().cpu, Mode::PartitionOnly);
+
+        let red = |r: &phelps::sim::SimResult| {
+            if base.stats.mpki() > 0.0 {
+                format!("{:.0}%", 100.0 * (1.0 - r.stats.mpki() / base.stats.mpki()))
+            } else {
+                "n/a".to_string()
+            }
+        };
+        rows_a.push(vec![
+            name.to_string(),
+            format!("{:.1}", base.stats.mpki()),
+            format!("{:.1}", ph.stats.mpki()),
+            red(&ph),
+            format!("{:.1}", ph_ns.stats.mpki()),
+            red(&ph_ns),
+        ]);
+        // Fig. 13b units: helper instructions per 100M main-thread retired.
+        rows_b.push(vec![
+            name.to_string(),
+            format!("{:.1}M", ph.stats.ht_overhead_ratio() * 100.0),
+        ]);
+        let slowdown = 100.0 * (1.0 - speedup(&base.stats, &part.stats));
+        rows_c.push(vec![
+            name.to_string(),
+            format!("{:.3}", base.stats.ipc()),
+            format!("{:.3}", part.stats.ipc()),
+            format!("{:.1}%", slowdown),
+        ]);
+    }
+    print_table(
+        "Fig. 13a: MPKI and reduction, with / without stores",
+        &["bench", "base", "Phelps", "red.", "no-stores", "red."],
+        &rows_a,
+    );
+    print_table(
+        "Fig. 13b: helper-thread instructions retired per 100M main-thread",
+        &["bench", "HT insts"],
+        &rows_b,
+    );
+    print_table(
+        "Fig. 13c: main-thread-only IPC, full vs partitioned resources",
+        &["bench", "full", "partitioned", "slowdown"],
+        &rows_c,
+    );
+}

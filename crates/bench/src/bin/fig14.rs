@@ -1,0 +1,59 @@
+//! Fig. 14 — Characterization of main-thread mispredictions under Phelps.
+//!
+//! For each benchmark, every retired misprediction is attributed to one
+//! bin (eliminated / gathering delinquency / being constructed / not
+//! constructed / too big / not in loop / not iterating enough / not
+//! delinquent / wrong or untimely helper outcome), expressed in MPKI.
+//!
+//! Paper shape: Phelps eliminates most mispredictions in bc, bfs, pr, cc,
+//! astar; mcf's are "not in loop" (non-inlined callee); leela's are
+//! spread thin ("not delinquent"); gcc thrashes the DBT ("gathering");
+//! xz's loops don't iterate enough; omnetpp's helper thread is too big.
+
+use phelps::classify::MispredictClass;
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{print_table, run};
+use phelps_workloads::{suite, Workload};
+
+fn main() {
+    let mut benches: Vec<(&'static str, Box<dyn Fn() -> Workload>)> = vec![
+        ("bc", Box::new(suite::bc)),
+        ("bfs", Box::new(suite::bfs)),
+        ("pr", Box::new(suite::pr)),
+        ("cc", Box::new(suite::cc)),
+        ("cc_sv", Box::new(suite::cc_sv)),
+        ("sssp", Box::new(suite::sssp)),
+        ("tc", Box::new(suite::tc)),
+        ("astar", Box::new(suite::astar)),
+    ];
+    for w in suite::spec_suite() {
+        let name = w.name;
+        benches.push((
+            name,
+            Box::new(move || {
+                suite::spec_suite()
+                    .into_iter()
+                    .find(|x| x.name == name)
+                    .expect("known workload")
+            }),
+        ));
+    }
+
+    let classes = MispredictClass::all();
+    let mut rows = Vec::new();
+    for (name, make) in &benches {
+        let r = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
+        let mut row = vec![name.to_string()];
+        for c in classes {
+            row.push(format!("{:.2}", r.breakdown.mpki(c)));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["bench"];
+    headers.extend(classes.iter().map(|c| c.label()));
+    print_table(
+        "Fig. 14: misprediction characterization (MPKI by bin)",
+        &headers,
+        &rows,
+    );
+}

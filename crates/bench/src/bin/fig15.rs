@@ -1,0 +1,86 @@
+//! Fig. 15 — (a) Sensitivity to window size and pipeline depth;
+//! (b) bfs speedups on different inputs.
+//!
+//! Paper shape: (a) bc and bfs show even higher speedups at ROB 1024
+//! (which the baseline cannot utilize due to frequent squashes), and
+//! speedups grow with pipeline depth (astar 15/22/27%, bfs 64/70/74%,
+//! bc 63/71/79% at depths 11/15/19); (b) the road-network input benefits
+//! most; inputs with ineligible phases benefit less.
+
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{pct, print_table, run_with_core};
+use phelps_uarch::config::CoreConfig;
+use phelps_uarch::stats::speedup;
+use phelps_workloads::graph::GraphKind;
+use phelps_workloads::{suite, Workload};
+
+fn main() {
+    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+        ("bc", Box::new(suite::bc)),
+        ("bfs", Box::new(suite::bfs)),
+        ("astar", Box::new(suite::astar)),
+    ];
+
+    // (a1) Window-size sweep.
+    let mut rows = Vec::new();
+    for (name, make) in &benches {
+        let mut row = vec![name.to_string()];
+        for rob in [316u32, 632, 1024] {
+            let core = CoreConfig::paper_default().with_window(rob);
+            let base = run_with_core(make().cpu, Mode::Baseline, core.clone());
+            let ph = run_with_core(make().cpu, Mode::Phelps(PhelpsFeatures::full()), core);
+            row.push(pct(speedup(&base.stats, &ph.stats)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 15a (window): Phelps speedup at ROB 316 / 632 / 1024",
+        &["bench", "ROB=316", "ROB=632", "ROB=1024"],
+        &rows,
+    );
+
+    // (a2) Pipeline-depth sweep.
+    let mut rows = Vec::new();
+    for (name, make) in &benches {
+        let mut row = vec![name.to_string()];
+        for depth in [11u32, 15, 19] {
+            let core = CoreConfig::paper_default().with_pipeline_stages(depth);
+            let base = run_with_core(make().cpu, Mode::Baseline, core.clone());
+            let ph = run_with_core(make().cpu, Mode::Phelps(PhelpsFeatures::full()), core);
+            row.push(pct(speedup(&base.stats, &ph.stats)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 15a (depth): Phelps speedup at 11 / 15 / 19 stages",
+        &["bench", "depth=11", "depth=15", "depth=19"],
+        &rows,
+    );
+
+    // (b) bfs inputs.
+    let inputs = [
+        ("road-net", GraphKind::RoadNetwork),
+        ("power-law", GraphKind::PowerLaw),
+        ("uniform", GraphKind::Uniform),
+    ];
+    let mut rows = Vec::new();
+    for (name, kind) in inputs {
+        let make = || suite::bfs_on(kind, suite::GAP_VERTICES);
+        let base = run_with_core(make().cpu, Mode::Baseline, CoreConfig::paper_default());
+        let ph = run_with_core(
+            make().cpu,
+            Mode::Phelps(PhelpsFeatures::full()),
+            CoreConfig::paper_default(),
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", base.stats.mpki()),
+            pct(speedup(&base.stats, &ph.stats)),
+        ]);
+    }
+    print_table(
+        "Fig. 15b: bfs on different inputs",
+        &["input", "base MPKI", "Phelps speedup"],
+        &rows,
+    );
+}

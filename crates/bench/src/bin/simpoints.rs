@@ -1,0 +1,56 @@
+//! SimPoint methodology demo (paper §VI): profile a benchmark, select up
+//! to five representative regions, simulate each under baseline and
+//! Phelps, and aggregate with the weighted harmonic mean of IPCs — the
+//! paper's per-benchmark reporting method.
+
+use phelps::sim::{Mode, PhelpsFeatures};
+use phelps_bench::{print_table, run_simpoints};
+use phelps_workloads::simpoints::SimPointConfig;
+use phelps_workloads::suite;
+
+fn main() {
+    let spcfg = SimPointConfig {
+        interval_len: 200_000,
+        max_points: 5,
+        kmeans_iters: 12,
+    };
+    let profile = 4_000_000;
+
+    for (name, make) in [
+        (
+            "astar",
+            Box::new(|| suite::astar().cpu) as Box<dyn Fn() -> phelps_isa::Cpu>,
+        ),
+        ("bfs", Box::new(|| suite::bfs().cpu)),
+    ] {
+        let (base_ipc, base_pts) = run_simpoints(make.as_ref(), Mode::Baseline, profile, &spcfg);
+        let (ph_ipc, _) = run_simpoints(
+            make.as_ref(),
+            Mode::Phelps(PhelpsFeatures::full()),
+            profile,
+            &spcfg,
+        );
+        let rows: Vec<Vec<String>> = base_pts
+            .iter()
+            .map(|(p, r)| {
+                vec![
+                    format!("{}", p.phase),
+                    format!("{}", p.start_inst),
+                    format!("{:.3}", p.weight),
+                    format!("{:.3}", r.stats.ipc()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{name}: SimPoints (baseline)"),
+            &["phase", "start", "weight", "IPC"],
+            &rows,
+        );
+        println!(
+            "{name}: weighted-hmean IPC baseline {:.3}, Phelps {:.3} ({:+.1}%)",
+            base_ipc,
+            ph_ipc,
+            (ph_ipc / base_ipc - 1.0) * 100.0
+        );
+    }
+}

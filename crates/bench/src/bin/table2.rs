@@ -1,0 +1,22 @@
+//! Table II — storage costs of Phelps' new components.
+//!
+//! Regenerates the paper's cost table from the component parameters; the
+//! paper's total is 10.82 KB.
+
+use phelps::budget::{cost_breakdown, total_cost_bytes, ComponentParams};
+use phelps_bench::print_table;
+
+fn main() {
+    let params = ComponentParams::paper_default();
+    let rows: Vec<Vec<String>> = cost_breakdown(&params)
+        .into_iter()
+        .map(|l| vec![l.component.to_string(), format!("{} B", l.bytes)])
+        .collect();
+    print_table("Table II: new components", &["component", "cost"], &rows);
+    let total = total_cost_bytes(&params);
+    println!(
+        "\ntotal: {} B = {:.2} KB (paper: 10.82 KB)",
+        total,
+        total as f64 / 1024.0
+    );
+}

@@ -1,0 +1,263 @@
+//! # phelps-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation. Each `src/bin/figNN.rs` binary reruns the corresponding
+//! experiment and prints the same rows/series the paper reports; this
+//! library holds the shared runners and formatting.
+//!
+//! Region and epoch lengths are scaled for tractable runtimes (see
+//! DESIGN.md §1) and overridable via environment variables:
+//!
+//! * `PHELPS_REGION` — retired main-thread instructions per run
+//!   (default 2,000,000; the paper uses 100M SimPoints);
+//! * `PHELPS_EPOCH` — epoch length (default 150,000; the paper uses 4M).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig, SimResult};
+use phelps_isa::Cpu;
+use phelps_runahead::{simulate_runahead, BrVariant};
+use phelps_uarch::config::CoreConfig;
+
+/// Retired-instruction budget for one run.
+pub fn region_len() -> u64 {
+    std::env::var("PHELPS_REGION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+/// Epoch length used by the delinquency/construction machinery.
+pub fn epoch_len() -> u64 {
+    std::env::var("PHELPS_EPOCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// The scaled run configuration shared by all experiments.
+pub fn exp_config(mode: Mode) -> RunConfig {
+    let mut cfg = RunConfig::scaled(mode);
+    cfg.max_mt_insts = region_len();
+    cfg.epoch_len = epoch_len();
+    cfg
+}
+
+/// Runs one workload in one mode.
+pub fn run(cpu: Cpu, mode: Mode) -> SimResult {
+    simulate(cpu, &exp_config(mode))
+}
+
+/// Runs one workload with a custom core configuration.
+pub fn run_with_core(cpu: Cpu, mode: Mode, core: CoreConfig) -> SimResult {
+    let mut cfg = exp_config(mode);
+    cfg.core = core;
+    simulate(cpu, &cfg)
+}
+
+/// Runs one workload under a Branch Runahead variant.
+pub fn run_br(cpu: Cpu, variant: BrVariant) -> SimResult {
+    simulate_runahead(cpu, &exp_config(Mode::Baseline), variant)
+}
+
+/// Fast-forwards `skip` instructions functionally, then simulates a region
+/// of `region_len()` instructions in `mode` (the SimPoint methodology:
+/// timing starts at the representative region's offset).
+pub fn run_region(mut cpu: Cpu, skip: u64, mode: Mode) -> SimResult {
+    cpu.run(skip).expect("functional fast-forward");
+    run(cpu, mode)
+}
+
+/// Full SimPoint evaluation of a workload factory: profiles one instance,
+/// selects representative regions, simulates each under `mode`, and
+/// returns `(weighted-harmonic-mean IPC, per-point results)`.
+pub fn run_simpoints(
+    make: &dyn Fn() -> Cpu,
+    mode: Mode,
+    profile_insts: u64,
+    spcfg: &phelps_workloads::simpoints::SimPointConfig,
+) -> (f64, Vec<(phelps_workloads::simpoints::SimPoint, SimResult)>) {
+    let points = phelps_workloads::simpoints::select_simpoints(make(), profile_insts, spcfg);
+    let mut results = Vec::new();
+    for p in points {
+        let r = run_region(make(), p.start_inst, mode.clone());
+        results.push((p, r));
+    }
+    let ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(
+        &results
+            .iter()
+            .map(|(p, r)| (p.weight, r.stats.ipc()))
+            .collect::<Vec<_>>(),
+    );
+    (ipc, results)
+}
+
+/// The five standard comparison modes of Fig. 12a.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Config12a {
+    /// Baseline superscalar.
+    Baseline,
+    /// Perfect branch prediction.
+    PerfBp,
+    /// Full-featured Phelps.
+    Phelps,
+    /// Branch Runahead with speculative triggering.
+    Br,
+    /// Branch Runahead on the 12-wide core.
+    Br12w,
+}
+
+impl Config12a {
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config12a::Baseline => "baseline",
+            Config12a::PerfBp => "perfBP",
+            Config12a::Phelps => "Phelps",
+            Config12a::Br => "BR",
+            Config12a::Br12w => "BR-12w",
+        }
+    }
+
+    /// Executes this configuration on a prepared CPU.
+    pub fn run(self, cpu: Cpu) -> SimResult {
+        match self {
+            Config12a::Baseline => run(cpu, Mode::Baseline),
+            Config12a::PerfBp => run(cpu, Mode::PerfectBp),
+            Config12a::Phelps => run(cpu, Mode::Phelps(PhelpsFeatures::full())),
+            Config12a::Br => run_br(cpu, BrVariant::Speculative),
+            Config12a::Br12w => run_br(cpu, BrVariant::TwelveWide),
+        }
+    }
+}
+
+/// Prints an aligned text table: a header row then data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a speedup multiplier as a percentage over baseline.
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+/// Serializes a results table as CSV (RFC-4180-style quoting for cells
+/// containing commas, quotes or newlines), for downstream plotting.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| cell(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a results table as CSV next to the text output (under
+/// `results/`), creating the directory if needed. Errors are reported but
+/// not fatal — the printed table is the primary artifact.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, to_csv(headers, rows)) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_scaling_defaults() {
+        // (Do not set the env vars here; parallel tests share the process.)
+        assert!(region_len() >= 10_000);
+        assert!(epoch_len() >= 1_000);
+        assert!(region_len() > epoch_len());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1.47), "+47.0%");
+        assert_eq!(pct(0.9), "-10.0%");
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let csv = to_csv(
+            &["name", "value"],
+            &[
+                vec!["plain".into(), "1".into()],
+                vec!["with,comma".into(), "with \"quote\"".into()],
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"with \"\"quote\"\"\"");
+    }
+
+    #[test]
+    fn csv_roundtrips_simple_tables() {
+        let rows = vec![vec!["a".to_string(), "2.5".to_string()]];
+        let csv = to_csv(&["bench", "ipc"], &rows);
+        assert_eq!(csv, "bench,ipc\na,2.5\n");
+    }
+
+    #[test]
+    fn config12a_labels_unique() {
+        let labels = [
+            Config12a::Baseline.label(),
+            Config12a::PerfBp.label(),
+            Config12a::Phelps.label(),
+            Config12a::Br.label(),
+            Config12a::Br12w.label(),
+        ];
+        let mut d = labels.to_vec();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), labels.len());
+    }
+}

@@ -1,0 +1,283 @@
+//! Storage-cost model for Phelps' new components (paper Table II).
+//!
+//! Computes the byte cost of every structure from its parameters, so the
+//! `table2` experiment binary can regenerate the paper's cost table and
+//! configuration sweeps can report their hardware budget.
+
+/// Parameters of all Phelps structures, with paper defaults.
+#[derive(Clone, Debug)]
+pub struct ComponentParams {
+    /// DBT entries (fully associative).
+    pub dbt_entries: u64,
+    /// Bits per DBT entry: PC tag + misprediction counter + two loop-bound
+    /// pairs with valid bits.
+    pub dbt_entry_bits: u64,
+    /// DBT-Max entries.
+    pub dbt_max_entries: u64,
+    /// Bits per DBT-Max entry (DBT index + count).
+    pub dbt_max_entry_bits: u64,
+    /// Loop Table entries.
+    pub lt_entries: u64,
+    /// Bits per LT entry.
+    pub lt_entry_bits: u64,
+    /// HTCB instructions.
+    pub htcb_insts: u64,
+    /// Bytes per HTCB instruction.
+    pub htcb_inst_bytes: u64,
+    /// HTCB metadata bytes.
+    pub htcb_meta_bytes: u64,
+    /// LPT entries (one per logical register).
+    pub lpt_entries: u64,
+    /// Bits per LPT entry.
+    pub lpt_entry_bits: u64,
+    /// Store-detect queue entries.
+    pub store_queue_entries: u64,
+    /// Bits per store-detect entry (address + PC).
+    pub store_queue_entry_bits: u64,
+    /// CDFSM rows.
+    pub cdfsm_rows: u64,
+    /// CDFSM columns.
+    pub cdfsm_cols: u64,
+    /// Branch-list entries.
+    pub branch_list_entries: u64,
+    /// Bits per branch-list entry.
+    pub branch_list_entry_bits: u64,
+    /// PC-to-row conversion table entries.
+    pub pc_row_entries: u64,
+    /// Bits per PC-to-row entry.
+    pub pc_row_entry_bits: u64,
+    /// HTC rows.
+    pub htc_rows: u64,
+    /// Instructions per HTC row.
+    pub htc_row_insts: u64,
+    /// Bits per HTC instruction.
+    pub htc_inst_bits: u64,
+    /// Metadata bits per HTC row.
+    pub htc_row_meta_bits: u64,
+    /// Visit Queue visits.
+    pub visit_entries: u64,
+    /// Live-ins per visit.
+    pub visit_live_ins: u64,
+    /// Bits per live-in slot.
+    pub visit_live_in_bits: u64,
+    /// Prediction queues (rows).
+    pub predq_rows: u64,
+    /// Iterations (columns) per queue.
+    pub predq_cols: u64,
+    /// Bits per PC tag.
+    pub predq_tag_bits: u64,
+    /// Speculative D$ data bytes.
+    pub spec_dcache_bytes: u64,
+    /// Speculative D$ metadata bytes.
+    pub spec_dcache_meta_bytes: u64,
+    /// Predicate PRF registers.
+    pub pred_prf_regs: u64,
+    /// Predicate free-list entries.
+    pub pred_fl_entries: u64,
+    /// Predicate RMTs.
+    pub pred_rmts: u64,
+    /// Entries per predicate RMT.
+    pub pred_rmt_entries: u64,
+}
+
+impl ComponentParams {
+    /// The paper's Table II parameters.
+    pub fn paper_default() -> ComponentParams {
+        ComponentParams {
+            dbt_entries: 256,
+            // 5,280 B / 256 entries = 165 bits.
+            dbt_entry_bits: 165,
+            dbt_max_entries: 32,
+            dbt_max_entry_bits: 21, // 84 B total
+            lt_entries: 8,
+            lt_entry_bits: 170, // 170 B total
+            htcb_insts: 256,
+            htcb_inst_bytes: 4,
+            htcb_meta_bytes: 62,
+            lpt_entries: 32,
+            lpt_entry_bits: 30,
+            store_queue_entries: 16,
+            store_queue_entry_bits: 94,
+            cdfsm_rows: 32,
+            cdfsm_cols: 16,
+            branch_list_entries: 16,
+            branch_list_entry_bits: 5,
+            pc_row_entries: 32,
+            pc_row_entry_bits: 35,
+            htc_rows: 4,
+            htc_row_insts: 128,
+            htc_inst_bits: 38,
+            htc_row_meta_bits: 180,
+            visit_entries: 16,
+            visit_live_ins: 4,
+            visit_live_in_bits: 70,
+            predq_rows: 16,
+            predq_cols: 32,
+            predq_tag_bits: 30,
+            spec_dcache_bytes: 256,
+            spec_dcache_meta_bytes: 236,
+            pred_prf_regs: 128,
+            pred_fl_entries: 97,
+            pred_rmts: 2,
+            pred_rmt_entries: 31,
+        }
+    }
+}
+
+/// One line of the cost breakdown.
+#[derive(Clone, Debug)]
+pub struct CostLine {
+    /// Component name as in Table II.
+    pub component: &'static str,
+    /// Cost in bytes.
+    pub bytes: u64,
+}
+
+fn bits_to_bytes(bits: u64) -> u64 {
+    bits.div_ceil(8)
+}
+
+/// Computes the full Table II breakdown.
+pub fn cost_breakdown(p: &ComponentParams) -> Vec<CostLine> {
+    vec![
+        CostLine {
+            component: "Delinq. Branch Table (DBT)",
+            bytes: bits_to_bytes(p.dbt_entries * p.dbt_entry_bits),
+        },
+        CostLine {
+            component: "DBT-Max",
+            bytes: bits_to_bytes(p.dbt_max_entries * p.dbt_max_entry_bits),
+        },
+        CostLine {
+            component: "Loop Table (LT)",
+            bytes: bits_to_bytes(p.lt_entries * p.lt_entry_bits),
+        },
+        CostLine {
+            component: "HTCB (instructions)",
+            bytes: p.htcb_insts * p.htcb_inst_bytes,
+        },
+        CostLine {
+            component: "HTCB (metadata)",
+            bytes: p.htcb_meta_bytes,
+        },
+        CostLine {
+            component: "Last Producer Table (LPT)",
+            bytes: bits_to_bytes(p.lpt_entries * p.lpt_entry_bits),
+        },
+        CostLine {
+            component: "store-detect queue",
+            bytes: bits_to_bytes(p.store_queue_entries * p.store_queue_entry_bits),
+        },
+        CostLine {
+            component: "CDFSM matrix",
+            bytes: bits_to_bytes(p.cdfsm_rows * p.cdfsm_cols * 2),
+        },
+        CostLine {
+            component: "branch list",
+            bytes: bits_to_bytes(p.branch_list_entries * p.branch_list_entry_bits),
+        },
+        CostLine {
+            component: "PC-to-row conversion table",
+            bytes: bits_to_bytes(p.pc_row_entries * p.pc_row_entry_bits),
+        },
+        CostLine {
+            component: "Helper Thread Cache (HTC)",
+            bytes: bits_to_bytes(p.htc_rows * p.htc_row_insts * p.htc_inst_bits),
+        },
+        CostLine {
+            component: "HTC metadata",
+            bytes: bits_to_bytes(p.htc_rows * p.htc_row_meta_bits),
+        },
+        CostLine {
+            component: "Visit Queue",
+            bytes: bits_to_bytes(p.visit_entries * p.visit_live_ins * p.visit_live_in_bits),
+        },
+        CostLine {
+            component: "Prediction Queues",
+            bytes: bits_to_bytes(p.predq_rows * p.predq_cols),
+        },
+        CostLine {
+            component: "Prediction Queue PC tags",
+            bytes: bits_to_bytes(p.predq_rows * p.predq_tag_bits),
+        },
+        CostLine {
+            component: "speculative D$ for HT stores",
+            bytes: p.spec_dcache_bytes,
+        },
+        CostLine {
+            component: "speculative D$ metadata",
+            bytes: p.spec_dcache_meta_bytes,
+        },
+        CostLine {
+            component: "pred-PRF",
+            bytes: bits_to_bytes(p.pred_prf_regs * 2),
+        },
+        CostLine {
+            component: "pred-FL",
+            bytes: bits_to_bytes(p.pred_fl_entries * 7),
+        },
+        CostLine {
+            component: "pred-RMTs",
+            bytes: bits_to_bytes(p.pred_rmts * p.pred_rmt_entries * 7),
+        },
+    ]
+}
+
+/// Total cost in bytes.
+pub fn total_cost_bytes(p: &ComponentParams) -> u64 {
+    cost_breakdown(p).iter().map(|l| l.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_line_items() {
+        let p = ComponentParams::paper_default();
+        let lines = cost_breakdown(&p);
+        let get = |name: &str| {
+            lines
+                .iter()
+                .find(|l| l.component == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .bytes
+        };
+        assert_eq!(get("Delinq. Branch Table (DBT)"), 5280);
+        assert_eq!(get("DBT-Max"), 84);
+        assert_eq!(get("Loop Table (LT)"), 170);
+        assert_eq!(get("HTCB (instructions)"), 1024);
+        assert_eq!(get("Last Producer Table (LPT)"), 120);
+        assert_eq!(get("store-detect queue"), 188);
+        assert_eq!(get("CDFSM matrix"), 128);
+        assert_eq!(get("branch list"), 10);
+        assert_eq!(get("PC-to-row conversion table"), 140);
+        assert_eq!(get("Helper Thread Cache (HTC)"), 2432);
+        assert_eq!(get("HTC metadata"), 90);
+        assert_eq!(get("Visit Queue"), 560);
+        assert_eq!(get("Prediction Queues"), 64);
+        assert_eq!(get("Prediction Queue PC tags"), 60);
+        assert_eq!(get("speculative D$ for HT stores"), 256);
+        assert_eq!(get("pred-PRF"), 32);
+        assert_eq!(get("pred-FL"), 85);
+        assert_eq!(get("pred-RMTs"), 55, "paper rounds 54.25 to 54");
+    }
+
+    #[test]
+    fn total_close_to_paper_10_82_kb() {
+        let total = total_cost_bytes(&ComponentParams::paper_default());
+        let kb = total as f64 / 1024.0;
+        assert!(
+            (kb - 10.82).abs() < 0.05,
+            "total {kb:.2} KB vs paper 10.82 KB"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_parameters() {
+        let mut p = ComponentParams::paper_default();
+        let base = total_cost_bytes(&p);
+        p.dbt_entries *= 2;
+        assert!(total_cost_bytes(&p) > base + 5000);
+    }
+}

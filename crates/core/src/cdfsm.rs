@@ -1,0 +1,373 @@
+//! Control-Dependency Finite State Machine matrix (paper §V-D, Figs. 7–8).
+//!
+//! The CDFSM matrix learns, for each delinquent branch and each included
+//! store in the loop (rows), its *immediate guarding branch* among the
+//! loop's delinquent branches (columns), and in which direction of the
+//! guard the row instruction lies.
+//!
+//! Each matrix element is a 2-bit FSM:
+//!
+//! * `Init` — no evidence yet;
+//! * `CdT` / `CdNt` — row appears immediately control-dependent on the
+//!   column branch, on its taken / not-taken path;
+//! * `Ci` — the row has been observed on **both** sides of the column
+//!   branch, hence is control-independent of it; when walking the branch
+//!   list, the row looks *past* CI columns to the next earlier branch.
+//!
+//! Training is driven by a per-iteration **branch list**: delinquent
+//! branches and directions retired so far this iteration. When a row
+//! instruction retires, it walks the branch list backwards from the most
+//! recent entry, skipping columns in `Ci`, and trains the first non-CI
+//! column it finds. The list clears when the loop branch retires.
+
+/// State of one row×column FSM.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CdState {
+    /// No training yet.
+    #[default]
+    Init,
+    /// Control-dependent, taken direction.
+    CdT,
+    /// Control-dependent, not-taken direction.
+    CdNt,
+    /// Control-independent.
+    Ci,
+}
+
+/// Resolved immediate guard of a row, after training.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Guard {
+    /// Column index of the immediate guarding branch.
+    pub column: usize,
+    /// Direction of the guard that *enables* the row instruction.
+    pub direction: bool,
+}
+
+/// The CDFSM matrix plus its branch list.
+///
+/// Rows and columns are dense indices assigned by the caller (the
+/// helper-thread constructor keeps the PC↔row conversion table).
+///
+/// # Examples
+///
+/// ```
+/// use phelps::cdfsm::CdfsmMatrix;
+///
+/// // One guarding branch (column 0) and a store (row 1) on its not-taken
+/// // path; row 0 is the branch itself.
+/// let mut m = CdfsmMatrix::new(2, 1);
+/// for _ in 0..2 {
+///     // Iteration where the branch is not-taken and the store retires:
+///     m.on_branch_retire(0, 0, false);
+///     m.on_row_retire(1);
+///     m.on_loop_branch_retire();
+///     // Iteration where the branch is taken (store skipped):
+///     m.on_branch_retire(0, 0, true);
+///     m.on_loop_branch_retire();
+/// }
+/// let g = m.immediate_guard(1).unwrap();
+/// assert_eq!(g.column, 0);
+/// assert_eq!(g.direction, false);
+/// assert_eq!(m.immediate_guard(0), None, "the branch itself is unguarded");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CdfsmMatrix {
+    /// `fsm[row][col]`.
+    fsm: Vec<Vec<CdState>>,
+    /// Branches retired this iteration: (column, taken).
+    branch_list: Vec<(usize, bool)>,
+}
+
+impl CdfsmMatrix {
+    /// Creates a matrix with `rows` row instructions (delinquent branches
+    /// and included stores) and `cols` delinquent-branch columns.
+    pub fn new(rows: usize, cols: usize) -> CdfsmMatrix {
+        CdfsmMatrix {
+            fsm: vec![vec![CdState::Init; cols]; rows],
+            branch_list: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.fsm.len()
+    }
+
+    /// Raw state of one element (exposed for tests and diagnostics).
+    pub fn state(&self, row: usize, col: usize) -> CdState {
+        self.fsm[row][col]
+    }
+
+    /// The current branch list (column, direction) pairs, oldest first.
+    pub fn branch_list(&self) -> &[(usize, bool)] {
+        &self.branch_list
+    }
+
+    /// Trains `row` against the branch list: walk backwards, skip CI
+    /// columns, and update the first live column.
+    fn train_row(&mut self, row: usize) {
+        for &(col, taken) in self.branch_list.iter().rev() {
+            match self.fsm[row][col] {
+                CdState::Ci => continue, // look past: control-independent
+                CdState::Init => {
+                    self.fsm[row][col] = if taken { CdState::CdT } else { CdState::CdNt };
+                    return;
+                }
+                CdState::CdT => {
+                    if !taken {
+                        // Seen on both sides: control-independent. The row
+                        // must train an earlier branch in future iterations.
+                        self.fsm[row][col] = CdState::Ci;
+                    }
+                    return;
+                }
+                CdState::CdNt => {
+                    if taken {
+                        self.fsm[row][col] = CdState::Ci;
+                    }
+                    return;
+                }
+            }
+        }
+        // Empty (or fully-CI) list: the row is unguarded so far; nothing to
+        // train (all its FSMs stay Init/Ci).
+    }
+
+    /// A delinquent branch retired: train its row (as a guarded
+    /// instruction), then append it to the branch list (as a potential
+    /// guard of later rows).
+    pub fn on_branch_retire(&mut self, row: usize, col: usize, taken: bool) {
+        self.train_row(row);
+        self.branch_list.push((col, taken));
+    }
+
+    /// An included store (or other non-branch row instruction) retired.
+    pub fn on_row_retire(&mut self, row: usize) {
+        self.train_row(row);
+    }
+
+    /// The loop branch retired: a new iteration begins, clearing the
+    /// branch list.
+    pub fn on_loop_branch_retire(&mut self) {
+        self.branch_list.clear();
+    }
+
+    /// The learned immediate guard of `row`, or `None` when the row is
+    /// unguarded (all FSMs idle or CI).
+    pub fn immediate_guard(&self, row: usize) -> Option<Guard> {
+        // After training, at most one column should remain in a CD state
+        // for a simple guard; with OR-guards (paper §V-K) several can —
+        // we return the first and expose `cd_columns` for diagnostics.
+        self.fsm[row]
+            .iter()
+            .enumerate()
+            .find_map(|(col, s)| match s {
+                CdState::CdT => Some(Guard {
+                    column: col,
+                    direction: true,
+                }),
+                CdState::CdNt => Some(Guard {
+                    column: col,
+                    direction: false,
+                }),
+                _ => None,
+            })
+    }
+
+    /// All columns still in a CD state for `row` — more than one indicates
+    /// the OR-guard scenario the paper omits (§V-K).
+    pub fn cd_columns(&self, row: usize) -> Vec<usize> {
+        self.fsm[row]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, CdState::CdT | CdState::CdNt))
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays the paper's Fig. 8 example verbatim: br1 (row/col 0), br2
+    /// (row/col 1), br3 (row/col 2), st (row 3); br1 guards br2 and br3 on
+    /// its not-taken path; br3 guards st on its not-taken path; br3 is
+    /// control-independent of br2.
+    #[test]
+    fn fig8_five_iterations() {
+        let mut m = CdfsmMatrix::new(4, 3);
+
+        // Iteration 1: br1 nt, br2 t, br3 nt, st.
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, true);
+        m.on_branch_retire(2, 2, false);
+        m.on_row_retire(3);
+        // Paper Fig. 8b: row br2/col br1 = CD_NT; row br3/col br2 = CD_T;
+        // row st/col br3 = CD_NT.
+        assert_eq!(m.state(1, 0), CdState::CdNt);
+        assert_eq!(m.state(2, 1), CdState::CdT);
+        assert_eq!(m.state(3, 2), CdState::CdNt);
+        m.on_loop_branch_retire();
+
+        // Iteration 2: br1 nt, br2 nt, br3 nt, st.
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, false);
+        m.on_branch_retire(2, 2, false);
+        m.on_row_retire(3);
+        // Fig. 8c: br3 has now seen br2 in both directions → CI.
+        assert_eq!(m.state(2, 1), CdState::Ci);
+        m.on_loop_branch_retire();
+
+        // Iteration 3: same path as iteration 1.
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, true);
+        m.on_branch_retire(2, 2, false);
+        m.on_row_retire(3);
+        // Fig. 8d: br3 looks past br2 (CI) and trains br1 → CD_NT.
+        assert_eq!(m.state(2, 0), CdState::CdNt);
+        m.on_loop_branch_retire();
+
+        // Iteration 4: br1 nt, br2 nt, br3 t (st skipped).
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, false);
+        m.on_branch_retire(2, 2, true);
+        m.on_loop_branch_retire();
+
+        // Iteration 5: br1 t (everything else skipped).
+        m.on_branch_retire(0, 0, true);
+        m.on_loop_branch_retire();
+
+        // Final state (paper's conclusions):
+        // (1) br1 unguarded.
+        assert_eq!(m.immediate_guard(0), None);
+        // (2) br1 immediately guards br2 and br3, not-taken direction.
+        assert_eq!(
+            m.immediate_guard(1),
+            Some(Guard {
+                column: 0,
+                direction: false
+            })
+        );
+        assert_eq!(
+            m.immediate_guard(2),
+            Some(Guard {
+                column: 0,
+                direction: false
+            })
+        );
+        // (3) br3 immediately guards st, not-taken direction.
+        assert_eq!(
+            m.immediate_guard(3),
+            Some(Guard {
+                column: 2,
+                direction: false
+            })
+        );
+    }
+
+    #[test]
+    fn unguarded_branch_stays_unguarded() {
+        let mut m = CdfsmMatrix::new(2, 2);
+        for _ in 0..10 {
+            m.on_branch_retire(0, 0, true);
+            m.on_branch_retire(1, 1, false);
+            m.on_loop_branch_retire();
+        }
+        // Row 1 always sees row 0 taken just before it... so it looks CD_T
+        // until it observes the other side.
+        assert_eq!(m.state(1, 0), CdState::CdT);
+        let mut m2 = CdfsmMatrix::new(2, 2);
+        for i in 0..10 {
+            m2.on_branch_retire(0, 0, i % 2 == 0);
+            m2.on_branch_retire(1, 1, false);
+            m2.on_loop_branch_retire();
+        }
+        assert_eq!(m2.state(1, 0), CdState::Ci, "both sides observed");
+        assert_eq!(m2.immediate_guard(1), None);
+    }
+
+    #[test]
+    fn branch_list_clears_each_iteration() {
+        let mut m = CdfsmMatrix::new(2, 2);
+        m.on_branch_retire(0, 0, true);
+        assert_eq!(m.branch_list().len(), 1);
+        m.on_loop_branch_retire();
+        assert!(m.branch_list().is_empty());
+        // Row 1 retires first in the next iteration: empty list, no training.
+        m.on_row_retire(1);
+        assert_eq!(m.state(1, 0), CdState::Init);
+    }
+
+    #[test]
+    fn nested_guard_chain() {
+        // b1 guards b2 (nt), b2 guards st (t): two-level nesting like
+        // astar's b1→b2→s1.
+        let mut m = CdfsmMatrix::new(3, 2);
+        // Path A: b1 nt, b2 t, st.
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, true);
+        m.on_row_retire(2);
+        m.on_loop_branch_retire();
+        // Path B: b1 nt, b2 nt (st skipped).
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, false);
+        m.on_loop_branch_retire();
+        // Path C: b1 t (both skipped).
+        m.on_branch_retire(0, 0, true);
+        m.on_loop_branch_retire();
+
+        assert_eq!(
+            m.immediate_guard(1),
+            Some(Guard {
+                column: 0,
+                direction: false
+            })
+        );
+        assert_eq!(
+            m.immediate_guard(2),
+            Some(Guard {
+                column: 1,
+                direction: true
+            })
+        );
+    }
+
+    #[test]
+    fn or_guard_scenario_detectable() {
+        // A store reachable from two different guards (if (a || b) st) can
+        // leave multiple CD columns; `cd_columns` exposes this.
+        let mut m = CdfsmMatrix::new(3, 2);
+        // Path 1: b1 t → st retires right after b1.
+        m.on_branch_retire(0, 0, true);
+        m.on_row_retire(2);
+        m.on_loop_branch_retire();
+        // Path 2: b1 nt, b2 t → st retires after b2.
+        m.on_branch_retire(0, 0, false);
+        m.on_branch_retire(1, 1, true);
+        m.on_row_retire(2);
+        m.on_loop_branch_retire();
+        let cols = m.cd_columns(2);
+        assert!(!cols.is_empty());
+    }
+
+    #[test]
+    fn ci_is_terminal_for_training_purposes() {
+        let mut m = CdfsmMatrix::new(2, 1);
+        // Drive row 1's FSM on column 0 to CI, then observe more paths:
+        // it must never leave CI (a 2-bit FSM with CI absorbing).
+        m.on_branch_retire(0, 0, true);
+        m.on_row_retire(1);
+        m.on_loop_branch_retire();
+        m.on_branch_retire(0, 0, false);
+        m.on_row_retire(1);
+        m.on_loop_branch_retire();
+        assert_eq!(m.state(1, 0), CdState::Ci);
+        for taken in [true, false, true, true, false] {
+            m.on_branch_retire(0, 0, taken);
+            m.on_row_retire(1);
+            m.on_loop_branch_retire();
+        }
+        assert_eq!(m.state(1, 0), CdState::Ci);
+    }
+}

@@ -1,0 +1,163 @@
+//! Misprediction characterization (paper Fig. 14).
+//!
+//! Every retired main-thread misprediction is attributed to exactly one
+//! bin: either it was *eliminated* (the consumed prediction came from a
+//! helper-thread queue and was correct — this bin counts predictions, not
+//! mispredictions), or the reason it was **not** eliminated is recorded.
+
+use std::collections::HashMap;
+
+/// Why a main-thread branch misprediction was not eliminated by Phelps
+/// (or that it was eliminated).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MispredictClass {
+    /// Prediction came from a queue and was correct (a would-be
+    /// misprediction eliminated; counted separately from real
+    /// mispredictions).
+    Eliminated,
+    /// Still in the first training stage: measuring delinquency.
+    GatheringDelinquency,
+    /// Delinquent; helper thread being constructed this epoch.
+    HtBeingConstructed,
+    /// Delinquent loop detected but not chosen for construction yet
+    /// (another loop was picked this epoch).
+    HtNotConstructed,
+    /// Delinquent, but the constructed helper thread exceeded the 75%
+    /// size bound (ineligible).
+    HtTooBig,
+    /// Delinquent, but not inside any detected loop (e.g. inside a
+    /// non-inlined callee).
+    NotInLoop,
+    /// Delinquent, but the loop doesn't iterate enough per visit to
+    /// amortize start/stop overheads (ineligible).
+    NotIteratingEnough,
+    /// The branch never cleared the delinquency threshold.
+    NotDelinquent,
+    /// A queue-supplied prediction that was wrong (helper-thread outcome
+    /// incorrect or misaligned).
+    HtWrongOutcome,
+    /// A queue row existed but the helper thread hadn't deposited the
+    /// iteration yet (untimely); the default predictor mispredicted.
+    HtUntimely,
+}
+
+impl MispredictClass {
+    /// Label used by the Fig. 14 regeneration harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            MispredictClass::Eliminated => "eliminated misp.",
+            MispredictClass::GatheringDelinquency => "gathering delinquency",
+            MispredictClass::HtBeingConstructed => "del. but ht being const.",
+            MispredictClass::HtNotConstructed => "del. but ht not const.",
+            MispredictClass::HtTooBig => "del. but ht too big",
+            MispredictClass::NotInLoop => "del. but not in loop",
+            MispredictClass::NotIteratingEnough => "del. but ot/ito not iterating enough",
+            MispredictClass::NotDelinquent => "not delinquent",
+            MispredictClass::HtWrongOutcome => "ht wrong outcome",
+            MispredictClass::HtUntimely => "ht untimely",
+        }
+    }
+
+    /// All classes, in the order the figure stacks them.
+    pub fn all() -> [MispredictClass; 10] {
+        [
+            MispredictClass::Eliminated,
+            MispredictClass::GatheringDelinquency,
+            MispredictClass::HtBeingConstructed,
+            MispredictClass::HtNotConstructed,
+            MispredictClass::HtTooBig,
+            MispredictClass::NotInLoop,
+            MispredictClass::NotIteratingEnough,
+            MispredictClass::NotDelinquent,
+            MispredictClass::HtWrongOutcome,
+            MispredictClass::HtUntimely,
+        ]
+    }
+}
+
+/// Accumulates the Fig. 14 breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct MispredictBreakdown {
+    counts: HashMap<MispredictClass, u64>,
+    /// Main-thread instructions retired (for the MPKI denominator).
+    pub retired: u64,
+}
+
+impl MispredictBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> MispredictBreakdown {
+        MispredictBreakdown::default()
+    }
+
+    /// Records one classified event.
+    pub fn record(&mut self, class: MispredictClass) {
+        *self.counts.entry(class).or_insert(0) += 1;
+    }
+
+    /// Count in one class.
+    pub fn count(&self, class: MispredictClass) -> u64 {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// MPKI contribution of one class.
+    pub fn mpki(&self, class: MispredictClass) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            1000.0 * self.count(class) as f64 / self.retired as f64
+        }
+    }
+
+    /// Total *residual* (non-eliminated) mispredictions.
+    pub fn residual(&self) -> u64 {
+        MispredictClass::all()
+            .into_iter()
+            .filter(|c| *c != MispredictClass::Eliminated)
+            .map(|c| self.count(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut b = MispredictBreakdown::new();
+        b.retired = 1000;
+        b.record(MispredictClass::Eliminated);
+        b.record(MispredictClass::Eliminated);
+        b.record(MispredictClass::NotDelinquent);
+        assert_eq!(b.count(MispredictClass::Eliminated), 2);
+        assert_eq!(b.count(MispredictClass::NotDelinquent), 1);
+        assert_eq!(b.count(MispredictClass::HtTooBig), 0);
+        assert_eq!(b.residual(), 1);
+        assert!((b.mpki(MispredictClass::NotDelinquent) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(MispredictClass::HtTooBig.label(), "del. but ht too big");
+        assert_eq!(
+            MispredictClass::NotIteratingEnough.label(),
+            "del. but ot/ito not iterating enough"
+        );
+    }
+
+    #[test]
+    fn all_classes_distinct() {
+        let all = MispredictClass::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_retired_mpki_guard() {
+        let b = MispredictBreakdown::new();
+        assert_eq!(b.mpki(MispredictClass::Eliminated), 0.0);
+    }
+}

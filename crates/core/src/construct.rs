@@ -1,0 +1,1054 @@
+//! Helper-thread construction (paper §V-C, §V-D, §V-E, §V-J).
+//!
+//! During the construction epoch, the [`Constructor`] watches the main
+//! thread's retire stream for the chosen loop:
+//!
+//! 1. **HTCB** — every retired instruction inside the loop bounds is
+//!    collected (capacity 256);
+//! 2. **Seeds** — the loop's delinquent branches and backward branch (plus,
+//!    for nested loops, the inner loop's header branch in the outer
+//!    thread);
+//! 3. **IBDA** — when an already-included instruction retires, its
+//!    producers (via the Last Producer Table) are added if inside the loop;
+//!    producers outside the bounds contribute the source register to a
+//!    live-in set;
+//! 4. **Store capture** — a 16-entry queue of retired in-loop stores is
+//!    searched by each included load's address; a match includes the store;
+//! 5. **CDFSM** — immediate guards of branches and included stores are
+//!    learned per region (outer / inner);
+//! 6. **Finalize** — eligibility checks (§V-J), predicate-register
+//!    assignment, and packing into an [`HtcEntry`].
+
+use crate::cdfsm::CdfsmMatrix;
+use crate::delinq::LoopBounds;
+use crate::htc::{HelperThread, HtInst, HtKind, HtcEntry, ThreadKind, ROW_INSTS};
+use crate::predicate::PredSource;
+use phelps_isa::{ExecRecord, Inst, Reg, NUM_REGS};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Tunable limits of the construction hardware.
+#[derive(Clone, Debug)]
+pub struct ConstructorConfig {
+    /// HTCB capacity in static instructions (paper: 256).
+    pub htcb_capacity: usize,
+    /// Store-detect queue entries (paper: 16).
+    pub store_queue_entries: usize,
+    /// Helper thread may not exceed this fraction of the loop's static
+    /// instructions (paper: 0.75).
+    pub max_ht_fraction: f64,
+    /// Minimum average iterations per visit of the outermost loop.
+    pub min_iters_per_visit: f64,
+    /// Maximum live-in registers copyable from the main thread per thread.
+    pub max_mt_live_ins: usize,
+    /// Maximum live-ins supplied per visit (paper: 4).
+    pub max_visit_live_ins: usize,
+    /// Maximum prediction-queue rows per helper thread partition.
+    pub max_queue_rows: usize,
+    /// Support OR-guards: a row with two CD columns (the `if (a || b)`
+    /// scenario, paper §V-K) gets both predicate sources ORed. When
+    /// disabled, such a row keeps only its first guard, as in the paper's
+    /// evaluated configuration.
+    pub or_guards: bool,
+    /// Reject loops with *alternate producers* (paper §V-K): an included
+    /// control-independent instruction whose source register has different
+    /// in-loop producers depending on an earlier branch direction would
+    /// compute garbage in the straight-lined helper thread; detection
+    /// marks the loop ineligible.
+    pub reject_alternate_producers: bool,
+}
+
+impl Default for ConstructorConfig {
+    fn default() -> ConstructorConfig {
+        ConstructorConfig {
+            htcb_capacity: 256,
+            store_queue_entries: 16,
+            max_ht_fraction: 0.75,
+            min_iters_per_visit: 8.0,
+            max_mt_live_ins: 8,
+            max_visit_live_ins: 4,
+            max_queue_rows: 16,
+            or_guards: true,
+            reject_alternate_producers: true,
+        }
+    }
+}
+
+/// The loop chosen for construction (from the Loop Table).
+#[derive(Clone, Debug)]
+pub struct ConstructionTarget {
+    /// Outermost loop bounds.
+    pub bounds: LoopBounds,
+    /// Inner loop bounds when the target is a nested loop.
+    pub inner: Option<LoopBounds>,
+    /// PCs of the delinquent branches inside.
+    pub delinquent: Vec<u64>,
+}
+
+/// Why a loop could not produce an eligible helper thread (§V-J).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ineligibility {
+    /// Helper thread exceeds the size bound relative to the loop.
+    TooBig {
+        /// Helper-thread static instructions.
+        ht_insts: usize,
+        /// Loop static instructions.
+        loop_insts: usize,
+    },
+    /// The outermost loop does not iterate enough per visit.
+    NotIteratingEnough {
+        /// Average iterations per visit, ×100.
+        avg_iters_x100: u64,
+    },
+    /// Outer-thread is data-dependent on inner-thread.
+    OuterDependsOnInner,
+    /// Too many live-in registers to encode.
+    TooManyLiveIns {
+        /// Observed live-in count.
+        count: usize,
+    },
+    /// More queue rows than prediction-queue hardware.
+    TooManyQueueRows {
+        /// Observed row count.
+        count: usize,
+    },
+    /// The loop has more static instructions than the HTCB can hold.
+    HtcbOverflow,
+    /// An included instruction has alternate in-loop producers for one of
+    /// its sources (paper §V-K): straight-lined execution would clobber.
+    AlternateProducers,
+    /// The loop (or its backward branch) was never observed retiring.
+    NoLoopObserved,
+}
+
+impl fmt::Display for Ineligibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ineligibility::TooBig {
+                ht_insts,
+                loop_insts,
+            } => write!(
+                f,
+                "helper thread too big ({ht_insts} of {loop_insts} loop insts)"
+            ),
+            Ineligibility::NotIteratingEnough { avg_iters_x100 } => {
+                write!(
+                    f,
+                    "loop iterates too little ({} avg)",
+                    *avg_iters_x100 as f64 / 100.0
+                )
+            }
+            Ineligibility::OuterDependsOnInner => {
+                f.write_str("outer-thread data-dependent on inner-thread")
+            }
+            Ineligibility::TooManyLiveIns { count } => {
+                write!(f, "too many live-in registers ({count})")
+            }
+            Ineligibility::TooManyQueueRows { count } => {
+                write!(f, "too many prediction-queue rows ({count})")
+            }
+            Ineligibility::HtcbOverflow => f.write_str("loop exceeds HTCB capacity"),
+            Ineligibility::AlternateProducers => {
+                f.write_str("included instruction has alternate in-loop producers")
+            }
+            Ineligibility::NoLoopObserved => f.write_str("loop never observed retiring"),
+        }
+    }
+}
+
+impl Error for Ineligibility {}
+
+/// Which region (thread) of the target a PC belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Region {
+    Outer,
+    Inner,
+    Outside,
+}
+
+/// Per-region CDFSM state: matrix plus the PC→row/column maps.
+#[derive(Clone, Debug)]
+struct RegionCdfsm {
+    matrix: CdfsmMatrix,
+    /// Column/branch-row PCs, in allocation order.
+    branch_pcs: Vec<u64>,
+    /// Store-row PCs → row index.
+    store_rows: BTreeMap<u64, usize>,
+}
+
+impl RegionCdfsm {
+    fn new(branch_pcs: Vec<u64>) -> RegionCdfsm {
+        let n = branch_pcs.len();
+        // Generous row headroom for stores discovered during training.
+        RegionCdfsm {
+            matrix: CdfsmMatrix::new(n + 32, n),
+            branch_pcs,
+            store_rows: BTreeMap::new(),
+        }
+    }
+
+    fn branch_index(&self, pc: u64) -> Option<usize> {
+        self.branch_pcs.iter().position(|&p| p == pc)
+    }
+
+    fn ensure_store_row(&mut self, pc: u64) -> usize {
+        let next = self.branch_pcs.len() + self.store_rows.len();
+        *self.store_rows.entry(pc).or_insert(next)
+    }
+}
+
+/// Builds helper threads from the retire stream.
+#[derive(Clone, Debug)]
+pub struct Constructor {
+    cfg: ConstructorConfig,
+    target: ConstructionTarget,
+    /// Collected loop instructions (PC → static instruction).
+    htcb: BTreeMap<u64, Inst>,
+    htcb_overflow: bool,
+    /// Last Producer Table: last retired producer PC per logical register.
+    lpt: [Option<u64>; NUM_REGS],
+    /// Included helper-thread PCs (both regions).
+    included: BTreeSet<u64>,
+    /// Recently retired in-loop stores: (address, PC).
+    store_queue: VecDeque<(u64, u64)>,
+    /// Included store PCs.
+    included_stores: BTreeSet<u64>,
+    /// Live-in registers per consumer region.
+    live_ins_outer: BTreeSet<Reg>,
+    live_ins_inner_mt: BTreeSet<Reg>,
+    live_ins_inner_ot: BTreeSet<Reg>,
+    /// Last seen in-loop producer per (consumer PC, source slot), for
+    /// alternate-producer detection (§V-K).
+    producer_of: BTreeMap<(u64, usize), u64>,
+    /// An included instruction was observed with two different in-loop
+    /// producers for the same source.
+    has_alternate_producers: bool,
+    /// Inner loop's header branch, once observed.
+    header_branch: Option<u64>,
+    /// Outer-thread referenced a producer inside the inner loop.
+    outer_depends_on_inner: bool,
+    outer_cdfsm: RegionCdfsm,
+    inner_cdfsm: RegionCdfsm,
+    /// Outermost-loop trip accounting.
+    outer_taken: u64,
+    outer_not_taken: u64,
+}
+
+impl Constructor {
+    /// Starts construction for `target` with default hardware limits.
+    pub fn new(target: ConstructionTarget) -> Constructor {
+        Constructor::with_config(target, ConstructorConfig::default())
+    }
+
+    /// Starts construction with explicit limits.
+    pub fn with_config(target: ConstructionTarget, cfg: ConstructorConfig) -> Constructor {
+        let (outer_br, inner_br): (Vec<u64>, Vec<u64>) = match target.inner {
+            Some(inner) => {
+                let outer = target
+                    .delinquent
+                    .iter()
+                    .copied()
+                    .filter(|&pc| !inner.contains(pc))
+                    .collect();
+                let inn = target
+                    .delinquent
+                    .iter()
+                    .copied()
+                    .filter(|&pc| inner.contains(pc))
+                    .collect();
+                (outer, inn)
+            }
+            None => (Vec::new(), target.delinquent.clone()),
+        };
+        let mut included: BTreeSet<u64> = target.delinquent.iter().copied().collect();
+        // Seeds: delinquent branches plus the backward branch(es).
+        included.insert(target.bounds.branch_pc);
+        if let Some(inner) = target.inner {
+            included.insert(inner.branch_pc);
+        }
+        Constructor {
+            cfg,
+            htcb: BTreeMap::new(),
+            htcb_overflow: false,
+            lpt: [None; NUM_REGS],
+            included,
+            store_queue: VecDeque::new(),
+            included_stores: BTreeSet::new(),
+            live_ins_outer: BTreeSet::new(),
+            live_ins_inner_mt: BTreeSet::new(),
+            live_ins_inner_ot: BTreeSet::new(),
+            producer_of: BTreeMap::new(),
+            has_alternate_producers: false,
+            header_branch: None,
+            outer_depends_on_inner: false,
+            outer_cdfsm: RegionCdfsm::new(outer_br),
+            inner_cdfsm: RegionCdfsm::new(inner_br),
+            outer_taken: 0,
+            outer_not_taken: 0,
+            target,
+        }
+    }
+
+    /// The construction target.
+    pub fn target(&self) -> &ConstructionTarget {
+        &self.target
+    }
+
+    /// PCs currently included in the helper thread(s).
+    pub fn included(&self) -> impl Iterator<Item = u64> + '_ {
+        self.included.iter().copied()
+    }
+
+    /// The inner loop's header branch, once detected.
+    pub fn header_branch(&self) -> Option<u64> {
+        self.header_branch
+    }
+
+    fn region_of(&self, pc: u64) -> Region {
+        if let Some(inner) = self.target.inner {
+            if inner.contains(pc) {
+                return Region::Inner;
+            }
+        }
+        if self.target.bounds.contains(pc) {
+            Region::Outer
+        } else {
+            Region::Outside
+        }
+    }
+
+    /// For non-nested targets the single thread is the "inner" region for
+    /// CDFSM purposes.
+    fn cdfsm_region(&self, pc: u64) -> Region {
+        if self.target.inner.is_none() {
+            if self.target.bounds.contains(pc) {
+                Region::Inner
+            } else {
+                Region::Outside
+            }
+        } else {
+            self.region_of(pc)
+        }
+    }
+
+    /// Feeds one retired main-thread instruction.
+    pub fn on_retire(&mut self, rec: &ExecRecord) {
+        let pc = rec.pc;
+        let region = self.region_of(pc);
+
+        if region != Region::Outside {
+            // HTCB collection.
+            if !self.htcb.contains_key(&pc) {
+                if self.htcb.len() >= self.cfg.htcb_capacity {
+                    self.htcb_overflow = true;
+                } else {
+                    self.htcb.insert(pc, rec.inst);
+                }
+            }
+
+            // Header-branch detection: a forward conditional branch in the
+            // outer region that jumps over the inner loop.
+            if self.header_branch.is_none() && region == Region::Outer {
+                if let (Inst::Branch { target, .. }, Some(inner)) = (&rec.inst, self.target.inner) {
+                    if pc < inner.target_pc && *target > inner.branch_pc {
+                        self.header_branch = Some(pc);
+                        self.included.insert(pc);
+                        // The header gets a CDFSM column/row in the outer
+                        // region: it is a predicate-producer-like seed.
+                        if self.outer_cdfsm.branch_index(pc).is_none() {
+                            self.outer_cdfsm.branch_pcs.push(pc);
+                            let n = self.outer_cdfsm.branch_pcs.len();
+                            self.outer_cdfsm.matrix = CdfsmMatrix::new(n + 32, n);
+                        }
+                    }
+                }
+            }
+        }
+
+        // IBDA: grow backward slices of included instructions.
+        if self.included.contains(&pc) {
+            for (slot, src) in rec.inst.srcs().into_iter().enumerate() {
+                if src.is_zero() {
+                    continue;
+                }
+                // Alternate-producer detection (§V-K): the same source of
+                // the same consumer fed by two different in-loop PCs.
+                if let Some(ppc) = self.lpt[src.index()] {
+                    if self.target.bounds.contains(ppc) && ppc < pc {
+                        match self.producer_of.get(&(pc, slot)) {
+                            Some(&prev) if prev != ppc => {
+                                self.has_alternate_producers = true;
+                            }
+                            None => {
+                                self.producer_of.insert((pc, slot), ppc);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                match self.lpt[src.index()] {
+                    Some(ppc) if self.target.bounds.contains(ppc) => {
+                        let prod_region = self.region_of(ppc);
+                        if region == Region::Outer && prod_region == Region::Inner {
+                            // §V-J condition 3.
+                            self.outer_depends_on_inner = true;
+                        } else {
+                            if region == Region::Inner && prod_region == Region::Outer {
+                                // OT→IT live-in: the outer thread computes
+                                // this value and passes it via the Visit
+                                // Queue.
+                                self.live_ins_inner_ot.insert(src);
+                            }
+                            if ppc >= pc {
+                                // Loop-carried (upward-exposed) use: on the
+                                // helper thread's *first* iteration the
+                                // value predates the loop, so it must also
+                                // be copied in at trigger (e.g. induction
+                                // variables).
+                                match region {
+                                    Region::Outer => {
+                                        self.live_ins_outer.insert(src);
+                                    }
+                                    Region::Inner
+                                        if self.target.inner.is_some()
+                                            && prod_region == Region::Outer =>
+                                    {
+                                        // First iteration of each visit:
+                                        // the outer thread holds the value.
+                                        self.live_ins_inner_ot.insert(src);
+                                    }
+                                    Region::Inner if self.target.inner.is_some() => {
+                                        // Produced within the inner region:
+                                        // the value persists in the
+                                        // inner-thread's registers across
+                                        // visits; only the trigger needs a
+                                        // copy from the main thread.
+                                        self.live_ins_inner_mt.insert(src);
+                                    }
+                                    Region::Inner => {
+                                        self.live_ins_outer.insert(src);
+                                    }
+                                    Region::Outside => {}
+                                }
+                            }
+                            self.included.insert(ppc);
+                        }
+                    }
+                    _ => {
+                        // Producer outside the loop (or unobserved):
+                        // live-in from the main thread.
+                        match region {
+                            Region::Outer => {
+                                self.live_ins_outer.insert(src);
+                            }
+                            Region::Inner => {
+                                if self.target.inner.is_some() {
+                                    self.live_ins_inner_mt.insert(src);
+                                } else {
+                                    self.live_ins_outer.insert(src);
+                                }
+                            }
+                            Region::Outside => {}
+                        }
+                    }
+                }
+            }
+
+            // Store-load dependence capture.
+            if rec.inst.is_load() {
+                if let Some(&(_, store_pc)) = self
+                    .store_queue
+                    .iter()
+                    .rev()
+                    .find(|(addr, _)| *addr == rec.mem_addr)
+                {
+                    self.included.insert(store_pc);
+                    self.included_stores.insert(store_pc);
+                }
+            }
+        }
+
+        // Track retired in-loop stores for conflict detection.
+        if rec.inst.is_store() && region != Region::Outside {
+            if self.store_queue.len() >= self.cfg.store_queue_entries {
+                self.store_queue.pop_front();
+            }
+            self.store_queue.push_back((rec.mem_addr, pc));
+        }
+
+        // LPT update (after producer lookups, so self-recurrences see the
+        // previous instance).
+        if let Some(dst) = rec.inst.dst() {
+            self.lpt[dst.index()] = Some(pc);
+        }
+
+        // CDFSM training.
+        self.train_cdfsm(rec);
+
+        // Trip accounting for the outermost loop.
+        if pc == self.target.bounds.branch_pc {
+            if rec.taken {
+                self.outer_taken += 1;
+            } else {
+                self.outer_not_taken += 1;
+            }
+        }
+    }
+
+    fn train_cdfsm(&mut self, rec: &ExecRecord) {
+        let pc = rec.pc;
+        let region = self.cdfsm_region(pc);
+        let (cdfsm, loop_branch_pc) = match region {
+            Region::Inner => {
+                let lb = self
+                    .target
+                    .inner
+                    .map(|i| i.branch_pc)
+                    .unwrap_or(self.target.bounds.branch_pc);
+                (&mut self.inner_cdfsm, lb)
+            }
+            Region::Outer => (&mut self.outer_cdfsm, self.target.bounds.branch_pc),
+            Region::Outside => return,
+        };
+        if pc == loop_branch_pc {
+            cdfsm.matrix.on_loop_branch_retire();
+            return;
+        }
+        if let Some(idx) = cdfsm.branch_index(pc) {
+            cdfsm.matrix.on_branch_retire(idx, idx, rec.taken);
+            return;
+        }
+        if self.included_stores.contains(&pc) {
+            let row = cdfsm.ensure_store_row(pc);
+            if row < cdfsm.matrix.rows() {
+                cdfsm.matrix.on_row_retire(row);
+            }
+        }
+    }
+
+    /// Average iterations per visit of the outermost loop.
+    pub fn avg_iterations_per_visit(&self) -> f64 {
+        self.outer_taken as f64 / (self.outer_not_taken.max(1)) as f64
+    }
+
+    fn build_thread(&self, kind: ThreadKind) -> HelperThread {
+        let region_filter = |pc: u64| -> bool {
+            match (kind, self.target.inner) {
+                (ThreadKind::InnerOnly, _) => self.target.bounds.contains(pc),
+                (ThreadKind::Outer, Some(inner)) => {
+                    self.target.bounds.contains(pc) && !inner.contains(pc)
+                }
+                (ThreadKind::Inner, Some(inner)) => inner.contains(pc),
+                _ => false,
+            }
+        };
+        let cdfsm = match kind {
+            ThreadKind::Outer => &self.outer_cdfsm,
+            _ => &self.inner_cdfsm,
+        };
+        let loop_branch_pc = match kind {
+            ThreadKind::Inner => self.target.inner.expect("nested").branch_pc,
+            _ => self.target.bounds.branch_pc,
+        };
+
+        // Predicate register assignment: branch columns in PC order.
+        let mut pred_branches: Vec<u64> = cdfsm.branch_pcs.clone();
+        pred_branches.sort_unstable();
+        let pred_of = |pc: u64| -> Option<u8> {
+            pred_branches
+                .iter()
+                .position(|&p| p == pc)
+                .map(|i| (i + 1) as u8)
+        };
+        let or_guards = self.cfg.or_guards;
+        let guard_of = |row: usize| -> PredSource {
+            // OR-guard (§V-K): a row left with two CD columns is enabled
+            // by either guard.
+            if or_guards {
+                let cds = cdfsm.matrix.cd_columns(row);
+                if cds.len() >= 2 {
+                    let source = |col: usize| -> Option<(u8, bool)> {
+                        let g = match cdfsm.matrix.state(row, col) {
+                            crate::cdfsm::CdState::CdT => true,
+                            crate::cdfsm::CdState::CdNt => false,
+                            _ => return None,
+                        };
+                        pred_of(cdfsm.branch_pcs[col]).map(|reg| (reg, g))
+                    };
+                    if let (Some(a), Some(b)) = (source(cds[0]), source(cds[1])) {
+                        return PredSource::GuardedOr { a, b };
+                    }
+                }
+            }
+            match cdfsm.matrix.immediate_guard(row) {
+                Some(g) => {
+                    let guard_pc = cdfsm.branch_pcs[g.column];
+                    match pred_of(guard_pc) {
+                        Some(reg) => PredSource::Guarded {
+                            reg,
+                            direction: g.direction,
+                        },
+                        None => PredSource::Always,
+                    }
+                }
+                None => PredSource::Always,
+            }
+        };
+
+        let mut insts: Vec<HtInst> = Vec::new();
+        for &pc in &self.included {
+            if !region_filter(pc) {
+                continue;
+            }
+            let Some(&inst) = self.htcb.get(&pc) else {
+                continue; // seeded but never observed; dropped
+            };
+            let (kind_tag, pred_src) = if pc == loop_branch_pc {
+                (HtKind::LoopBranch, PredSource::Always)
+            } else if Some(pc) == self.header_branch && kind == ThreadKind::Outer {
+                let src = cdfsm
+                    .branch_index(pc)
+                    .map(&guard_of)
+                    .unwrap_or(PredSource::Always);
+                (HtKind::HeaderBranch, src)
+            } else if let Some(row) = cdfsm.branch_index(pc) {
+                (
+                    HtKind::PredicateProducer {
+                        dest: pred_of(pc).expect("branch has a pred reg"),
+                    },
+                    guard_of(row),
+                )
+            } else if self.included_stores.contains(&pc) {
+                let src = cdfsm
+                    .store_rows
+                    .get(&pc)
+                    .map(|&row| guard_of(row))
+                    .unwrap_or(PredSource::Always);
+                (HtKind::Store, src)
+            } else {
+                (HtKind::Plain, PredSource::Always)
+            };
+            insts.push(HtInst {
+                pc,
+                inst,
+                kind: kind_tag,
+                pred_src,
+            });
+        }
+        insts.sort_by_key(|i| i.pc);
+
+        // Queue rows: predicate producers and the header branch. The loop
+        // branch gets a row only when it is itself delinquent (e.g. the
+        // inner loop's unpredictable backward branch brC); a predictable
+        // loop branch stays with the core's default predictor and merely
+        // drives the spec_head/tail pointers.
+        let mut queue_rows: Vec<u64> = insts
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    HtKind::PredicateProducer { .. } | HtKind::HeaderBranch
+                ) || (i.kind == HtKind::LoopBranch && self.target.delinquent.contains(&i.pc))
+            })
+            .map(|i| i.pc)
+            .collect();
+        queue_rows.sort_unstable();
+
+        let (live_ins_mt, live_ins_ot) = match kind {
+            ThreadKind::InnerOnly => (
+                self.live_ins_outer
+                    .union(&self.live_ins_inner_mt)
+                    .copied()
+                    .collect(),
+                Vec::new(),
+            ),
+            ThreadKind::Outer => (self.live_ins_outer.iter().copied().collect(), Vec::new()),
+            ThreadKind::Inner => (
+                self.live_ins_inner_mt.iter().copied().collect(),
+                self.live_ins_inner_ot.iter().copied().collect(),
+            ),
+        };
+
+        HelperThread {
+            kind,
+            insts,
+            live_ins_mt,
+            live_ins_ot,
+            queue_rows,
+        }
+    }
+
+    /// Finalizes construction into an installable HTC entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Ineligibility`] condition (§V-J) when the loop cannot
+    /// be profitably pre-executed.
+    pub fn finalize(&self, epoch: u64) -> Result<HtcEntry, Ineligibility> {
+        if self.htcb_overflow {
+            return Err(Ineligibility::HtcbOverflow);
+        }
+        if self.outer_taken + self.outer_not_taken == 0
+            || !self.htcb.contains_key(&self.target.bounds.branch_pc)
+        {
+            return Err(Ineligibility::NoLoopObserved);
+        }
+        if self.outer_depends_on_inner {
+            return Err(Ineligibility::OuterDependsOnInner);
+        }
+        if self.cfg.reject_alternate_producers && self.has_alternate_producers {
+            return Err(Ineligibility::AlternateProducers);
+        }
+        let avg = self.avg_iterations_per_visit();
+        if avg < self.cfg.min_iters_per_visit {
+            return Err(Ineligibility::NotIteratingEnough {
+                avg_iters_x100: (avg * 100.0) as u64,
+            });
+        }
+
+        let nested = self.target.inner.is_some()
+            && self
+                .htcb
+                .contains_key(&self.target.inner.expect("nested").branch_pc);
+        let (outer, inner) = if nested {
+            (
+                Some(self.build_thread(ThreadKind::Outer)),
+                self.build_thread(ThreadKind::Inner),
+            )
+        } else {
+            (None, self.build_thread(ThreadKind::InnerOnly))
+        };
+
+        // Structural sanity: each thread must end at its loop branch.
+        let ends_in_loop_branch =
+            |t: &HelperThread| t.insts.last().is_some_and(|i| i.kind == HtKind::LoopBranch);
+        if !ends_in_loop_branch(&inner) || outer.as_ref().is_some_and(|o| !ends_in_loop_branch(o)) {
+            return Err(Ineligibility::NoLoopObserved);
+        }
+
+        // §V-J condition 1: size bound.
+        let ht_insts = inner.len() + outer.as_ref().map_or(0, HelperThread::len);
+        let loop_insts = self.htcb.len();
+        if ht_insts as f64 > self.cfg.max_ht_fraction * loop_insts as f64 {
+            return Err(Ineligibility::TooBig {
+                ht_insts,
+                loop_insts,
+            });
+        }
+
+        // Hardware row capacity.
+        let row_fits = match &outer {
+            Some(o) => o.len() <= ROW_INSTS / 2 && inner.len() <= ROW_INSTS / 2,
+            None => inner.len() <= ROW_INSTS,
+        };
+        if !row_fits {
+            return Err(Ineligibility::TooBig {
+                ht_insts,
+                loop_insts: ROW_INSTS,
+            });
+        }
+
+        // Parameter limits (§V-J last paragraph).
+        for t in std::iter::once(&inner).chain(outer.as_ref()) {
+            if t.live_ins_mt.len() > self.cfg.max_mt_live_ins {
+                return Err(Ineligibility::TooManyLiveIns {
+                    count: t.live_ins_mt.len(),
+                });
+            }
+            if t.queue_rows.len() > self.cfg.max_queue_rows {
+                return Err(Ineligibility::TooManyQueueRows {
+                    count: t.queue_rows.len(),
+                });
+            }
+        }
+        if inner.live_ins_ot.len() > self.cfg.max_visit_live_ins {
+            return Err(Ineligibility::TooManyLiveIns {
+                count: inner.live_ins_ot.len(),
+            });
+        }
+
+        Ok(HtcEntry {
+            start_pc: self.target.bounds.target_pc,
+            bounds: self.target.bounds,
+            inner_bounds: nested.then(|| self.target.inner.expect("nested")),
+            outer,
+            inner,
+            last_trigger_epoch: epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phelps_isa::{Asm, Cpu, Reg};
+
+    /// A single loop with one delinquent branch guarding another and a
+    /// guarded store, shaped like astar's b1→b2→s1 (Fig. 3/5):
+    ///
+    /// ```text
+    /// loop: t0 = data[i]
+    ///       if (t0 < thresh) {        // b1 (delinquent)
+    ///           t1 = flags[t0]
+    ///           if (t1 == 0) {        // b2 (delinquent, guarded by b1)
+    ///               flags[t0] = 1     // s1 (guarded by b1 and b2)
+    ///           }
+    ///       }
+    ///       i++; loop while i != n    // loop branch
+    /// ```
+    fn astar_like() -> (phelps_isa::Program, Vec<u64>, u64, LoopBounds) {
+        let mut a = Asm::new(0x1000);
+        // a0=data base, a1=flags base, a2=i, a3=n, a4=thresh
+        a.label("loop");
+        a.slli(Reg::T2, Reg::A2, 3);
+        a.add(Reg::T2, Reg::A0, Reg::T2);
+        a.ld(Reg::T0, Reg::T2, 0); // t0 = data[i]
+        let b1 = a.here();
+        a.bge(Reg::T0, Reg::A4, "skip"); // b1: taken = skip body
+        a.slli(Reg::T3, Reg::T0, 3);
+        a.add(Reg::T3, Reg::A1, Reg::T3);
+        a.ld(Reg::T1, Reg::T3, 0); // t1 = flags[t0]
+        let b2 = a.here();
+        a.bne(Reg::T1, Reg::ZERO, "skip"); // b2: taken = skip store
+        a.li(Reg::T4, 1);
+        let s1 = a.here();
+        a.sd(Reg::T4, Reg::T3, 0); // s1
+        a.label("skip");
+        // "Other statements" (paper Fig. 3 line 15): work that is not in
+        // any delinquent branch's backward slice.
+        a.add(Reg::S2, Reg::S2, Reg::A2);
+        a.xor(Reg::S3, Reg::S3, Reg::S2);
+        a.slli(Reg::S4, Reg::S2, 2);
+        a.add(Reg::S5, Reg::S5, Reg::S4);
+        a.andi(Reg::S6, Reg::S3, 255);
+        a.or(Reg::S7, Reg::S7, Reg::S6);
+        a.addi(Reg::A2, Reg::A2, 1);
+        let loop_br = a.here();
+        a.bne(Reg::A2, Reg::A3, "loop");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let bounds = LoopBounds {
+            branch_pc: loop_br,
+            target_pc: 0x1000,
+        };
+        (p, vec![b1, b2], s1, bounds)
+    }
+
+    fn run_construction(iters: u64) -> (Constructor, Vec<u64>, u64, LoopBounds) {
+        let (prog, branches, s1, bounds) = astar_like();
+        let mut cpu = Cpu::new(prog);
+        // data[i] pseudo-random in 0..64; flags zeroed.
+        let mut x = 7u64;
+        for i in 0..iters {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cpu.mem.write_u64(0x10000 + i * 8, (x >> 33) % 64);
+        }
+        cpu.set_reg(Reg::A0, 0x10000);
+        cpu.set_reg(Reg::A1, 0x20000);
+        cpu.set_reg(Reg::A2, 0);
+        cpu.set_reg(Reg::A3, iters);
+        cpu.set_reg(Reg::A4, 32);
+
+        let target = ConstructionTarget {
+            bounds,
+            inner: None,
+            delinquent: branches.clone(),
+        };
+        let mut c = Constructor::new(target);
+        while !cpu.is_halted() {
+            let rec = cpu.step().unwrap();
+            c.on_retire(&rec);
+        }
+        (c, branches, s1, bounds)
+    }
+
+    #[test]
+    fn ibda_grows_backward_slices() {
+        let (c, branches, _s1, bounds) = run_construction(200);
+        let included: Vec<u64> = c.included().collect();
+        // b1's slice: the load of data[i], its address computation, and
+        // the induction variable update.
+        assert!(included.contains(&branches[0]));
+        assert!(included.contains(&branches[1]));
+        assert!(included.contains(&bounds.branch_pc));
+        // ld t0 at 0x1008, and its addr gen at 0x1000/0x1004.
+        assert!(included.contains(&0x1008), "b1's load included");
+        assert!(included.contains(&0x1000) && included.contains(&0x1004));
+    }
+
+    #[test]
+    fn conflicting_store_gets_included() {
+        let (c, _, s1, _) = run_construction(400);
+        // s1 conflicts with the flags load feeding b2.
+        assert!(
+            c.included().any(|pc| pc == s1),
+            "store s1 captured via the store-detect queue"
+        );
+    }
+
+    #[test]
+    fn finalize_builds_fig5_shape() {
+        let (c, branches, s1_pc, _) = run_construction(400);
+        let entry = c.finalize(1).expect("eligible");
+        assert!(!entry.is_nested());
+        let t = &entry.inner;
+        // Loop branch last.
+        assert_eq!(t.insts.last().unwrap().kind, HtKind::LoopBranch);
+        // b1 is an unguarded predicate producer; b2 guarded by b1
+        // (not-taken direction); s1 guarded by b2 (not-taken direction).
+        let find = |pc: u64| t.insts.iter().find(|i| i.pc == pc).unwrap();
+        let b1 = find(branches[0]);
+        assert!(matches!(b1.kind, HtKind::PredicateProducer { dest: 1 }));
+        assert_eq!(b1.pred_src, PredSource::Always);
+        let b2 = find(branches[1]);
+        assert!(matches!(b2.kind, HtKind::PredicateProducer { dest: 2 }));
+        assert_eq!(
+            b2.pred_src,
+            PredSource::Guarded {
+                reg: 1,
+                direction: false
+            }
+        );
+        let s1 = find(s1_pc);
+        assert_eq!(s1.kind, HtKind::Store);
+        assert_eq!(
+            s1.pred_src,
+            PredSource::Guarded {
+                reg: 2,
+                direction: false
+            }
+        );
+    }
+
+    #[test]
+    fn live_ins_capture_loop_invariants() {
+        let (c, _, _s1, _) = run_construction(300);
+        let entry = c.finalize(1).unwrap();
+        let live = &entry.inner.live_ins_mt;
+        // a0 (data base), a1 (flags base), a3 (n), a4 (thresh) are set
+        // outside the loop; a2 (i) self-recurses inside, but is upward-
+        // exposed (the trigger iteration needs the main thread's value),
+        // so it is a live-in too.
+        for r in [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4] {
+            assert!(live.contains(&r), "{r} is a live-in");
+        }
+    }
+
+    #[test]
+    fn queue_rows_cover_producers_and_loop_branch() {
+        let (c, branches, _s1, bounds) = run_construction(300);
+        let entry = c.finalize(1).unwrap();
+        let rows = &entry.inner.queue_rows;
+        assert!(rows.contains(&branches[0]));
+        assert!(rows.contains(&branches[1]));
+        // The loop branch is predictable (not in the delinquent list), so
+        // it does not consume one of the 16 queue rows.
+        assert!(!rows.contains(&bounds.branch_pc));
+    }
+
+    #[test]
+    fn short_loop_is_ineligible() {
+        let (prog, branches, _s1, bounds) = astar_like();
+        let mut cpu = Cpu::new(prog);
+        cpu.set_reg(Reg::A0, 0x10000);
+        cpu.set_reg(Reg::A1, 0x20000);
+        cpu.set_reg(Reg::A3, 3); // 3 iterations per visit only
+        cpu.set_reg(Reg::A4, 32);
+        let mut c = Constructor::new(ConstructionTarget {
+            bounds,
+            inner: None,
+            delinquent: branches,
+        });
+        while !cpu.is_halted() {
+            c.on_retire(&cpu.step().unwrap());
+        }
+        assert!(matches!(
+            c.finalize(1),
+            Err(Ineligibility::NotIteratingEnough { .. })
+        ));
+    }
+
+    #[test]
+    fn unobserved_loop_is_ineligible() {
+        let (_, branches, _s1, bounds) = astar_like();
+        let c = Constructor::new(ConstructionTarget {
+            bounds,
+            inner: None,
+            delinquent: branches,
+        });
+        assert_eq!(c.finalize(1).unwrap_err(), Ineligibility::NoLoopObserved);
+    }
+
+    #[test]
+    fn size_bound_rejects_all_inclusive_threads() {
+        // A loop whose entire body feeds the branch: HT ≈ loop → too big.
+        let mut a = Asm::new(0x2000);
+        a.label("loop");
+        // Long dependent chain, all of it in b's slice.
+        for _ in 0..20 {
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.xor(Reg::T0, Reg::T0, Reg::A2);
+            a.slli(Reg::T1, Reg::T0, 1);
+            a.add(Reg::T0, Reg::T0, Reg::T1);
+        }
+        a.andi(Reg::T1, Reg::T0, 1);
+        let b = a.here();
+        a.bne(Reg::T1, Reg::ZERO, "even");
+        a.label("even");
+        a.addi(Reg::A2, Reg::A2, 1);
+        let lb = a.here();
+        a.bne(Reg::A2, Reg::A3, "loop");
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let bounds = LoopBounds {
+            branch_pc: lb,
+            target_pc: 0x2000,
+        };
+        let mut cpu = Cpu::new(prog);
+        cpu.set_reg(Reg::A3, 100);
+        let mut c = Constructor::new(ConstructionTarget {
+            bounds,
+            inner: None,
+            delinquent: vec![b],
+        });
+        while !cpu.is_halted() {
+            c.on_retire(&cpu.step().unwrap());
+        }
+        assert!(matches!(c.finalize(1), Err(Ineligibility::TooBig { .. })));
+    }
+
+    #[test]
+    fn avg_iterations_math() {
+        let (_, branches, _s1, bounds) = astar_like();
+        let mut c = Constructor::new(ConstructionTarget {
+            bounds,
+            inner: None,
+            delinquent: branches,
+        });
+        // Synthesize loop-branch retires: 30 taken, 2 not-taken.
+        use phelps_isa::{BranchCond, ExecRecord, Inst};
+        for i in 0..32 {
+            let taken = i % 16 != 15;
+            c.on_retire(&ExecRecord {
+                pc: bounds.branch_pc,
+                inst: Inst::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: Reg::A2,
+                    rs2: Reg::A3,
+                    target: bounds.target_pc,
+                },
+                next_pc: if taken {
+                    bounds.target_pc
+                } else {
+                    bounds.branch_pc + 4
+                },
+                taken,
+                rd_value: 0,
+                mem_addr: 0,
+                store_data: 0,
+            });
+        }
+        assert!((c.avg_iterations_per_visit() - 15.0).abs() < 1e-9);
+    }
+}

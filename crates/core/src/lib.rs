@@ -1,0 +1,64 @@
+//! # phelps
+//!
+//! Predicated helper threads (Phelps): delinquent-loop branch pre-execution
+//! for superscalar cores — a reproduction of Seshadri & Rotenberg,
+//! *"Delinquent Loop Pre-execution Using Predicated Helper Threads"*
+//! (HPCA 2025).
+//!
+//! Phelps targets **delinquent branches** — frequently-executed,
+//! frequently-mispredicted branches — by building a *helper thread* for
+//! each inner loop that contains them. All delinquent branches, even ones
+//! control-dependent on other delinquent branches, are **unconditionally
+//! pre-executed** every loop iteration; their per-branch prediction queues
+//! operate in lockstep with loop iterations, so the main thread's fetch
+//! unit consumes or ignores outcomes in exactly the sequence its own path
+//! dictates. Influential stores are retained and **predicated** on their
+//! guarding branches' outcomes. Nested loops with short, unpredictable
+//! inner trip counts get **dual decoupled helper threads**.
+//!
+//! ## Crate layout
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`delinq`] | §V-B | DBT, DBT-Max, Loop Table |
+//! | [`construct`] | §V-C, §V-J | HTCB, LPT, IBDA, store capture, eligibility |
+//! | [`cdfsm`] | §V-D | immediate-predicate-producer learning |
+//! | [`htc`] | §V-E | Helper Thread Cache, HT instruction encoding |
+//! | [`predq`] | §IV-B | iteration-lockstep prediction queues |
+//! | [`visitq`] | §V-F | Visit Queue for dual decoupled threads |
+//! | [`predicate`] | §V-H | 2-bit predicate registers |
+//! | [`storecache`] | §IV-A | helper-thread speculative store cache |
+//! | [`budget`] | Table II | storage-cost model |
+//! | [`classify`] | Fig. 14 | misprediction characterization |
+//! | [`sim`] | §VI | the cycle-level simulator binding it all |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phelps::predq::PredictionQueues;
+//!
+//! // A helper thread deposits outcomes for two nested delinquent
+//! // branches every iteration; the main thread consumes in lockstep.
+//! let mut q = PredictionQueues::new(&[0x100, 0x104], 32);
+//! q.deposit(0x100, true);
+//! q.deposit(0x104, false);
+//! q.advance_tail();
+//! assert_eq!(q.consume(0x100), Some(true));
+//! ```
+//!
+//! For end-to-end runs, see [`sim::simulate`] and the workspace examples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod budget;
+pub mod cdfsm;
+pub mod classify;
+pub mod construct;
+pub mod delinq;
+pub mod htc;
+pub mod predicate;
+pub mod predq;
+pub mod sim;
+pub mod storecache;
+pub mod visitq;

@@ -1,0 +1,273 @@
+//! Predicate registers (paper §V-H).
+//!
+//! Each predicate register is 2 bits:
+//!
+//! * **msb** — whether the producing predicate producer was itself
+//!   predicated-true (enabled) or predicated-false (suppressed);
+//! * **lsb** — the taken/not-taken outcome of the predicate producer.
+//!
+//! A consumer with enabling direction `d` is predicated-true iff
+//! `msb == 1 && lsb == d`. `pred0` is reserved and always reads as
+//! "enabled, taken" with a wildcard direction semantics handled by
+//! [`PredSource::Always`].
+
+/// A 2-bit predicate register value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredValue {
+    /// Producer was itself enabled (predicated-true).
+    pub enabled: bool,
+    /// Producer's taken/not-taken outcome.
+    pub taken: bool,
+}
+
+impl PredValue {
+    /// Whether a consumer whose enabling direction is `direction` is
+    /// predicated-true by this value.
+    pub fn enables(self, direction: bool) -> bool {
+        self.enabled && self.taken == direction
+    }
+}
+
+/// A predicate source operand of a store or predicate producer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PredSource {
+    /// `pred0`: unconditional execution (no immediate guard).
+    Always,
+    /// Guarded: logical predicate register `reg` with enabling `direction`.
+    Guarded {
+        /// Logical predicate register index (1-based; 0 is reserved).
+        reg: u8,
+        /// Direction of the guard that enables the consumer.
+        direction: bool,
+    },
+    /// OR-guarded (paper §V-K): two predicate sources whose evaluations
+    /// are ORed — the `if (a || b)` scenario, detectable as multiple CD
+    /// states in a CDFSM row.
+    GuardedOr {
+        /// First `(register, enabling direction)` source.
+        a: (u8, bool),
+        /// Second `(register, enabling direction)` source.
+        b: (u8, bool),
+    },
+}
+
+impl PredSource {
+    /// Evaluates this source given a lookup of logical predicate registers.
+    ///
+    /// Returns whether the consumer is predicated-true. For
+    /// [`PredSource::Always`] this is always `true`; the lookup is not
+    /// consulted.
+    pub fn evaluate(self, lookup: impl Fn(u8) -> PredValue) -> bool {
+        match self {
+            PredSource::Always => true,
+            PredSource::Guarded { reg, direction } => lookup(reg).enables(direction),
+            PredSource::GuardedOr { a, b } => lookup(a.0).enables(a.1) || lookup(b.0).enables(b.1),
+        }
+    }
+
+    /// The logical predicate registers this source reads (0, 1 or 2).
+    pub fn regs(self) -> [Option<(u8, bool)>; 2] {
+        match self {
+            PredSource::Always => [None, None],
+            PredSource::Guarded { reg, direction } => [Some((reg, direction)), None],
+            PredSource::GuardedOr { a, b } => [Some(a), Some(b)],
+        }
+    }
+}
+
+/// A logical-predicate-register file for one helper thread, with rename-free
+/// per-iteration semantics: the helper thread writes each `predN` exactly
+/// once per iteration (by its unique producer) before any consumer reads it,
+/// so the simulator models the pred-PRF as a direct-mapped array that is
+/// re-written each iteration. (The hardware renames; see DESIGN.md.)
+#[derive(Clone, Debug)]
+pub struct PredFile {
+    regs: Vec<PredValue>,
+}
+
+impl PredFile {
+    /// Creates a predicate file with `n` logical registers (`pred0` is
+    /// implicit and not stored).
+    pub fn new(n: usize) -> PredFile {
+        PredFile {
+            regs: vec![
+                PredValue {
+                    enabled: true,
+                    taken: false
+                };
+                n
+            ],
+        }
+    }
+
+    /// Writes `predN` (`reg >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is 0 (reserved) or out of range.
+    pub fn write(&mut self, reg: u8, value: PredValue) {
+        assert!(reg >= 1, "pred0 is reserved");
+        self.regs[(reg - 1) as usize] = value;
+    }
+
+    /// Reads `predN` (`reg >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is 0 (reserved) or out of range.
+    pub fn read(&self, reg: u8) -> PredValue {
+        assert!(reg >= 1, "pred0 is reserved");
+        self.regs[(reg - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table() {
+        // Consumer enabled iff producer enabled and outcome matches its
+        // enabling direction.
+        for enabled in [false, true] {
+            for taken in [false, true] {
+                for dir in [false, true] {
+                    let v = PredValue { enabled, taken };
+                    assert_eq!(v.enables(dir), enabled && taken == dir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pred0_always_enables() {
+        let panicky = |_r: u8| -> PredValue { panic!("pred0 must not read the file") };
+        assert!(PredSource::Always.evaluate(panicky));
+    }
+
+    #[test]
+    fn guarded_source_reads_register() {
+        let mut f = PredFile::new(8);
+        f.write(
+            3,
+            PredValue {
+                enabled: true,
+                taken: false,
+            },
+        );
+        let src = PredSource::Guarded {
+            reg: 3,
+            direction: false,
+        };
+        assert!(src.evaluate(|r| f.read(r)));
+        let src = PredSource::Guarded {
+            reg: 3,
+            direction: true,
+        };
+        assert!(!src.evaluate(|r| f.read(r)));
+    }
+
+    #[test]
+    fn transitive_suppression() {
+        // astar's s1: guarded by b2, which is guarded by b1. When b1's
+        // outcome suppresses b2, b2's value has enabled=false and s1 is
+        // suppressed regardless of b2's own outcome bit.
+        let mut f = PredFile::new(8);
+        // b1 (pred1): unguarded, taken (suppressing b2 whose dir is NT).
+        f.write(
+            1,
+            PredValue {
+                enabled: true,
+                taken: true,
+            },
+        );
+        // b2 (pred2): its own predicate source is {pred1, dir=false} →
+        // disabled; its outcome bit is whatever it computed.
+        let b2_enabled = PredSource::Guarded {
+            reg: 1,
+            direction: false,
+        }
+        .evaluate(|r| f.read(r));
+        f.write(
+            2,
+            PredValue {
+                enabled: b2_enabled,
+                taken: true,
+            },
+        );
+        // s1 guarded by b2 taken: must be suppressed because b2 is disabled.
+        let s1 = PredSource::Guarded {
+            reg: 2,
+            direction: true,
+        };
+        assert!(!s1.evaluate(|r| f.read(r)));
+    }
+
+    #[test]
+    fn or_guard_enables_on_either_source() {
+        let mut f = PredFile::new(8);
+        f.write(
+            1,
+            PredValue {
+                enabled: true,
+                taken: true,
+            },
+        );
+        f.write(
+            2,
+            PredValue {
+                enabled: true,
+                taken: false,
+            },
+        );
+        let src = PredSource::GuardedOr {
+            a: (1, false), // disabled by pred1 (taken, needs NT)
+            b: (2, false), // enabled by pred2 (not-taken)
+        };
+        assert!(src.evaluate(|r| f.read(r)));
+        let src = PredSource::GuardedOr {
+            a: (1, false),
+            b: (2, true),
+        };
+        assert!(!src.evaluate(|r| f.read(r)), "neither source enables");
+        let src = PredSource::GuardedOr {
+            a: (1, true),
+            b: (2, true),
+        };
+        assert!(src.evaluate(|r| f.read(r)), "first source enables");
+    }
+
+    #[test]
+    fn regs_enumerates_sources() {
+        assert_eq!(PredSource::Always.regs(), [None, None]);
+        assert_eq!(
+            PredSource::Guarded {
+                reg: 3,
+                direction: true
+            }
+            .regs(),
+            [Some((3, true)), None]
+        );
+        assert_eq!(
+            PredSource::GuardedOr {
+                a: (1, false),
+                b: (2, true)
+            }
+            .regs(),
+            [Some((1, false)), Some((2, true))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn pred0_write_rejected() {
+        let mut f = PredFile::new(4);
+        f.write(
+            0,
+            PredValue {
+                enabled: true,
+                taken: true,
+            },
+        );
+    }
+}

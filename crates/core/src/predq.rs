@@ -1,0 +1,348 @@
+//! Iteration-lockstep prediction queues (paper §IV-B, Fig. 4).
+//!
+//! One [`PredictionQueues`] partition exists per active helper thread. Each
+//! *row* is a queue for one delinquent branch (including the loop branch);
+//! each *column* is a loop iteration. Three pointers manage the columns:
+//!
+//! * `tail` — where the helper thread deposits; advanced when the helper
+//!   thread retires an instance of the loop branch (all predicate producers
+//!   of the iteration retired before it, since retirement is in order);
+//! * `spec_head` — where the main thread consumes; advanced when the main
+//!   thread *fetches* an instance of the loop branch;
+//! * `head` — oldest live column; advanced when the main thread *retires*
+//!   an instance of the loop branch, freeing the column.
+//!
+//! On a misprediction recovery, `spec_head` rolls back to the value
+//! checkpointed at the mispredicted branch (or to `head` for a recovery
+//! from the ROB head), replaying already-deposited outcomes — including the
+//! Fig. 4 subtlety where a guarded branch's outcome, skipped on the wrong
+//! path, is consumed the second time around.
+
+/// Hardware capacity of the paper's queues: 32 iterations (columns).
+pub const DEFAULT_COLUMNS: usize = 32;
+/// Hardware row budget: 16 queues (branch PC tags).
+pub const MAX_ROWS: usize = 16;
+
+#[derive(Clone, Debug)]
+struct Row {
+    pc: u64,
+    /// Ring of deposited outcomes, indexed by `iteration % capacity`.
+    outcomes: Vec<Option<bool>>,
+}
+
+/// One helper thread's partition of per-branch prediction queues.
+///
+/// # Examples
+///
+/// Reproducing the flavor of Fig. 4 with two nested branches:
+///
+/// ```
+/// use phelps::predq::PredictionQueues;
+///
+/// let mut q = PredictionQueues::new(&[0x100, 0x104], 8);
+/// // Helper thread: iteration 0 deposits b1=taken, b2=not-taken.
+/// q.deposit(0x100, true);
+/// q.deposit(0x104, false);
+/// q.advance_tail(); // helper thread retires the loop branch
+///
+/// // Main thread consumes b1 (taken ⇒ it will not even fetch b2).
+/// assert_eq!(q.consume(0x100), Some(true));
+/// // The b2 outcome nevertheless exists, replayable after a b1 recovery.
+/// assert_eq!(q.consume(0x104), Some(false));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PredictionQueues {
+    rows: Vec<Row>,
+    capacity: usize,
+    head: u64,
+    spec_head: u64,
+    tail: u64,
+}
+
+impl PredictionQueues {
+    /// Creates a partition with one row per branch PC in `branch_pcs` and
+    /// `columns` iterations of capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch_pcs` exceeds [`MAX_ROWS`] or `columns` is zero.
+    pub fn new(branch_pcs: &[u64], columns: usize) -> PredictionQueues {
+        assert!(branch_pcs.len() <= MAX_ROWS, "at most {MAX_ROWS} queues");
+        assert!(columns > 0, "need at least one column");
+        PredictionQueues {
+            rows: branch_pcs
+                .iter()
+                .map(|&pc| Row {
+                    pc,
+                    outcomes: vec![None; columns],
+                })
+                .collect(),
+            capacity: columns,
+            head: 0,
+            spec_head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Whether `pc` has a queue row.
+    pub fn has_row(&self, pc: u64) -> bool {
+        self.rows.iter().any(|r| r.pc == pc)
+    }
+
+    /// Oldest live column (MT retire pointer).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// MT consume pointer.
+    pub fn spec_head(&self) -> u64 {
+        self.spec_head
+    }
+
+    /// HT deposit pointer.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Whether the helper thread may advance into a new column (queue not
+    /// full). Gates helper-thread fetch when the main thread falls behind.
+    /// `head` may legally run past `tail` when the main thread outruns the
+    /// helper thread (those iterations were predicted by the default
+    /// predictor), hence the saturating difference.
+    pub fn tail_has_room(&self) -> bool {
+        self.tail.saturating_sub(self.head) < self.capacity as u64
+    }
+
+    /// Helper thread deposits the outcome of `pc` for the current tail
+    /// iteration. Returns `false` if `pc` has no row (caller bug) or the
+    /// queue is full.
+    pub fn deposit(&mut self, pc: u64, taken: bool) -> bool {
+        if !self.tail_has_room() {
+            return false;
+        }
+        let cap = self.capacity;
+        let col = (self.tail % cap as u64) as usize;
+        match self.rows.iter_mut().find(|r| r.pc == pc) {
+            Some(row) => {
+                row.outcomes[col] = Some(taken);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Helper thread retired the loop branch: move to the next column.
+    /// Returns `false` (and does nothing) when the queue is full.
+    pub fn advance_tail(&mut self) -> bool {
+        if !self.tail_has_room() {
+            return false;
+        }
+        self.tail += 1;
+        // Clear the new tail column's ring slots for redeposit.
+        if self.tail.saturating_sub(self.head) < self.capacity as u64 {
+            let col = (self.tail % self.capacity as u64) as usize;
+            for row in &mut self.rows {
+                row.outcomes[col] = None;
+            }
+        }
+        true
+    }
+
+    /// Main thread consumes the prediction for `pc` at the `spec_head`
+    /// iteration. `None` when the helper thread hasn't deposited that
+    /// column yet (untimely) or `pc` has no row.
+    pub fn consume(&self, pc: u64) -> Option<bool> {
+        if self.spec_head >= self.tail {
+            return None; // column not yet complete
+        }
+        if self.spec_head < self.head {
+            return None;
+        }
+        let col = (self.spec_head % self.capacity as u64) as usize;
+        self.rows
+            .iter()
+            .find(|r| r.pc == pc)
+            .and_then(|r| r.outcomes[col])
+    }
+
+    /// Main thread fetched the loop branch: advance the consume pointer.
+    /// `spec_head` may legally run past `tail` (the main thread ahead of
+    /// the helper thread); consumption simply returns `None` there.
+    pub fn advance_spec_head(&mut self) {
+        self.spec_head += 1;
+    }
+
+    /// Main thread retired the loop branch: free the oldest column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would move `head` past `spec_head` — the retire
+    /// stream cannot outrun fetch.
+    pub fn advance_head(&mut self) {
+        assert!(
+            self.head < self.spec_head,
+            "retire pointer cannot pass fetch pointer"
+        );
+        self.head += 1;
+    }
+
+    /// Misprediction recovery: roll `spec_head` back to `ckpt` (a value
+    /// previously read from [`PredictionQueues::spec_head`]). Clamped to
+    /// `head` — recovery from the ROB head passes `0` to mean "head".
+    pub fn rollback_spec_head(&mut self, ckpt: u64) {
+        self.spec_head = ckpt.max(self.head);
+    }
+
+    /// Number of columns the helper thread is ahead of the main thread's
+    /// consumption.
+    pub fn lead(&self) -> u64 {
+        self.tail.saturating_sub(self.spec_head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_branch_queue() -> PredictionQueues {
+        PredictionQueues::new(&[0x10, 0x14], 4)
+    }
+
+    #[test]
+    fn deposit_then_consume_in_lockstep() {
+        let mut q = two_branch_queue();
+        q.deposit(0x10, true);
+        q.deposit(0x14, false);
+        q.advance_tail();
+        assert_eq!(q.consume(0x10), Some(true));
+        assert_eq!(q.consume(0x14), Some(false));
+        q.advance_spec_head();
+        assert_eq!(q.consume(0x10), None, "next column not deposited");
+    }
+
+    #[test]
+    fn consume_before_tail_advance_is_untimely() {
+        let mut q = two_branch_queue();
+        q.deposit(0x10, true);
+        // Loop branch not yet retired by HT: column incomplete.
+        assert_eq!(q.consume(0x10), None);
+    }
+
+    #[test]
+    fn queue_full_blocks_tail() {
+        let mut q = two_branch_queue(); // 4 columns
+        for _ in 0..4 {
+            assert!(q.deposit(0x10, true));
+            assert!(q.advance_tail());
+        }
+        assert!(!q.tail_has_room());
+        assert!(!q.deposit(0x10, false));
+        assert!(!q.advance_tail());
+        // MT consumes and retires one iteration: room again.
+        q.advance_spec_head();
+        q.advance_head();
+        assert!(q.tail_has_room());
+        assert!(q.advance_tail());
+    }
+
+    #[test]
+    fn rollback_replays_outcomes() {
+        let mut q = two_branch_queue();
+        for i in 0..3 {
+            q.deposit(0x10, i % 2 == 0);
+            q.deposit(0x14, i % 2 == 1);
+            q.advance_tail();
+        }
+        // MT consumes two iterations.
+        assert_eq!(q.consume(0x10), Some(true));
+        let ckpt = q.spec_head();
+        q.advance_spec_head();
+        assert_eq!(q.consume(0x10), Some(false));
+        q.advance_spec_head();
+        // Mispredict at the first branch: roll back and replay.
+        q.rollback_spec_head(ckpt);
+        assert_eq!(q.consume(0x10), Some(true));
+        // The guarded branch outcome is also still there (Fig. 4 subtlety).
+        assert_eq!(q.consume(0x14), Some(false));
+    }
+
+    #[test]
+    fn rollback_clamps_to_head() {
+        let mut q = two_branch_queue();
+        q.deposit(0x10, true);
+        q.advance_tail();
+        q.advance_spec_head();
+        q.advance_head();
+        q.rollback_spec_head(0);
+        assert_eq!(q.spec_head(), q.head());
+    }
+
+    #[test]
+    #[should_panic(expected = "retire pointer")]
+    fn head_cannot_pass_spec_head() {
+        let mut q = two_branch_queue();
+        q.advance_head();
+    }
+
+    #[test]
+    fn spec_head_may_run_ahead_of_tail() {
+        let mut q = two_branch_queue();
+        q.deposit(0x10, true);
+        q.advance_tail();
+        q.advance_spec_head();
+        q.advance_spec_head(); // MT ahead of HT
+        assert_eq!(q.consume(0x10), None);
+        assert_eq!(q.lead(), 0);
+    }
+
+    #[test]
+    fn ring_reuse_after_wraparound() {
+        let mut q = PredictionQueues::new(&[0x10], 2);
+        for lap in 0..10u64 {
+            assert!(q.deposit(0x10, lap % 3 == 0));
+            assert!(q.advance_tail());
+            assert_eq!(q.consume(0x10), Some(lap % 3 == 0));
+            q.advance_spec_head();
+            q.advance_head();
+        }
+        assert_eq!(q.head(), 10);
+        assert_eq!(q.tail(), 10);
+    }
+
+    #[test]
+    fn unknown_pc_has_no_row() {
+        let mut q = two_branch_queue();
+        assert!(!q.has_row(0x999));
+        assert!(!q.deposit(0x999, true));
+        q.deposit(0x10, true);
+        q.advance_tail();
+        assert_eq!(q.consume(0x999), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn row_budget_enforced() {
+        let pcs: Vec<u64> = (0..17).map(|i| i * 4).collect();
+        let _ = PredictionQueues::new(&pcs, 4);
+    }
+
+    #[test]
+    fn fig4_walkthrough() {
+        // Fig. 4: b1 guards b2, b3 guards b4. HT deposits all four every
+        // iteration; MT consumes along the highlighted path.
+        let mut q = PredictionQueues::new(&[1, 2, 3, 4], 8);
+        // Iteration at spec_head: b1=1, b2=(0), b3=0, b4=1.
+        q.deposit(1, true);
+        q.deposit(2, false);
+        q.deposit(3, false);
+        q.deposit(4, true);
+        q.advance_tail();
+        // MT: consumes b1=taken → skips b2 entirely; consumes b3=not-taken
+        // → fetches and consumes b4.
+        assert_eq!(q.consume(1), Some(true));
+        assert_eq!(q.consume(3), Some(false));
+        assert_eq!(q.consume(4), Some(true));
+        // b2's outcome exists but simply goes unconsumed.
+        assert_eq!(q.consume(2), Some(false));
+    }
+}

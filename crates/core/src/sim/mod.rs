@@ -1,0 +1,235 @@
+//! The cycle-level simulator (paper §VI).
+//!
+//! [`simulate`] runs a prepared guest [`Cpu`] through the multi-thread
+//! out-of-order [`Pipeline`] under a [`RunConfig`]: baseline, perfect
+//! branch prediction, partition-only isolation (Fig. 13c), or Phelps with
+//! ablation toggles (Figs. 11/12).
+//!
+//! The Branch Runahead baseline lives in the `phelps-runahead` crate and
+//! plugs into the same pipeline through [`PreExecEngine`] via
+//! [`simulate_with_engine`].
+
+mod phelps_engine;
+mod pipeline;
+mod types;
+
+pub use phelps_engine::PhelpsEngine;
+pub use pipeline::{Pipeline, SimResult, ThreadQuota};
+pub use types::{
+    EngineCkpt, EngineCmd, ExecInfo, Mode, PhelpsFeatures, PreExecEngine, QueueLookup, RunConfig,
+    SideAction, SideInst, SideKind, HT_A, HT_B, MT, NUM_THREADS,
+};
+
+use phelps_isa::Cpu;
+
+/// Runs `cpu` (program + initialized memory/registers) to completion under
+/// `cfg` and returns the statistics bundle.
+///
+/// # Examples
+///
+/// ```
+/// use phelps::sim::{simulate, Mode, RunConfig};
+/// use phelps_isa::{Asm, Cpu, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Asm::new(0x1000);
+/// a.li(Reg::A0, 1000);
+/// a.label("loop");
+/// a.addi(Reg::A0, Reg::A0, -1);
+/// a.bne(Reg::A0, Reg::ZERO, "loop");
+/// a.halt();
+/// let cpu = Cpu::new(a.assemble()?);
+///
+/// let mut cfg = RunConfig::scaled(Mode::Baseline);
+/// cfg.max_mt_insts = 10_000;
+/// let result = simulate(cpu, &cfg);
+/// assert!(result.stats.ipc() > 1.0, "a trivial loop sustains IPC > 1");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(cpu: Cpu, cfg: &RunConfig) -> SimResult {
+    match &cfg.mode {
+        Mode::Phelps(features) => {
+            let mut engine = PhelpsEngine::new(
+                cfg.epoch_len,
+                cfg.delinq_threshold(),
+                cfg.constructor.clone(),
+                *features,
+            );
+            let mut regs = [0u64; phelps_isa::NUM_REGS];
+            for r in phelps_isa::Reg::all() {
+                regs[r.index()] = cpu.reg(r);
+            }
+            engine.seed_mt_regs(regs);
+            Pipeline::new(
+                cpu,
+                cfg.core.clone(),
+                &cfg.mode,
+                Some(engine),
+                cfg.max_mt_insts,
+            )
+            .run()
+        }
+        _ => {
+            let p: Pipeline<PhelpsEngine> =
+                Pipeline::new(cpu, cfg.core.clone(), &cfg.mode, None, cfg.max_mt_insts);
+            p.run()
+        }
+    }
+}
+
+/// Runs with a custom pre-execution engine (the Branch Runahead baseline).
+pub fn simulate_with_engine<E: PreExecEngine>(cpu: Cpu, cfg: &RunConfig, engine: E) -> SimResult {
+    Pipeline::new(
+        cpu,
+        cfg.core.clone(),
+        &cfg.mode,
+        Some(engine),
+        cfg.max_mt_insts,
+    )
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phelps_isa::{Asm, Cpu, Reg};
+    use phelps_uarch::stats::speedup;
+
+    /// A predictable counted loop.
+    fn counted_loop(n: i64) -> Cpu {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, n);
+        a.label("loop");
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.bne(Reg::A0, Reg::ZERO, "loop");
+        a.halt();
+        Cpu::new(a.assemble().unwrap())
+    }
+
+    /// A loop with a pseudo-random data-dependent branch (delinquent).
+    fn random_branch_loop(n: u64) -> Cpu {
+        let mut a = Asm::new(0x1000);
+        // a0 = data base, a1 = i, a2 = n, a3 = sum
+        a.label("loop");
+        a.slli(Reg::T0, Reg::A1, 3);
+        a.add(Reg::T0, Reg::A0, Reg::T0);
+        a.ld(Reg::T1, Reg::T0, 0);
+        a.andi(Reg::T1, Reg::T1, 1);
+        a.beq(Reg::T1, Reg::ZERO, "skip");
+        a.addi(Reg::A3, Reg::A3, 7);
+        a.label("skip");
+        a.addi(Reg::A3, Reg::A3, 1);
+        a.xor(Reg::A3, Reg::A3, Reg::A1);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.bne(Reg::A1, Reg::A2, "loop");
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        let mut x = 42u64;
+        for i in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cpu.mem.write_u64(0x100000 + i * 8, x >> 33);
+        }
+        cpu.set_reg(Reg::A0, 0x100000);
+        cpu.set_reg(Reg::A2, n as u64);
+        cpu
+    }
+
+    fn quick_cfg(mode: Mode) -> RunConfig {
+        let mut cfg = RunConfig::scaled(mode);
+        cfg.max_mt_insts = 60_000;
+        cfg.epoch_len = 10_000;
+        cfg
+    }
+
+    #[test]
+    fn baseline_runs_predictable_loop_fast() {
+        let r = simulate(counted_loop(20_000), &quick_cfg(Mode::Baseline));
+        assert!(r.stats.mt_retired >= 40_000);
+        assert!(r.stats.ipc() > 1.5, "ipc {}", r.stats.ipc());
+        assert!(r.stats.mpki() < 1.0, "mpki {}", r.stats.mpki());
+    }
+
+    #[test]
+    fn random_branch_is_delinquent_in_baseline() {
+        let r = simulate(random_branch_loop(20_000), &quick_cfg(Mode::Baseline));
+        assert!(
+            r.stats.mpki() > 20.0,
+            "random branch must stay hard: mpki {}",
+            r.stats.mpki()
+        );
+    }
+
+    #[test]
+    fn perfect_bp_beats_baseline_on_delinquent_code() {
+        let base = simulate(random_branch_loop(20_000), &quick_cfg(Mode::Baseline));
+        let perf = simulate(random_branch_loop(20_000), &quick_cfg(Mode::PerfectBp));
+        assert_eq!(perf.stats.mt_mispredicts, 0);
+        let s = speedup(&base.stats, &perf.stats);
+        assert!(s > 1.2, "perfect BP speedup {s}");
+    }
+
+    #[test]
+    fn partitioning_slows_the_main_thread() {
+        let base = simulate(counted_loop(20_000), &quick_cfg(Mode::Baseline));
+        let half = simulate(counted_loop(20_000), &quick_cfg(Mode::PartitionOnly));
+        assert!(
+            half.stats.ipc() <= base.stats.ipc() + 1e-9,
+            "half resources cannot be faster: {} vs {}",
+            half.stats.ipc(),
+            base.stats.ipc()
+        );
+    }
+
+    #[test]
+    fn phelps_triggers_and_reduces_mpki_on_delinquent_loop() {
+        let cfg_b = quick_cfg(Mode::Baseline);
+        let cfg_p = quick_cfg(Mode::Phelps(PhelpsFeatures::full()));
+        let base = simulate(random_branch_loop(20_000), &cfg_b);
+        let ph = simulate(random_branch_loop(20_000), &cfg_p);
+        assert!(ph.stats.triggers > 0, "helper thread must trigger");
+        assert!(ph.stats.ht_retired > 0, "helper thread must retire work");
+        assert!(
+            ph.stats.preds_from_queue > 0,
+            "queues must supply predictions"
+        );
+        assert!(
+            ph.stats.mpki() < base.stats.mpki() * 0.6,
+            "phelps mpki {} vs baseline {}",
+            ph.stats.mpki(),
+            base.stats.mpki()
+        );
+    }
+
+    #[test]
+    fn phelps_speeds_up_delinquent_loop() {
+        let base = simulate(random_branch_loop(20_000), &quick_cfg(Mode::Baseline));
+        let ph = simulate(
+            random_branch_loop(20_000),
+            &quick_cfg(Mode::Phelps(PhelpsFeatures::full())),
+        );
+        let s = speedup(&base.stats, &ph.stats);
+        assert!(s > 1.05, "phelps speedup {s}");
+    }
+
+    #[test]
+    fn phelps_leaves_predictable_code_alone() {
+        let r = simulate(
+            counted_loop(20_000),
+            &quick_cfg(Mode::Phelps(PhelpsFeatures::full())),
+        );
+        assert_eq!(r.stats.triggers, 0, "no delinquency, no helper threads");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let cfg = quick_cfg(Mode::Phelps(PhelpsFeatures::full()));
+        let a = simulate(random_branch_loop(10_000), &cfg);
+        let b = simulate(random_branch_loop(10_000), &cfg);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.mt_mispredicts, b.stats.mt_mispredicts);
+        assert_eq!(a.stats.ht_retired, b.stats.ht_retired);
+    }
+}

@@ -1,0 +1,1609 @@
+//! The multi-thread out-of-order pipeline.
+//!
+//! One [`Pipeline`] simulates up to three hardware thread contexts:
+//!
+//! * the **main thread** (MT), trace-driven from the functional emulator —
+//!   branch outcomes, values and addresses come from the correct-path
+//!   [`ExecRecord`] stream; the timing model decides *when* things happen;
+//! * up to two **side threads** (HT_A/HT_B), supplied and steered by a
+//!   [`PreExecEngine`], executed with *real values* against the retire-time
+//!   memory image plus the side store cache.
+//!
+//! Frontend width, ROB, LQ, SQ and PRF are partitioned per Table I while
+//! side threads run; the issue queue and execution lanes are flexibly
+//! shared. Mispredicted MT branches stall fetch until they resolve (no
+//! wrong-path execution; documented in DESIGN.md); load-store ordering
+//! violations squash and replay.
+
+use crate::classify::{MispredictBreakdown, MispredictClass};
+use crate::sim::types::{
+    EngineCkpt, EngineCmd, ExecInfo, Mode, PreExecEngine, QueueLookup, SideAction, SideInst,
+    SideKind, HT_A, HT_B, MT, NUM_THREADS,
+};
+use crate::storecache::StoreCache;
+use phelps_isa::{Cpu, EmuError, ExecRecord, Inst, MemWidth, Memory, Reg, NUM_REGS};
+use phelps_uarch::bpred::{DirectionPredictor, HistoryCheckpoint, TageScL};
+use phelps_uarch::config::{ActiveThreads, CoreConfig, PartitionPlan};
+use phelps_uarch::mem::MemoryHierarchy;
+use phelps_uarch::stats::SimStats;
+use std::collections::{HashMap, VecDeque};
+
+/// Lane class an instruction issues to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Lane {
+    Alu,
+    Mem,
+    Complex,
+}
+
+fn lane_of(inst: &Inst) -> Lane {
+    match inst {
+        Inst::Load { .. } | Inst::Store { .. } => Lane::Mem,
+        Inst::Alu { op, .. } | Inst::AluImm { op, .. } if op.is_complex() => Lane::Complex,
+        _ => Lane::Alu,
+    }
+}
+
+fn exec_latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Alu { op, .. } | Inst::AluImm { op, .. } => op.latency(),
+        _ => 1,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// In the frontend pipe; dispatches at the stored cycle.
+    Frontend,
+    /// Waiting in the issue queue.
+    InIq,
+    /// Executing; completes at `done`.
+    Exec { done: u64 },
+    /// Result available.
+    Done,
+}
+
+/// Where a fetched MT prediction came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PredFrom {
+    Default,
+    Queue,
+    Oracle,
+    None,
+}
+
+#[derive(Clone, Debug)]
+struct DynInst {
+    seq: u64,
+    tid: usize,
+    pc: u64,
+    inst: Inst,
+    stage: Stage,
+    lane: Lane,
+    /// Producer seqs for register sources (parallel to `inst.srcs()`).
+    deps: Vec<Option<u64>>,
+    /// Producer seqs of the predicate source's registers (side threads;
+    /// two slots for OR-guards, paper §V-K).
+    pred_deps: [Option<u64>; 2],
+    /// MT: the trace record. Side: stub filled at execute.
+    rec: ExecRecord,
+    /// MT conditional branches: prediction consumed at fetch.
+    predicted: Option<bool>,
+    /// What the default predictor said (computed even when a queue
+    /// supplied the prediction — the DBT measures the core predictor's
+    /// delinquency regardless of the consumed source, paper §V-B).
+    default_pred: Option<bool>,
+    pred_from: PredFrom,
+    mispredicted: bool,
+    /// Checkpoints for recovery (MT conditional branches).
+    bp_ckpt: Option<HistoryCheckpoint>,
+    engine_ckpt: Option<EngineCkpt>,
+    /// Side-thread payload.
+    side: Option<SideInst>,
+    /// Execute-time results (side threads; MT copies from rec).
+    result: u64,
+    taken: bool,
+    mem_addr: u64,
+    /// Predicate evaluation result.
+    enabled: bool,
+    /// Load completed its memory access at this cycle.
+    mem_done: u64,
+    /// Squashed (dead) — drains without effects.
+    dead: bool,
+}
+
+impl DynInst {
+    fn is_cond_branch(&self) -> bool {
+        self.inst.is_cond_branch()
+    }
+}
+
+/// The correct-path instruction source for the main thread, with a replay
+/// buffer for squash recovery.
+#[derive(Debug)]
+struct TraceSource {
+    cpu: Cpu,
+    replay: VecDeque<ExecRecord>,
+    exhausted: bool,
+}
+
+impl TraceSource {
+    fn next(&mut self) -> Option<ExecRecord> {
+        if let Some(r) = self.replay.pop_front() {
+            return Some(r);
+        }
+        if self.exhausted || self.cpu.is_halted() {
+            return None;
+        }
+        match self.cpu.step() {
+            Ok(rec) => Some(rec),
+            Err(EmuError::Halted) => None,
+            Err(e) => panic!("guest program fault: {e}"),
+        }
+    }
+
+    fn push_replay_front(&mut self, recs: impl DoubleEndedIterator<Item = ExecRecord>) {
+        for r in recs.rev() {
+            self.replay.push_front(r);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ThreadCtx {
+    /// In-flight seqs in program order (frontend + ROB).
+    rob: VecDeque<u64>,
+    /// Seqs in the frontend pipe (prefix of `rob`).
+    frontend: usize,
+    /// Rename map: logical reg -> producing seq.
+    rmt: [Option<u64>; NUM_REGS],
+    /// Predicate rename: logical pred reg -> producing seq.
+    pred_rmt: [Option<u64>; 17],
+    /// Committed predicate values (enabled, taken), written at predicate
+    /// producer retire; read by consumers whose producer already retired.
+    pred_vals: [(bool, bool); 17],
+    /// Committed (retire-time) register values. MT: the timing-architectural
+    /// file used for live-in capture; side threads: their value state.
+    regs: [u64; NUM_REGS],
+    // Partition limits.
+    width: u32,
+    rob_cap: u32,
+    lq_cap: u32,
+    sq_cap: u32,
+    prf_cap: u32,
+    // Usage.
+    lq_used: u32,
+    sq_used: u32,
+    prf_used: u32,
+    /// MT fetch blocked until this cycle (mispredict resolution, trigger).
+    fetch_stall_until: u64,
+    /// Seq of the unresolved mispredicted branch blocking fetch.
+    blocking_branch: Option<u64>,
+    /// MT fetch blocked until the flagged live-in move retires.
+    waiting_mt_release: bool,
+    active: bool,
+}
+
+impl ThreadCtx {
+    fn new() -> ThreadCtx {
+        ThreadCtx {
+            rob: VecDeque::new(),
+            frontend: 0,
+            rmt: [None; NUM_REGS],
+            pred_rmt: [None; 17],
+            pred_vals: [(true, false); 17],
+            regs: [0; NUM_REGS],
+            width: 0,
+            rob_cap: 0,
+            lq_cap: 0,
+            sq_cap: 0,
+            prf_cap: 0,
+            lq_used: 0,
+            sq_used: 0,
+            prf_used: 0,
+            fetch_stall_until: 0,
+            blocking_branch: None,
+            waiting_mt_release: false,
+            active: false,
+        }
+    }
+}
+
+/// Simulation result bundle.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Counter bundle.
+    pub stats: SimStats,
+    /// Fig. 14 misprediction classification.
+    pub breakdown: MispredictBreakdown,
+}
+
+/// Explicit per-thread resource quotas, overriding the Table I fractional
+/// partitioning. Used by the Branch Runahead baseline, whose main thread
+/// keeps the whole ROB and SQ (and, in the 12-wide configuration, full
+/// baseline resources).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadQuota {
+    /// Frontend (fetch/dispatch/retire) width.
+    pub width: u32,
+    /// In-flight instruction budget (ROB share or usage-counter budget).
+    pub rob: u32,
+    /// Load-queue share.
+    pub lq: u32,
+    /// Store-queue share.
+    pub sq: u32,
+    /// Physical-register share.
+    pub prf: u32,
+}
+
+/// The pipeline. Construct via [`Pipeline::new`], then [`Pipeline::run`].
+#[derive(Debug)]
+pub struct Pipeline<E: PreExecEngine> {
+    cfg: CoreConfig,
+    mode_oracle: bool,
+    partition_only: bool,
+    engine: Option<E>,
+    trace: TraceSource,
+    bpred: TageScL,
+    hierarchy: MemoryHierarchy,
+    /// Retire-time memory image: MT stores applied at retire; side loads
+    /// read it (plus the store cache).
+    timing_mem: Memory,
+    store_cache: StoreCache,
+    threads: Vec<ThreadCtx>,
+    insts: HashMap<u64, DynInst>,
+    /// Shared issue queue: seqs.
+    iq: Vec<u64>,
+    next_seq: u64,
+    cycle: u64,
+    /// Engine-triggered state.
+    preexec_active: bool,
+    /// Outstanding `mt_release` move.
+    mt_release_pending: bool,
+    max_mt_insts: u64,
+    stats: SimStats,
+    breakdown: MispredictBreakdown,
+    thread_priority: usize,
+    /// Explicit quota override: (main thread, side thread).
+    quotas: Option<(ThreadQuota, ThreadQuota)>,
+    /// Per-branch-PC queue accuracy: (consumed, wrong). Debug aid dumped
+    /// under PHELPS_DBG at the end of a run.
+    queue_acc: HashMap<u64, (u64, u64)>,
+    /// Debug: (enabled, suppressed) side-store commits, and MT stores.
+    dbg_stores: (u64, u64, u64),
+    /// Load PCs that previously caused an ordering violation: they wait
+    /// for older stores' addresses before issuing (a store-set-style
+    /// memory-dependence predictor — without it, every loop-carried
+    /// store→load pair would violate every iteration).
+    violating_loads: std::collections::HashSet<u64>,
+    /// Stop when the MT trace is fully retired.
+    finished: bool,
+}
+
+impl<E: PreExecEngine> Pipeline<E> {
+    /// Creates a pipeline over a prepared guest CPU (program + initialized
+    /// memory + entry registers).
+    pub fn new(
+        cpu: Cpu,
+        cfg: CoreConfig,
+        mode: &Mode,
+        engine: Option<E>,
+        max_mt_insts: u64,
+    ) -> Pipeline<E> {
+        let timing_mem = cpu.mem.clone();
+        let mut threads = vec![ThreadCtx::new(), ThreadCtx::new(), ThreadCtx::new()];
+        threads[MT].active = true;
+        let hierarchy = MemoryHierarchy::new(&cfg);
+        let mut p = Pipeline {
+            mode_oracle: matches!(mode, Mode::PerfectBp),
+            partition_only: matches!(mode, Mode::PartitionOnly),
+            engine,
+            trace: TraceSource {
+                cpu,
+                replay: VecDeque::new(),
+                exhausted: false,
+            },
+            bpred: TageScL::large(),
+            hierarchy,
+            timing_mem,
+            store_cache: StoreCache::paper_default(),
+            threads,
+            insts: HashMap::new(),
+            iq: Vec::new(),
+            next_seq: 0,
+            cycle: 0,
+            preexec_active: false,
+            mt_release_pending: false,
+            max_mt_insts,
+            stats: SimStats::new(),
+            breakdown: MispredictBreakdown::new(),
+            thread_priority: 0,
+            quotas: None,
+            queue_acc: HashMap::new(),
+            dbg_stores: (0, 0, 0),
+            violating_loads: std::collections::HashSet::new(),
+            finished: false,
+            cfg,
+        };
+        p.apply_partition(if p.partition_only {
+            ActiveThreads::MainPartitioned
+        } else {
+            ActiveThreads::MainOnly
+        });
+        p
+    }
+
+    /// Immutable view of the statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Overrides the helper-thread store-cache geometry (sets of 2 ways;
+    /// paper: 16). For the design-choice ablation harness; call before
+    /// [`Pipeline::run`].
+    pub fn set_store_cache_sets(&mut self, sets: usize) {
+        self.store_cache = StoreCache::new(sets.next_power_of_two().max(1));
+    }
+
+    /// Overrides Table I partitioning with explicit quotas: the main
+    /// thread always gets `mt`; the side thread gets `side` while
+    /// pre-execution is active. Call before [`Pipeline::run`].
+    pub fn set_quotas(&mut self, mt: ThreadQuota, side: ThreadQuota) {
+        self.quotas = Some((mt, side));
+        self.apply_partition(ActiveThreads::MainOnly);
+    }
+
+    fn apply_partition(&mut self, active: ActiveThreads) {
+        if let Some((mt, side)) = self.quotas {
+            let set = |t: &mut ThreadCtx, q: ThreadQuota, on: bool| {
+                t.width = q.width;
+                t.rob_cap = q.rob;
+                t.lq_cap = q.lq;
+                t.sq_cap = q.sq;
+                t.prf_cap = q.prf;
+                t.active = on && q.width > 0;
+            };
+            set(&mut self.threads[MT], mt, true);
+            let side_on =
+                active != ActiveThreads::MainOnly && active != ActiveThreads::MainPartitioned;
+            set(&mut self.threads[HT_A], side, side_on);
+            set(
+                &mut self.threads[HT_B],
+                ThreadQuota {
+                    width: 0,
+                    rob: 0,
+                    lq: 0,
+                    sq: 0,
+                    prf: 0,
+                },
+                false,
+            );
+            self.threads[MT].active = true;
+            return;
+        }
+        let plan = PartitionPlan::for_threads(active);
+        let cfg = &self.cfg;
+        let set = |t: &mut ThreadCtx, eighths: u32| {
+            t.width = PartitionPlan::scale(cfg.width, eighths);
+            t.rob_cap = PartitionPlan::scale(cfg.rob, eighths);
+            t.lq_cap = PartitionPlan::scale(cfg.lq, eighths);
+            t.sq_cap = PartitionPlan::scale(cfg.sq, eighths);
+            t.prf_cap = PartitionPlan::scale(cfg.prf, eighths);
+            t.active = eighths > 0;
+        };
+        set(&mut self.threads[MT], plan.mt_eighths);
+        // For MT+ITO, the single helper runs in slot HT_A with the IT share.
+        if active == ActiveThreads::MainPlusIto {
+            set(&mut self.threads[HT_A], plan.it_eighths);
+            set(&mut self.threads[HT_B], 0);
+        } else {
+            set(&mut self.threads[HT_A], plan.ot_eighths);
+            set(&mut self.threads[HT_B], plan.it_eighths);
+        }
+        self.threads[MT].active = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs to completion (trace exhausted or `max_mt_insts` retired) and
+    /// returns the result bundle.
+    pub fn run(mut self) -> SimResult {
+        // Hard bound to catch livelocks in debugging scenarios.
+        let cycle_bound = self.max_mt_insts.saturating_mul(64).max(1_000_000);
+        while !self.finished && self.cycle < cycle_bound {
+            self.step_cycle();
+        }
+        assert!(
+            self.finished,
+            "simulation did not converge within {cycle_bound} cycles (deadlock?)"
+        );
+        self.flush_mem_stats();
+        if std::env::var("PHELPS_DBG").is_ok() {
+            let mut rows: Vec<(u64, (u64, u64))> =
+                self.queue_acc.iter().map(|(k, v)| (*k, *v)).collect();
+            rows.sort_unstable();
+            for (pc, (n, w)) in rows {
+                eprintln!("[dbg] queue pc={pc:#x} consumed={n} wrong={w}");
+            }
+            eprintln!(
+                "[dbg] stores: side enabled={} suppressed={} mt={}",
+                self.dbg_stores.0, self.dbg_stores.1, self.dbg_stores.2
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.breakdown.retired = self.stats.mt_retired;
+        SimResult {
+            stats: self.stats,
+            breakdown: self.breakdown,
+        }
+    }
+
+    fn step_cycle(&mut self) {
+        self.cycle += 1;
+        self.retire();
+        if self.finished {
+            return;
+        }
+        self.complete_execution();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        // Selective squash requested by the engine (BR chain rollback).
+        if let Some(engine) = self.engine.as_mut() {
+            let tags = engine.take_squash_tags();
+            if !tags.is_empty() {
+                self.kill_tagged(&tags);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        self.fetch_mt();
+        if self.preexec_active {
+            for tid in [HT_A, HT_B] {
+                if self.threads[tid].active {
+                    self.fetch_side(tid);
+                }
+            }
+        }
+    }
+
+    fn fetch_mt(&mut self) {
+        let now = self.cycle;
+        {
+            let t = &self.threads[MT];
+            if !t.active
+                || t.fetch_stall_until > now
+                || t.blocking_branch.is_some()
+                || t.waiting_mt_release
+            {
+                if t.blocking_branch.is_some() {
+                    self.stats.mt_fetch_stall_mispredict += 1;
+                }
+                if t.waiting_mt_release {
+                    self.stats.mt_fetch_stall_trigger += 1;
+                }
+                return;
+            }
+        }
+        let width = self.threads[MT].width;
+        // Frontend pipe occupancy backpressure: bounded by ROB partition.
+        for _ in 0..width {
+            if self.threads[MT].rob.len() as u32 >= self.threads[MT].rob_cap {
+                break;
+            }
+            let Some(rec) = self.trace.next() else {
+                if self.threads[MT].rob.is_empty() {
+                    self.finished = true;
+                }
+                return;
+            };
+            let seq = self.alloc_seq();
+            let mut di = DynInst {
+                seq,
+                tid: MT,
+                pc: rec.pc,
+                inst: rec.inst,
+                stage: Stage::Frontend,
+                lane: lane_of(&rec.inst),
+                deps: Vec::new(),
+                pred_deps: [None; 2],
+                rec,
+                predicted: None,
+                default_pred: None,
+                pred_from: PredFrom::None,
+                mispredicted: false,
+                bp_ckpt: None,
+                engine_ckpt: None,
+                side: None,
+                result: rec.rd_value,
+                taken: rec.taken,
+                mem_addr: rec.mem_addr,
+                enabled: true,
+                mem_done: 0,
+                dead: false,
+            };
+
+            let mut stop_after = rec.inst.is_control() && rec.next_pc != rec.pc + 4;
+            if di.is_cond_branch() {
+                let (pred, from, default_pred) = self.predict_branch(rec.pc, rec.taken);
+                di.predicted = Some(pred);
+                di.default_pred = Some(default_pred);
+                di.pred_from = from;
+                di.bp_ckpt = Some(self.bpred.checkpoint());
+                self.bpred.speculate(rec.pc, pred);
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.on_mt_branch_fetched(rec.pc, pred);
+                    di.engine_ckpt = Some(engine.checkpoint());
+                }
+                if pred != rec.taken {
+                    di.mispredicted = true;
+                    self.threads[MT].blocking_branch = Some(seq);
+                    stop_after = true;
+                } else {
+                    stop_after = pred; // taken branches end the fetch group
+                }
+            }
+
+            self.push_fetched(MT, di);
+            if stop_after {
+                break;
+            }
+            if matches!(rec.inst, Inst::Halt) {
+                break;
+            }
+        }
+    }
+
+    /// Returns (consumed prediction, source, default-predictor prediction).
+    fn predict_branch(&mut self, pc: u64, actual: bool) -> (bool, PredFrom, bool) {
+        if self.mode_oracle {
+            return (actual, PredFrom::Oracle, actual);
+        }
+        let default_pred = self.bpred.predict(pc);
+        if self.preexec_active {
+            if let Some(engine) = self.engine.as_mut() {
+                match engine.queue_lookup(pc) {
+                    QueueLookup::Hit(p) => {
+                        self.stats.preds_from_queue += 1;
+                        if p != actual && std::env::var("PHELPS_DBG").is_ok() {
+                            eprintln!(
+                                "[dbg] cycle={} pc={pc:#x} queue={} actual={} ckpt={:?}",
+                                self.cycle,
+                                p,
+                                actual,
+                                engine.checkpoint()
+                            );
+                        }
+                        return (p, PredFrom::Queue, default_pred);
+                    }
+                    QueueLookup::Untimely => {
+                        self.stats.queue_untimely += 1;
+                        return (default_pred, PredFrom::Default, default_pred);
+                    }
+                    QueueLookup::NoRow => {}
+                }
+            }
+        }
+        (default_pred, PredFrom::Default, default_pred)
+    }
+
+    fn fetch_side(&mut self, tid: usize) {
+        let width = self.threads[tid].width;
+        for _ in 0..width {
+            if self.threads[tid].rob.len() as u32 >= self.threads[tid].rob_cap {
+                break;
+            }
+            let Some(engine) = self.engine.as_mut() else {
+                return;
+            };
+            let Some(side) = engine.side_fetch(tid, self.cycle) else {
+                return;
+            };
+            let seq = self.alloc_seq();
+            let di = DynInst {
+                seq,
+                tid,
+                pc: side.pc,
+                inst: side.inst,
+                stage: Stage::Frontend,
+                lane: lane_of(&side.inst),
+                deps: Vec::new(),
+                pred_deps: [None; 2],
+                rec: ExecRecord {
+                    pc: side.pc,
+                    inst: side.inst,
+                    next_pc: side.pc + 4,
+                    taken: false,
+                    rd_value: 0,
+                    mem_addr: 0,
+                    store_data: 0,
+                },
+                predicted: None,
+                default_pred: None,
+                pred_from: PredFrom::None,
+                mispredicted: false,
+                bp_ckpt: None,
+                engine_ckpt: None,
+                side: Some(side),
+                result: 0,
+                taken: false,
+                mem_addr: 0,
+                enabled: true,
+                mem_done: 0,
+                dead: false,
+            };
+            self.push_fetched(tid, di);
+        }
+    }
+
+    fn push_fetched(&mut self, tid: usize, mut di: DynInst) {
+        di.stage = Stage::Frontend;
+        let ready = self.cycle + self.cfg.frontend_stages() as u64;
+        // Encode dispatch-ready cycle in mem_done temporarily? No: keep a
+        // side map — simpler: reuse `mem_done` field before execute.
+        di.mem_done = ready;
+        let seq = di.seq;
+        self.threads[tid].rob.push_back(seq);
+        self.threads[tid].frontend += 1;
+        self.insts.insert(seq, di);
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename + allocate)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for off in 0..NUM_THREADS {
+            let tid = (self.thread_priority + off) % NUM_THREADS;
+            if !self.threads[tid].active {
+                continue;
+            }
+            let width = self.threads[tid].width;
+            let mut dispatched = 0;
+            while dispatched < width && self.threads[tid].frontend > 0 {
+                let idx = self.threads[tid].rob.len() - self.threads[tid].frontend;
+                let seq = self.threads[tid].rob[idx];
+                let Some(di) = self.insts.get(&seq) else {
+                    break;
+                };
+                if di.mem_done > self.cycle {
+                    break; // still in the frontend pipe
+                }
+                // Resource checks.
+                if self.iq.len() as u32 >= self.cfg.iq {
+                    break;
+                }
+                let t = &self.threads[tid];
+                let is_load = di.inst.is_load();
+                let is_store = di.inst.is_store();
+                let has_dst = di.inst.dst().is_some();
+                if is_load && t.lq_used >= t.lq_cap {
+                    break;
+                }
+                if is_store && t.sq_used >= t.sq_cap {
+                    break;
+                }
+                if has_dst && t.prf_used >= t.prf_cap {
+                    break;
+                }
+                // Rename.
+                let srcs: Vec<Reg> = self.insts[&seq].inst.srcs().into_iter().collect();
+                let deps: Vec<Option<u64>> = srcs
+                    .iter()
+                    .map(|r| {
+                        if r.is_zero() {
+                            None
+                        } else {
+                            self.threads[tid].rmt[r.index()]
+                        }
+                    })
+                    .collect();
+                let mut pred_deps = [None; 2];
+                if let Some(src) = self.insts[&seq].side.as_ref().map(|s| s.pred_src) {
+                    for (slot, r) in pred_deps.iter_mut().zip(src.regs()) {
+                        if let Some((reg, _)) = r {
+                            *slot = self.threads[tid].pred_rmt[reg as usize];
+                        }
+                    }
+                }
+                {
+                    let t = &mut self.threads[tid];
+                    if is_load {
+                        t.lq_used += 1;
+                    }
+                    if is_store {
+                        t.sq_used += 1;
+                    }
+                    if has_dst {
+                        t.prf_used += 1;
+                    }
+                }
+                if let Some(dst) = self.insts[&seq].inst.dst() {
+                    self.threads[tid].rmt[dst.index()] = Some(seq);
+                }
+                if let Some(SideKind::PredProducer { dest }) =
+                    self.insts[&seq].side.as_ref().map(|s| s.kind)
+                {
+                    self.threads[tid].pred_rmt[dest as usize] = Some(seq);
+                }
+                {
+                    let di = self.insts.get_mut(&seq).expect("present");
+                    di.deps = deps;
+                    di.pred_deps = pred_deps;
+                    di.stage = Stage::InIq;
+                    di.mem_done = 0;
+                }
+                self.iq.push(seq);
+                self.threads[tid].frontend -= 1;
+                dispatched += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue & execute
+    // ------------------------------------------------------------------
+
+    fn dep_ready(&self, dep: Option<u64>) -> bool {
+        match dep {
+            None => true,
+            Some(p) => match self.insts.get(&p) {
+                None => true, // producer retired
+                Some(di) => matches!(di.stage, Stage::Done),
+            },
+        }
+    }
+
+    fn dep_value(&self, tid: usize, reg: Reg, dep: Option<u64>) -> u64 {
+        if reg.is_zero() {
+            return 0;
+        }
+        match dep {
+            Some(p) => match self.insts.get(&p) {
+                Some(di) => di.result,
+                None => self.threads[tid].regs[reg.index()],
+            },
+            None => self.threads[tid].regs[reg.index()],
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut budget = [
+            self.cfg.lanes_alu as i32,
+            self.cfg.lanes_mem as i32,
+            self.cfg.lanes_complex as i32,
+        ];
+        // Oldest-first selection.
+        let mut candidates: Vec<u64> = self.iq.clone();
+        candidates.sort_unstable();
+        let mut issued: Vec<u64> = Vec::new();
+        for seq in candidates {
+            if budget.iter().all(|b| *b <= 0) {
+                break;
+            }
+            let Some(di) = self.insts.get(&seq) else {
+                issued.push(seq);
+                continue;
+            };
+            let lane_idx = match di.lane {
+                Lane::Alu => 0,
+                Lane::Mem => 1,
+                Lane::Complex => 2,
+            };
+            if budget[lane_idx] <= 0 {
+                continue;
+            }
+            if !di.deps.iter().all(|d| self.dep_ready(*d)) {
+                continue;
+            }
+            if !di.pred_deps.iter().all(|d| self.dep_ready(*d)) {
+                continue;
+            }
+            if di.inst.is_load()
+                && di.tid == MT
+                && self.violating_loads.contains(&di.pc)
+                && !self.older_stores_resolved(di.tid, seq)
+            {
+                // MT store-set-style predictor: loads that violated before
+                // wait for older stores' addresses. Side-thread loads issue
+                // freely: a side ordering race merely reads slightly stale
+                // data (the helper thread is speculative anyway), and never
+                // squashes — a side squash would desynchronize the engine's
+                // iteration sequencing.
+                continue;
+            }
+            budget[lane_idx] -= 1;
+            issued.push(seq);
+            self.execute(seq);
+        }
+        self.iq.retain(|s| !issued.contains(s));
+        self.thread_priority = (self.thread_priority + 1) % NUM_THREADS;
+    }
+
+    fn execute(&mut self, seq: u64) {
+        let di = self.insts.get(&seq).expect("issuing");
+        let tid = di.tid;
+        if di.dead {
+            let di = self.insts.get_mut(&seq).expect("present");
+            di.stage = Stage::Done;
+            return;
+        }
+        if tid == MT {
+            self.execute_mt(seq);
+        } else {
+            self.execute_side(seq);
+        }
+    }
+
+    fn execute_mt(&mut self, seq: u64) {
+        let now = self.cycle;
+        let (inst, pc, addr) = {
+            let di = &self.insts[&seq];
+            (di.inst, di.pc, di.rec.mem_addr)
+        };
+        let done = if inst.is_load() {
+            // Store-to-load forwarding within the thread.
+            if self.forwarding_store(MT, seq, addr).is_some() {
+                now + 2
+            } else {
+                let r = self.hierarchy.access(pc, addr, now);
+                r.done_cycle
+            }
+        } else {
+            now + exec_latency(&inst) as u64
+        };
+        {
+            let di = self.insts.get_mut(&seq).expect("present");
+            di.stage = Stage::Exec { done };
+        }
+        if inst.is_store() {
+            self.check_load_violation(MT, seq, addr);
+        }
+        if inst.is_cond_branch() {
+            // Resolution happens at completion; model it here with the
+            // completion time (the branch redirects fetch at `done`).
+            self.resolve_mt_branch(seq, done);
+        }
+    }
+
+    /// The youngest older executed store to the same doubleword, if any.
+    fn forwarding_store(&self, tid: usize, seq: u64, addr: u64) -> Option<u64> {
+        let t = &self.threads[tid];
+        let mut best: Option<u64> = None;
+        for &s in &t.rob {
+            if s >= seq {
+                break;
+            }
+            let Some(di) = self.insts.get(&s) else {
+                continue;
+            };
+            if di.dead || !di.inst.is_store() {
+                continue;
+            }
+            if let Stage::Exec { .. } | Stage::Done = di.stage {
+                let saddr = if tid == MT {
+                    di.rec.mem_addr
+                } else {
+                    di.mem_addr
+                };
+                if saddr >> 3 == addr >> 3 {
+                    best = Some(s);
+                }
+            }
+        }
+        best
+    }
+
+    /// A store executed: any younger same-address load in this thread that
+    /// already issued has a value obtained too early → violation.
+    fn check_load_violation(&mut self, tid: usize, store_seq: u64, addr: u64) {
+        let victim = {
+            let t = &self.threads[tid];
+            t.rob.iter().copied().filter(|&s| s > store_seq).find(|&s| {
+                self.insts.get(&s).is_some_and(|di| {
+                    !di.dead
+                        && di.inst.is_load()
+                        && !matches!(di.stage, Stage::Frontend | Stage::InIq)
+                        && (if tid == MT {
+                            di.rec.mem_addr
+                        } else {
+                            di.mem_addr
+                        }) >> 3
+                            == addr >> 3
+                })
+            })
+        };
+        if let Some(load_seq) = victim {
+            self.stats.load_violations += 1;
+            if let Some(load) = self.insts.get(&load_seq) {
+                self.violating_loads.insert(load.pc);
+            }
+            if tid == MT {
+                self.squash_mt_from(load_seq);
+            }
+            // Side threads issue loads conservatively (see `issue`), so a
+            // side violation cannot occur; nothing to squash.
+        }
+    }
+
+    /// Whether every older in-flight store of `tid` has computed its
+    /// address (issued to execute).
+    fn older_stores_resolved(&self, tid: usize, seq: u64) -> bool {
+        self.threads[tid].rob.iter().all(|&s| {
+            if s >= seq {
+                return true;
+            }
+            match self.insts.get(&s) {
+                Some(di) if di.inst.is_store() && !di.dead => {
+                    matches!(di.stage, Stage::Exec { .. } | Stage::Done)
+                }
+                _ => true,
+            }
+        })
+    }
+
+    fn resolve_mt_branch(&mut self, seq: u64, done: u64) {
+        let (mispredicted, taken, bp_ckpt, engine_ckpt, pc) = {
+            let di = &self.insts[&seq];
+            (
+                di.mispredicted,
+                di.rec.taken,
+                di.bp_ckpt.clone(),
+                di.engine_ckpt.clone(),
+                di.pc,
+            )
+        };
+        if !mispredicted {
+            return;
+        }
+        // Repair speculative predictor history: rewind past the wrong
+        // speculation, then insert the actual outcome.
+        if let Some(ckpt) = bp_ckpt {
+            self.bpred.recover(&ckpt);
+            self.bpred.speculate(pc, taken);
+        }
+        if let (Some(engine), Some(ckpt)) = (self.engine.as_mut(), engine_ckpt.as_ref()) {
+            engine.restore(ckpt);
+        }
+        // Fetch resumes after resolution; the refill delay is inherent in
+        // the frontend-pipe depth of newly fetched instructions.
+        if self.threads[MT].blocking_branch == Some(seq) {
+            self.threads[MT].blocking_branch = None;
+            self.threads[MT].fetch_stall_until = done + 1;
+        }
+    }
+
+    fn execute_side(&mut self, seq: u64) {
+        let now = self.cycle;
+        let (inst, tid, side) = {
+            let di = &self.insts[&seq];
+            (di.inst, di.tid, di.side.expect("side inst"))
+        };
+
+        // Evaluate the predicate source against the bound producers
+        // (pred-RMT binding happened at dispatch). An OR-guard (§V-K)
+        // enables when either of its two sources does.
+        let enabled = {
+            let regs = side.pred_src.regs();
+            if regs[0].is_none() {
+                true // PredSource::Always
+            } else {
+                let deps = self.insts[&seq].pred_deps;
+                let eval_one = |slot: usize| -> Option<bool> {
+                    let (reg, direction) = regs[slot]?;
+                    Some(match deps[slot].and_then(|p| self.insts.get(&p)) {
+                        Some(prod) => prod.enabled && prod.taken == direction,
+                        None => {
+                            // Producer already retired: read the committed
+                            // predicate file (in-order retire guarantees it
+                            // holds the same iteration's value).
+                            let (en, taken) = self.threads[tid].pred_vals[reg as usize];
+                            en && taken == direction
+                        }
+                    })
+                };
+                eval_one(0).unwrap_or(false) || eval_one(1).unwrap_or(false)
+            }
+        };
+
+        // Gather source values.
+        let srcs: Vec<Reg> = inst.srcs().into_iter().collect();
+        let deps = self.insts[&seq].deps.clone();
+        let vals: Vec<u64> = srcs
+            .iter()
+            .zip(deps.iter())
+            .map(|(r, d)| self.dep_value(tid, *r, *d))
+            .collect();
+
+        let mut result: u64 = 0;
+        let mut taken = false;
+        let mut mem_addr: u64 = 0;
+        let mut done = now + exec_latency(&inst) as u64;
+
+        match inst {
+            Inst::Alu { op, .. } => result = op.eval(vals[0], vals[1]),
+            Inst::AluImm { op, imm, .. } => {
+                if side.kind == SideKind::LiveInMove {
+                    result = side.live_in_value;
+                } else {
+                    result = op.eval(vals[0], imm as i64 as u64);
+                }
+            }
+            Inst::Li { imm, .. } => {
+                result = if side.kind == SideKind::LiveInMove {
+                    side.live_in_value
+                } else {
+                    imm as u64
+                };
+            }
+            Inst::Load {
+                width,
+                signed,
+                offset,
+                ..
+            } => {
+                mem_addr = vals[0].wrapping_add(offset as i64 as u64);
+                // Value: in-flight forwarding > store cache > memory image.
+                let fwd = self.forwarding_store(tid, seq, mem_addr);
+                if let Some(fseq) = fwd {
+                    let f = &self.insts[&fseq];
+                    // Forward only enabled stores; a disabled store is a
+                    // no-op, so fall through to older state.
+                    if f.enabled {
+                        result = extract(f.result, mem_addr, width, signed);
+                        done = now + 2;
+                    } else {
+                        result = self.side_load_value(mem_addr, width, signed);
+                        done = now + self.cfg.l1d.latency as u64;
+                    }
+                } else if let Some(dw) = self.store_cache.read(mem_addr) {
+                    result = extract(dw, mem_addr, width, signed);
+                    done = now + self.cfg.l1d.latency as u64;
+                } else {
+                    result = self.timing_mem.read(mem_addr, width, signed);
+                    let r = self.hierarchy.access(side.pc, mem_addr, now);
+                    done = r.done_cycle;
+                }
+            }
+            Inst::Store { offset, .. } => {
+                mem_addr = vals[0].wrapping_add(offset as i64 as u64);
+                result = vals[1]; // data
+            }
+            Inst::Branch { cond, .. } => {
+                taken = cond.eval(vals[0], vals[1]);
+            }
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Halt => {}
+        }
+
+        if inst.is_store() {
+            self.check_load_violation(tid, seq, mem_addr);
+        }
+
+        {
+            let di = self.insts.get_mut(&seq).expect("present");
+            di.result = result;
+            di.taken = taken;
+            di.mem_addr = mem_addr;
+            di.enabled = enabled;
+            di.stage = Stage::Exec { done };
+        }
+
+        let info = ExecInfo {
+            value: result,
+            taken,
+            addr: mem_addr,
+            enabled,
+        };
+        let mut action = SideAction::Continue;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.side_executed(tid, &side, &info, now);
+            if matches!(
+                side.kind,
+                SideKind::LoopBranch | SideKind::TerminalBranch | SideKind::HeaderBranch
+            ) {
+                action = engine.side_branch_resolved(tid, &side, taken);
+            }
+        }
+        match action {
+            SideAction::Continue => {}
+            SideAction::SquashYounger => self.squash_side_from(tid, seq + 1, false),
+            SideAction::Terminate => self.terminate_preexec(),
+        }
+    }
+
+    /// A side load's value when served by the memory image (store cache
+    /// missed).
+    fn side_load_value(&mut self, addr: u64, width: MemWidth, signed: bool) -> u64 {
+        self.timing_mem.read(addr, width, signed)
+    }
+
+    fn complete_execution(&mut self) {
+        let now = self.cycle;
+        for di in self.insts.values_mut() {
+            if let Stage::Exec { done } = di.stage {
+                if done <= now {
+                    di.stage = Stage::Done;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retire
+    // ------------------------------------------------------------------
+
+    fn retire(&mut self) {
+        self.retire_mt();
+        if self.preexec_active {
+            for tid in [HT_A, HT_B] {
+                if self.threads[tid].active {
+                    self.retire_side(tid);
+                }
+            }
+        }
+        // Prune: nothing needed; insts removed at retire/squash.
+    }
+
+    fn retire_mt(&mut self) {
+        let width = self.threads[MT].width;
+        for _ in 0..width {
+            let Some(&seq) = self.threads[MT].rob.front() else {
+                return;
+            };
+            let Some(di) = self.insts.get(&seq) else {
+                self.threads[MT].rob.pop_front();
+                continue;
+            };
+            if !matches!(di.stage, Stage::Done) {
+                return;
+            }
+            let di = self.insts.remove(&seq).expect("present");
+            self.threads[MT].rob.pop_front();
+            self.release_resources(MT, &di);
+            self.finish_mt_retire(di);
+            if self.finished {
+                return;
+            }
+        }
+    }
+
+    fn finish_mt_retire(&mut self, di: DynInst) {
+        let rec = di.rec;
+        self.stats.mt_retired += 1;
+
+        // Timing-architectural state.
+        if let Some(dst) = rec.inst.dst() {
+            self.threads[MT].regs[dst.index()] = rec.rd_value;
+        }
+        if let Inst::Store { width, .. } = rec.inst {
+            self.dbg_stores.2 += 1;
+            self.timing_mem.write(rec.mem_addr, width, rec.store_data);
+            self.hierarchy.store_retired(rec.mem_addr, self.cycle);
+        }
+
+        // Branch predictor training and statistics.
+        let mut default_wrong = false;
+        if di.is_cond_branch() {
+            self.stats.mt_cond_branches += 1;
+            let predicted = di.predicted.unwrap_or(rec.taken);
+            self.bpred.update(rec.pc, rec.taken, predicted);
+            default_wrong = di.default_pred.unwrap_or(rec.taken) != rec.taken;
+            if di.pred_from == PredFrom::Queue {
+                let e = self.queue_acc.entry(rec.pc).or_insert((0, 0));
+                e.0 += 1;
+                if di.mispredicted {
+                    e.1 += 1;
+                }
+            }
+            if di.mispredicted {
+                self.stats.mt_mispredicts += 1;
+                if di.pred_from == PredFrom::Queue {
+                    self.stats.mispredicts_from_queue += 1;
+                }
+            }
+            let class = match self.engine.as_mut() {
+                Some(engine) => Some(engine.classify(
+                    rec.pc,
+                    di.pred_from == PredFrom::Queue,
+                    di.mispredicted,
+                    default_wrong,
+                )),
+                None if di.mispredicted => Some(MispredictClass::NotDelinquent),
+                None => None,
+            };
+            match class {
+                Some(MispredictClass::Eliminated) if !di.mispredicted => {
+                    self.breakdown.record(MispredictClass::Eliminated);
+                }
+                Some(c) if di.mispredicted => self.breakdown.record(c),
+                _ => {}
+            }
+        }
+
+        // Engine training / control. The DBT measures the *default
+        // predictor's* delinquency regardless of the consumed source.
+        let mut cmd = EngineCmd::None;
+        if let Some(engine) = self.engine.as_mut() {
+            cmd = engine.on_mt_retire(&rec, default_wrong, self.cycle);
+        }
+        match cmd {
+            EngineCmd::None => {}
+            EngineCmd::Trigger(active) => self.trigger_preexec(active),
+            EngineCmd::Terminate => self.terminate_preexec(),
+        }
+
+        if matches!(rec.inst, Inst::Halt) || self.stats.mt_retired >= self.max_mt_insts {
+            self.finished = true;
+        }
+    }
+
+    fn retire_side(&mut self, tid: usize) {
+        let loose = self.engine.as_ref().is_some_and(|e| e.loose_retire());
+        let width = self.threads[tid].width.max(1);
+        let mut n = 0;
+        loop {
+            if n >= width {
+                return;
+            }
+            let Some(&seq) = self.threads[tid].rob.front() else {
+                return;
+            };
+            let Some(di) = self.insts.get(&seq) else {
+                self.threads[tid].rob.pop_front();
+                continue;
+            };
+            if !matches!(di.stage, Stage::Done) {
+                if loose {
+                    // Loose mode: skip stalled head, retire any Done insts
+                    // behind it (chains have no program-order semantics).
+                    let done_seqs: Vec<u64> = self.threads[tid]
+                        .rob
+                        .iter()
+                        .copied()
+                        .filter(|s| {
+                            self.insts
+                                .get(s)
+                                .is_some_and(|d| matches!(d.stage, Stage::Done))
+                        })
+                        .take(width.saturating_sub(n) as usize)
+                        .collect();
+                    if done_seqs.is_empty() {
+                        return;
+                    }
+                    for s in done_seqs {
+                        self.threads[tid].rob.retain(|&x| x != s);
+                        let d = self.insts.remove(&s).expect("present");
+                        self.release_resources(tid, &d);
+                        self.finish_side_retire(tid, d);
+                    }
+                    return;
+                }
+                return;
+            }
+            let di = self.insts.remove(&seq).expect("present");
+            self.threads[tid].rob.pop_front();
+            self.release_resources(tid, &di);
+            self.finish_side_retire(tid, di);
+            n += 1;
+        }
+    }
+
+    fn finish_side_retire(&mut self, tid: usize, di: DynInst) {
+        if di.dead {
+            return;
+        }
+        self.stats.ht_retired += 1;
+        let Some(side) = di.side else { return };
+
+        // Commit value state.
+        if let Some(dst) = di.inst.dst() {
+            self.threads[tid].regs[dst.index()] = di.result;
+        }
+        // Commit predicate values for late consumers.
+        if let Some(SideKind::PredProducer { dest }) = side_kind_of(&di) {
+            self.threads[tid].pred_vals[dest as usize] = (di.enabled, di.taken);
+        }
+        if di.inst.is_store() {
+            if di.enabled {
+                self.dbg_stores.0 += 1;
+            } else {
+                self.dbg_stores.1 += 1;
+            }
+        }
+        // Stores commit to the private cache only when predicated-true.
+        if di.inst.is_store() && di.enabled {
+            // Merge into the containing doubleword.
+            if let Inst::Store { width, .. } = di.inst {
+                let dw_addr = di.mem_addr & !7;
+                let base = self
+                    .store_cache
+                    .read(dw_addr)
+                    .unwrap_or_else(|| self.timing_mem.read_u64(dw_addr));
+                let merged = merge(base, di.mem_addr, width, di.result);
+                self.store_cache.write(dw_addr, merged);
+            }
+        }
+        if side.mt_release && self.mt_release_pending {
+            self.mt_release_pending = false;
+            self.threads[MT].waiting_mt_release = false;
+        }
+        let info = ExecInfo {
+            value: di.result,
+            taken: di.taken,
+            addr: di.mem_addr,
+            enabled: di.enabled,
+        };
+        if let Some(engine) = self.engine.as_mut() {
+            engine.side_retired(tid, &side, &info, self.cycle);
+        }
+    }
+
+    fn release_resources(&mut self, tid: usize, di: &DynInst) {
+        let t = &mut self.threads[tid];
+        if di.inst.is_load() {
+            t.lq_used = t.lq_used.saturating_sub(1);
+        }
+        if di.inst.is_store() {
+            t.sq_used = t.sq_used.saturating_sub(1);
+        }
+        if di.inst.dst().is_some() {
+            t.prf_used = t.prf_used.saturating_sub(1);
+        }
+        // Repair RMT entries that point at this seq.
+        for slot in t.rmt.iter_mut() {
+            if *slot == Some(di.seq) {
+                *slot = None;
+            }
+        }
+        for slot in t.pred_rmt.iter_mut() {
+            if *slot == Some(di.seq) {
+                *slot = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash machinery
+    // ------------------------------------------------------------------
+
+    /// Squashes MT instructions with seq >= `from`, replaying their records.
+    fn squash_mt_from(&mut self, from: u64) {
+        let squashed: Vec<u64> = self.threads[MT]
+            .rob
+            .iter()
+            .copied()
+            .filter(|&s| s >= from)
+            .collect();
+        if squashed.is_empty() {
+            return;
+        }
+        // Roll back engine consumption to the youngest surviving branch's
+        // checkpoint (or to head).
+        if let Some(engine) = self.engine.as_mut() {
+            let ckpt = self.threads[MT]
+                .rob
+                .iter()
+                .copied()
+                .filter(|&s| s < from)
+                .rev()
+                .find_map(|s| self.insts.get(&s).and_then(|d| d.engine_ckpt.clone()))
+                .unwrap_or_default();
+            engine.restore(&ckpt);
+        }
+        // Also rewind predictor history to the oldest squashed branch's
+        // checkpoint.
+        if let Some(ckpt) = squashed
+            .iter()
+            .find_map(|s| self.insts.get(s).and_then(|d| d.bp_ckpt.clone()))
+        {
+            self.bpred.recover(&ckpt);
+        }
+        let mut recs: Vec<ExecRecord> = Vec::with_capacity(squashed.len());
+        for s in &squashed {
+            if let Some(di) = self.insts.remove(s) {
+                self.release_resources(MT, &di);
+                recs.push(di.rec);
+            }
+        }
+        self.threads[MT].rob.retain(|s| *s < from);
+        self.threads[MT].frontend = 0;
+        self.iq.retain(|s| self.insts.contains_key(s));
+        self.trace.push_replay_front(recs.into_iter());
+        self.threads[MT].blocking_branch = None;
+        self.threads[MT].fetch_stall_until = self.cycle + 1;
+    }
+
+    /// Squashes side-thread instructions with seq >= `from`. When
+    /// `notify_engine` is false the engine initiated the squash and has
+    /// already adjusted its sequencer.
+    fn squash_side_from(&mut self, tid: usize, from: u64, _notify_engine: bool) {
+        let squashed: Vec<u64> = self.threads[tid]
+            .rob
+            .iter()
+            .copied()
+            .filter(|&s| s >= from)
+            .collect();
+        for s in &squashed {
+            if let Some(di) = self.insts.remove(s) {
+                self.release_resources(tid, &di);
+            }
+        }
+        self.threads[tid].rob.retain(|s| *s < from);
+        let remaining_frontend = self.threads[tid]
+            .rob
+            .iter()
+            .filter(|s| {
+                self.insts
+                    .get(s)
+                    .is_some_and(|d| matches!(d.stage, Stage::Frontend))
+            })
+            .count();
+        self.threads[tid].frontend = remaining_frontend;
+        self.iq.retain(|s| self.insts.contains_key(s));
+    }
+
+    /// Marks engine-tagged instructions dead (they drain without effects).
+    fn kill_tagged(&mut self, tags: &[u64]) {
+        for di in self.insts.values_mut() {
+            if let Some(side) = &di.side {
+                if tags.contains(&side.tag) {
+                    di.dead = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trigger / terminate
+    // ------------------------------------------------------------------
+
+    fn trigger_preexec(&mut self, active: ActiveThreads) {
+        if self.preexec_active {
+            return;
+        }
+        self.stats.triggers += 1;
+        self.preexec_active = true;
+        // Squash MT in-flight (paper §V-F step 1) and repartition.
+        let from = self.threads[MT].rob.front().copied();
+        if let Some(f) = from {
+            self.squash_mt_from(f);
+        }
+        self.apply_partition(active);
+        self.threads[MT].waiting_mt_release = true;
+        self.mt_release_pending = true;
+        // Reconfiguration squash penalty.
+        self.threads[MT].fetch_stall_until = self.cycle + self.cfg.redirect_penalty() as u64;
+        for tid in [HT_A, HT_B] {
+            self.threads[tid].rmt = [None; NUM_REGS];
+            self.threads[tid].pred_rmt = [None; 17];
+            self.threads[tid].regs = [0; NUM_REGS];
+        }
+    }
+
+    fn terminate_preexec(&mut self) {
+        if !self.preexec_active {
+            return;
+        }
+        self.stats.terminations += 1;
+        self.preexec_active = false;
+        for tid in [HT_A, HT_B] {
+            let all: Vec<u64> = self.threads[tid].rob.iter().copied().collect();
+            for s in all {
+                if let Some(di) = self.insts.remove(&s) {
+                    self.release_resources(tid, &di);
+                }
+            }
+            self.threads[tid].rob.clear();
+            self.threads[tid].frontend = 0;
+        }
+        self.iq.retain(|s| self.insts.contains_key(s));
+        self.store_cache.clear();
+        self.apply_partition(if self.partition_only {
+            ActiveThreads::MainPartitioned
+        } else {
+            ActiveThreads::MainOnly
+        });
+        self.threads[MT].waiting_mt_release = false;
+        self.mt_release_pending = false;
+        // Reconfiguration squash penalty.
+        self.threads[MT].fetch_stall_until = self.cycle + self.cfg.redirect_penalty() as u64;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.on_terminated();
+        }
+        // Prediction-source state is gone; MT continues with the default
+        // predictor.
+    }
+
+    /// Memory hierarchy statistics flush into the stat bundle.
+    pub fn flush_mem_stats(&mut self) {
+        let (acc, miss, pf_hits) = self.hierarchy.l1d_stats();
+        self.stats.l1d_accesses = acc;
+        self.stats.l1d_misses = miss;
+        self.stats.prefetch_hits = pf_hits;
+        self.stats.l2_misses = self.hierarchy.l2_misses();
+        self.stats.l3_misses = self.hierarchy.l3_misses();
+        self.stats.prefetches_issued = self.hierarchy.prefetches_issued;
+    }
+}
+
+fn side_kind_of(di: &DynInst) -> Option<SideKind> {
+    di.side.as_ref().map(|s| s.kind)
+}
+
+/// Extracts a `width` access at `addr` from the doubleword containing it.
+fn extract(dw: u64, addr: u64, width: MemWidth, signed: bool) -> u64 {
+    let shift = 8 * (addr & 7);
+    let raw = dw >> shift;
+    let bits = 8 * width.bytes() as u32;
+    if bits >= 64 {
+        return raw;
+    }
+    let mask = (1u64 << bits) - 1;
+    let v = raw & mask;
+    if signed {
+        let s = 64 - bits;
+        (((v << s) as i64) >> s) as u64
+    } else {
+        v
+    }
+}
+
+/// Merges a `width` store of `value` at `addr` into the containing
+/// doubleword `dw`.
+fn merge(dw: u64, addr: u64, width: MemWidth, value: u64) -> u64 {
+    let shift = 8 * (addr & 7);
+    let bits = 8 * width.bytes() as u32;
+    if bits >= 64 {
+        return value;
+    }
+    let mask = ((1u64 << bits) - 1) << shift;
+    (dw & !mask) | ((value << shift) & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_and_merge_roundtrip() {
+        let dw = 0x1122_3344_5566_7788u64;
+        assert_eq!(extract(dw, 0x100, MemWidth::B, false), 0x88);
+        assert_eq!(extract(dw, 0x101, MemWidth::B, false), 0x77);
+        assert_eq!(extract(dw, 0x104, MemWidth::W, false), 0x1122_3344);
+        assert_eq!(
+            extract(dw, 0x104, MemWidth::W, true),
+            0x1122_3344,
+            "positive word"
+        );
+        let m = merge(dw, 0x102, MemWidth::H, 0xaabb);
+        assert_eq!(extract(m, 0x102, MemWidth::H, false), 0xaabb);
+        assert_eq!(
+            extract(m, 0x100, MemWidth::H, false),
+            0x7788,
+            "neighbors kept"
+        );
+    }
+
+    #[test]
+    fn merge_full_doubleword_replaces() {
+        assert_eq!(merge(1, 0x0, MemWidth::D, 42), 42);
+    }
+
+    #[test]
+    fn extract_sign_extends_negative_byte() {
+        let dw = 0x0000_0000_0000_0080u64;
+        assert_eq!(extract(dw, 0x0, MemWidth::B, true), (-128i64) as u64);
+    }
+}

@@ -1,0 +1,193 @@
+//! Helper-thread speculative store cache (paper §IV-A).
+//!
+//! Helper-thread stores commit to a tiny private cache — 32 doublewords in
+//! 16 sets × 2 ways — instead of the architectural memory. Evicted data is
+//! simply lost: a helper-thread load that re-references a lost address
+//! falls through to the (retire-time) memory image, which may be stale or
+//! up-to-date depending on whether the main thread's counterpart store has
+//! retired yet. This is exactly the mechanism that can produce a rare
+//! wrong `b1` outcome whose guarded `b2` outcome remains replayable
+//! (paper §IV-B).
+
+/// Doubleword-granularity private cache for helper-thread stores.
+///
+/// # Examples
+///
+/// ```
+/// use phelps::storecache::StoreCache;
+///
+/// let mut sc = StoreCache::paper_default();
+/// sc.write(0x1000, 42);
+/// assert_eq!(sc.read(0x1000), Some(42));
+/// assert_eq!(sc.read(0x2000), None); // falls through to memory
+/// ```
+#[derive(Clone, Debug)]
+pub struct StoreCache {
+    sets: Vec<[Slot; 2]>,
+    stamp: u64,
+    /// Writes performed.
+    pub writes: u64,
+    /// Read hits.
+    pub hits: u64,
+    /// Evictions (lost data).
+    pub evictions: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    valid: bool,
+    dw_addr: u64,
+    data: u64,
+    lru: u64,
+}
+
+impl StoreCache {
+    /// The paper's geometry: 16 sets, 2 ways, 8-byte blocks (32 DWs).
+    pub fn paper_default() -> StoreCache {
+        StoreCache::new(16)
+    }
+
+    /// Creates a store cache with `sets` sets of 2 ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    pub fn new(sets: usize) -> StoreCache {
+        assert!(sets.is_power_of_two());
+        StoreCache {
+            sets: vec![[Slot::default(); 2]; sets],
+            stamp: 0,
+            writes: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_of(&self, dw_addr: u64) -> usize {
+        (dw_addr & (self.sets.len() as u64 - 1)) as usize
+    }
+
+    /// Writes a doubleword at (8-byte-aligned window containing) `addr`.
+    pub fn write(&mut self, addr: u64, data: u64) {
+        let dw = addr >> 3;
+        let set = self.set_of(dw);
+        self.stamp += 1;
+        self.writes += 1;
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.valid && s.dw_addr == dw) {
+            s.data = data;
+            s.lru = self.stamp;
+            return;
+        }
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .expect("two ways");
+        if victim.valid {
+            self.evictions += 1; // data is simply lost
+        }
+        *victim = Slot {
+            valid: true,
+            dw_addr: dw,
+            data,
+            lru: self.stamp,
+        };
+    }
+
+    /// Reads the doubleword containing `addr`, or `None` on miss (caller
+    /// falls through to the memory image).
+    pub fn read(&mut self, addr: u64) -> Option<u64> {
+        let dw = addr >> 3;
+        let set = self.set_of(dw);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(s) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.dw_addr == dw)
+        {
+            s.lru = stamp;
+            self.hits += 1;
+            return Some(s.data);
+        }
+        None
+    }
+
+    /// Invalidates everything (helper-thread termination).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for s in set.iter_mut() {
+                s.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut sc = StoreCache::paper_default();
+        sc.write(0x100, 7);
+        assert_eq!(sc.read(0x100), Some(7));
+        assert_eq!(sc.read(0x104), Some(7), "same doubleword window");
+        assert_eq!(sc.read(0x108), None, "next doubleword");
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut sc = StoreCache::paper_default();
+        sc.write(0x40, 1);
+        sc.write(0x40, 2);
+        assert_eq!(sc.read(0x40), Some(2));
+        assert_eq!(sc.evictions, 0);
+    }
+
+    #[test]
+    fn conflict_evicts_and_data_is_lost() {
+        let mut sc = StoreCache::new(16);
+        // Three DWs mapping to set 0: dw addresses 0, 16, 32.
+        sc.write(0 << 3, 10);
+        sc.write(16 << 3, 20);
+        sc.write(32 << 3, 30); // evicts dw 0 (LRU)
+        assert_eq!(sc.read(0), None, "evicted data lost");
+        assert_eq!(sc.read(16 << 3), Some(20));
+        assert_eq!(sc.read(32 << 3), Some(30));
+        assert_eq!(sc.evictions, 1);
+    }
+
+    #[test]
+    fn lru_respects_recency_of_reads() {
+        let mut sc = StoreCache::new(16);
+        sc.write(0 << 3, 10);
+        sc.write(16 << 3, 20);
+        let _ = sc.read(0); // refresh dw 0
+        sc.write(32 << 3, 30); // evicts dw 16
+        assert_eq!(sc.read(0), Some(10));
+        assert_eq!(sc.read(16 << 3), None);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut sc = StoreCache::paper_default();
+        for i in 0..10u64 {
+            sc.write(i * 8, i);
+        }
+        sc.clear();
+        for i in 0..10u64 {
+            assert_eq!(sc.read(i * 8), None);
+        }
+    }
+
+    #[test]
+    fn capacity_is_thirty_two_doublewords() {
+        let mut sc = StoreCache::paper_default();
+        for i in 0..32u64 {
+            sc.write(i * 8, i);
+        }
+        assert_eq!(sc.evictions, 0, "exactly fits");
+        sc.write(32 * 8, 99);
+        assert_eq!(sc.evictions, 1, "33rd distinct DW evicts");
+    }
+}

@@ -1,0 +1,180 @@
+//! Visit Queue (paper §V-F, Fig. 9).
+//!
+//! For nested loops, the outer-thread queues one entry per inner-loop
+//! *visit*: when it retires a not-taken instance of the inner loop's header
+//! branch, it allocates a tail entry and writes the live-in values the
+//! inner-thread's second live-in register set needs. The inner-thread
+//! dequeues the head entry when its current visit fully iterates (loop
+//! branch resolves not-taken) and injects moves that read the slots.
+
+use phelps_isa::Reg;
+
+/// Paper capacity: 16 visits.
+pub const DEFAULT_VISITS: usize = 16;
+/// Paper capacity: 4 live-in slots per visit.
+pub const MAX_LIVE_INS: usize = 4;
+
+/// One queued inner-loop visit: the live-in registers and their values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Visit {
+    /// `(logical register, value)` pairs for the inner-thread's
+    /// outer-thread-supplied live-in set.
+    pub live_ins: Vec<(Reg, u64)>,
+}
+
+/// Bounded FIFO of inner-loop visits.
+///
+/// # Examples
+///
+/// ```
+/// use phelps::visitq::{Visit, VisitQueue};
+/// use phelps_isa::Reg;
+///
+/// let mut vq = VisitQueue::new(4);
+/// assert!(vq.enqueue(Visit { live_ins: vec![(Reg::A0, 7)] }));
+/// let v = vq.dequeue().unwrap();
+/// assert_eq!(v.live_ins[0], (Reg::A0, 7));
+/// assert!(vq.dequeue().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct VisitQueue {
+    entries: std::collections::VecDeque<Visit>,
+    capacity: usize,
+    /// Visits enqueued over the queue's lifetime.
+    pub enqueued: u64,
+    /// Enqueue attempts rejected because the queue was full (outer-thread
+    /// stall cycles' cause).
+    pub full_rejections: u64,
+}
+
+impl VisitQueue {
+    /// Creates a visit queue holding up to `capacity` visits.
+    pub fn new(capacity: usize) -> VisitQueue {
+        VisitQueue {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            enqueued: 0,
+            full_rejections: 0,
+        }
+    }
+
+    /// Whether the outer-thread can allocate a new entry.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Number of queued visits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no visits are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Outer-thread allocates a visit at the tail. Returns `false` (and
+    /// counts a rejection) when full — the outer-thread must stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the visit carries more than [`MAX_LIVE_INS`] live-ins;
+    /// such loops are ineligible (paper §V-J) and must be filtered during
+    /// construction.
+    pub fn enqueue(&mut self, visit: Visit) -> bool {
+        assert!(
+            visit.live_ins.len() <= MAX_LIVE_INS,
+            "at most {MAX_LIVE_INS} live-ins per visit"
+        );
+        if !self.has_room() {
+            self.full_rejections += 1;
+            return false;
+        }
+        self.entries.push_back(visit);
+        self.enqueued += 1;
+        true
+    }
+
+    /// Inner-thread dequeues the head visit, if any.
+    pub fn dequeue(&mut self) -> Option<Visit> {
+        self.entries.pop_front()
+    }
+
+    /// Drops all queued visits (helper-thread termination).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> Visit {
+        Visit {
+            live_ins: vec![(Reg::A0, x)],
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = VisitQueue::new(4);
+        for i in 0..4 {
+            assert!(q.enqueue(v(i)));
+        }
+        for i in 0..4 {
+            assert_eq!(q.dequeue().unwrap().live_ins[0].1, i);
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counts() {
+        let mut q = VisitQueue::new(2);
+        assert!(q.enqueue(v(0)));
+        assert!(q.enqueue(v(1)));
+        assert!(!q.has_room());
+        assert!(!q.enqueue(v(2)));
+        assert_eq!(q.full_rejections, 1);
+        let _ = q.dequeue();
+        assert!(q.enqueue(v(2)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = VisitQueue::new(4);
+        q.enqueue(v(1));
+        q.enqueue(v(2));
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "live-ins")]
+    fn live_in_budget_enforced() {
+        let mut q = VisitQueue::new(4);
+        let visit = Visit {
+            live_ins: vec![
+                (Reg::A0, 0),
+                (Reg::A1, 1),
+                (Reg::A2, 2),
+                (Reg::A3, 3),
+                (Reg::A4, 4),
+            ],
+        };
+        q.enqueue(visit);
+    }
+
+    #[test]
+    fn multiple_live_ins_preserved() {
+        let mut q = VisitQueue::new(2);
+        q.enqueue(Visit {
+            live_ins: vec![(Reg::A0, 10), (Reg::S1, 20), (Reg::T3, 30)],
+        });
+        let got = q.dequeue().unwrap();
+        assert_eq!(
+            got.live_ins,
+            vec![(Reg::A0, 10), (Reg::S1, 20), (Reg::T3, 30)]
+        );
+    }
+}

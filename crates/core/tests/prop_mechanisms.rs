@@ -1,0 +1,159 @@
+//! Property tests on the Phelps mechanisms: prediction-queue pointer
+//! algebra under random operation sequences, CDFSM lattice invariants, and
+//! the helper-thread store cache.
+
+use phelps::cdfsm::{CdState, CdfsmMatrix};
+use phelps::predq::PredictionQueues;
+use phelps::storecache::StoreCache;
+use proptest::prelude::*;
+
+/// Operations the three prediction-queue pointers can experience.
+#[derive(Clone, Copy, Debug)]
+enum QueueOp {
+    Deposit(bool),
+    AdvanceTail,
+    AdvanceSpecHead,
+    RetireLoopBranch,
+    Rollback,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        any::<bool>().prop_map(QueueOp::Deposit),
+        Just(QueueOp::AdvanceTail),
+        Just(QueueOp::AdvanceSpecHead),
+        Just(QueueOp::RetireLoopBranch),
+        Just(QueueOp::Rollback),
+    ]
+}
+
+proptest! {
+    /// Pointer invariants hold under any operation sequence:
+    /// head <= spec_head, tail never runs more than capacity past head,
+    /// and no operation panics.
+    #[test]
+    fn prediction_queue_pointer_invariants(ops in prop::collection::vec(queue_op(), 0..400)) {
+        let mut q = PredictionQueues::new(&[0x10, 0x14], 8);
+        let mut ckpt = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Deposit(t) => {
+                    let _ = q.deposit(0x10, t);
+                    let _ = q.deposit(0x14, !t);
+                }
+                QueueOp::AdvanceTail => {
+                    let _ = q.advance_tail();
+                }
+                QueueOp::AdvanceSpecHead => {
+                    ckpt = q.spec_head();
+                    q.advance_spec_head();
+                }
+                QueueOp::RetireLoopBranch => {
+                    if q.head() < q.spec_head() {
+                        q.advance_head();
+                    }
+                }
+                QueueOp::Rollback => q.rollback_spec_head(ckpt),
+            }
+            prop_assert!(q.head() <= q.spec_head(), "head <= spec_head");
+            prop_assert!(
+                q.tail().saturating_sub(q.head()) <= 8,
+                "tail within capacity of head"
+            );
+            // Consumption never panics in any state.
+            let _ = q.consume(0x10);
+            let _ = q.consume(0x14);
+        }
+    }
+
+    /// Deposited outcomes are returned verbatim when consumed in lockstep.
+    #[test]
+    fn prediction_queue_preserves_outcomes(outcomes in prop::collection::vec(any::<bool>(), 1..64)) {
+        let mut q = PredictionQueues::new(&[0x20], 4);
+        let mut consumed = Vec::new();
+        for &t in &outcomes {
+            // HT deposits one iteration, MT consumes it.
+            prop_assert!(q.deposit(0x20, t));
+            prop_assert!(q.advance_tail());
+            consumed.push(q.consume(0x20).expect("deposited"));
+            q.advance_spec_head();
+            q.advance_head();
+        }
+        prop_assert_eq!(consumed, outcomes);
+    }
+
+    /// The CDFSM never leaves the 4-state lattice and CI is absorbing.
+    #[test]
+    fn cdfsm_ci_is_absorbing(dirs in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut m = CdfsmMatrix::new(2, 1);
+        // Drive row 1 to CI (observe both directions of branch 0).
+        m.on_branch_retire(0, 0, true);
+        m.on_row_retire(1);
+        m.on_loop_branch_retire();
+        m.on_branch_retire(0, 0, false);
+        m.on_row_retire(1);
+        m.on_loop_branch_retire();
+        prop_assert_eq!(m.state(1, 0), CdState::Ci);
+        for d in dirs {
+            m.on_branch_retire(0, 0, d);
+            m.on_row_retire(1);
+            m.on_loop_branch_retire();
+            prop_assert_eq!(m.state(1, 0), CdState::Ci, "CI absorbs");
+        }
+    }
+
+    /// A row that only ever appears on one side of its guard stays CD in
+    /// that direction, no matter how many iterations are observed.
+    #[test]
+    fn cdfsm_stable_guard_never_degrades(n in 1usize..100) {
+        let mut m = CdfsmMatrix::new(2, 1);
+        for i in 0..n {
+            let taken = i % 3 == 0;
+            m.on_branch_retire(0, 0, taken);
+            if !taken {
+                m.on_row_retire(1); // row 1 exists only on the NT path
+            }
+            m.on_loop_branch_retire();
+        }
+        let s = m.state(1, 0);
+        prop_assert!(
+            s == CdState::CdNt || s == CdState::Init,
+            "guard direction never flips: {s:?}"
+        );
+    }
+
+    /// Store cache: a read returns the most recent write to that
+    /// doubleword or nothing — never another address's data.
+    #[test]
+    fn store_cache_returns_own_data(writes in prop::collection::vec((0u64..4096, any::<u64>()), 1..200)) {
+        let mut sc = StoreCache::paper_default();
+        let mut model = std::collections::HashMap::new();
+        for (dw, val) in &writes {
+            sc.write(dw * 8, *val);
+            model.insert(*dw, *val);
+        }
+        for (dw, _) in &writes {
+            if let Some(got) = sc.read(dw * 8) {
+                prop_assert_eq!(got, model[dw], "hit returns the latest write");
+            }
+            // A miss is always legal: evicted data is simply lost.
+        }
+    }
+
+    /// Store-cache capacity: at most 32 doublewords survive.
+    #[test]
+    fn store_cache_capacity_bound(dws in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut sc = StoreCache::paper_default();
+        for dw in &dws {
+            sc.write(dw * 8, *dw);
+        }
+        let mut distinct: Vec<u64> = dws.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let resident = distinct
+            .iter()
+            .filter(|dw| sc.read(**dw * 8).is_some())
+            .count();
+        prop_assert!(resident <= 32, "at most 32 DWs resident: {resident}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Fuzz-style property tests of the full simulator: randomly generated
+//! guest programs (straight-line bodies inside a counted loop, with
+//! data-dependent branches, loads and stores) must simulate to completion
+//! under every mode, retiring exactly the instructions the functional
+//! emulator retires.
+
+use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig};
+use phelps_isa::{AluOp, Asm, BranchCond, Cpu, Reg};
+use proptest::prelude::*;
+
+/// One random instruction of the loop body.
+#[derive(Clone, Copy, Debug)]
+enum BodyOp {
+    Alu(u8, u8, u8, u8),    // op selector, rd, rs1, rs2
+    AluImm(u8, u8, u8, i32),
+    Load(u8, u8),  // rd, index-reg selector
+    Store(u8, u8), // src, index-reg selector
+    Branch(u8, u8, u8), // cond selector, rs1, rs2 (skips one instruction)
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (0u8..6, 0u8..6, 0u8..6, 0u8..6).prop_map(|(o, d, a, b)| BodyOp::Alu(o, d, a, b)),
+        (0u8..6, 0u8..6, 0u8..6, -64i32..64).prop_map(|(o, d, a, i)| BodyOp::AluImm(o, d, a, i)),
+        (0u8..6, 0u8..2).prop_map(|(d, x)| BodyOp::Load(d, x)),
+        (0u8..6, 0u8..2).prop_map(|(s, x)| BodyOp::Store(s, x)),
+        (0u8..4, 0u8..6, 0u8..6).prop_map(|(c, a, b)| BodyOp::Branch(c, a, b)),
+    ]
+}
+
+/// Scratch registers the generator draws from (never the loop controls).
+const SCRATCH: [Reg; 6] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::A3, Reg::A4];
+const ALU_OPS: [AluOp; 6] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+];
+const CONDS: [BranchCond; 4] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Geu,
+];
+
+/// Builds a runnable program: `iters` iterations of the random body.
+/// Loads/stores are confined to a small scratch array indexed by masked
+/// registers, so every access is in-bounds.
+fn build(ops: &[BodyOp], iters: u32) -> Cpu {
+    let mut a = Asm::new(0x1000);
+    // a0 = scratch base; a1 = i; a2 = n.
+    a.label("loop");
+    for (k, op) in ops.iter().enumerate() {
+        match *op {
+            BodyOp::Alu(o, d, r1, r2) => {
+                a.alu(
+                    ALU_OPS[o as usize % ALU_OPS.len()],
+                    SCRATCH[d as usize % SCRATCH.len()],
+                    SCRATCH[r1 as usize % SCRATCH.len()],
+                    SCRATCH[r2 as usize % SCRATCH.len()],
+                );
+            }
+            BodyOp::AluImm(o, d, r1, imm) => {
+                a.alui(
+                    ALU_OPS[o as usize % 5], // no Mul-imm
+                    SCRATCH[d as usize % SCRATCH.len()],
+                    SCRATCH[r1 as usize % SCRATCH.len()],
+                    imm,
+                );
+            }
+            BodyOp::Load(d, x) => {
+                // Index = (scratch[x] & 0x3f) * 8 within the array.
+                let idx = SCRATCH[x as usize % SCRATCH.len()];
+                a.andi(Reg::T4, idx, 0x3f);
+                a.slli(Reg::T4, Reg::T4, 3);
+                a.add(Reg::T4, Reg::A0, Reg::T4);
+                a.ld(SCRATCH[d as usize % SCRATCH.len()], Reg::T4, 0);
+            }
+            BodyOp::Store(sreg, x) => {
+                let idx = SCRATCH[x as usize % SCRATCH.len()];
+                a.andi(Reg::T4, idx, 0x3f);
+                a.slli(Reg::T4, Reg::T4, 3);
+                a.add(Reg::T4, Reg::A0, Reg::T4);
+                a.sd(SCRATCH[sreg as usize % SCRATCH.len()], Reg::T4, 0);
+            }
+            BodyOp::Branch(c, r1, r2) => {
+                let label = format!("skip{k}");
+                a.branch(
+                    CONDS[c as usize % CONDS.len()],
+                    SCRATCH[r1 as usize % SCRATCH.len()],
+                    SCRATCH[r2 as usize % SCRATCH.len()],
+                    &label,
+                );
+                a.addi(Reg::A5, Reg::A5, 1); // skippable filler
+                a.label(&label);
+            }
+        }
+    }
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.bne(Reg::A1, Reg::A2, "loop");
+    a.halt();
+
+    let mut cpu = Cpu::new(a.assemble().expect("generated program assembles"));
+    let mut x = 0x1234_5678u64;
+    for i in 0..64u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        cpu.mem.write_u64(0x80000 + i * 8, x >> 16);
+    }
+    cpu.set_reg(Reg::A0, 0x80000);
+    cpu.set_reg(Reg::A2, iters as u64);
+    // Seed scratch registers so comparisons vary.
+    cpu.set_reg(Reg::T0, 3);
+    cpu.set_reg(Reg::T1, 0x55);
+    cpu.set_reg(Reg::A3, 7);
+    cpu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every random program simulates to completion in every mode, with
+    /// identical main-thread architectural behavior (instruction and
+    /// branch counts) — the timing model never corrupts architecture.
+    #[test]
+    fn random_programs_simulate_in_every_mode(
+        ops in prop::collection::vec(body_op(), 1..14),
+        iters in 200u32..1500,
+    ) {
+        let mut cfg = RunConfig::scaled(Mode::Baseline);
+        cfg.max_mt_insts = 120_000;
+        cfg.epoch_len = 15_000;
+
+        let reference = simulate(build(&ops, iters), &cfg);
+        prop_assert!(reference.stats.mt_retired > 0);
+
+        for mode in [
+            Mode::PerfectBp,
+            Mode::PartitionOnly,
+            Mode::Phelps(PhelpsFeatures::full()),
+            Mode::Phelps(PhelpsFeatures::no_stores()),
+        ] {
+            let mut c = cfg.clone();
+            c.mode = mode;
+            let r = simulate(build(&ops, iters), &c);
+            prop_assert_eq!(r.stats.mt_retired, reference.stats.mt_retired);
+            prop_assert_eq!(r.stats.mt_cond_branches, reference.stats.mt_cond_branches);
+        }
+    }
+}

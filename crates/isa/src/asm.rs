@@ -1,0 +1,496 @@
+//! Label-based assembler for guest programs.
+//!
+//! [`Asm`] is a builder: emit instructions through mnemonic methods, mark
+//! positions with [`Asm::label`], and reference labels by name from branches
+//! and jumps. [`Asm::assemble`] resolves every reference to an absolute PC
+//! and returns the finished [`Program`].
+//!
+//! # Examples
+//!
+//! A count-down loop:
+//!
+//! ```
+//! use phelps_isa::{Asm, Reg};
+//!
+//! # fn main() -> Result<(), phelps_isa::AsmError> {
+//! let mut a = Asm::new(0x1000);
+//! a.li(Reg::A0, 10);
+//! a.label("loop");
+//! a.addi(Reg::A0, Reg::A0, -1);
+//! a.bne(Reg::A0, Reg::ZERO, "loop");
+//! a.halt();
+//! let prog = a.assemble()?;
+//! assert_eq!(prog.label("loop"), Some(0x1004));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{AluOp, BranchCond, Inst, MemWidth, Program, Reg, INST_BYTES};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+enum Slot {
+    Done(Inst),
+    BranchTo(BranchCond, Reg, Reg, String),
+    JalTo(Reg, String),
+}
+
+/// Builder that assembles guest programs from mnemonic calls and labels.
+///
+/// See the module-level documentation for an example.
+pub struct Asm {
+    base: u64,
+    slots: Vec<Slot>,
+    labels: HashMap<String, u64>,
+}
+
+impl fmt::Debug for Asm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Asm")
+            .field("base", &self.base)
+            .field("len", &self.slots.len())
+            .field("labels", &self.labels.len())
+            .finish()
+    }
+}
+
+impl Asm {
+    /// Creates an assembler whose first instruction will live at `base`.
+    pub fn new(base: u64) -> Asm {
+        Asm {
+            base,
+            slots: Vec::new(),
+            labels: HashMap::new(),
+        }
+    }
+
+    /// The PC the next emitted instruction will receive.
+    pub fn here(&self) -> u64 {
+        self.base + INST_BYTES * self.slots.len() as u64
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; duplicate definitions are reported by
+    /// [`Asm::assemble`].
+    pub fn label(&mut self, name: &str) -> &mut Asm {
+        // Record the first definition; a duplicate is detected at assemble
+        // time by keeping a shadow count in the map via a sentinel.
+        if self.labels.insert(name.to_string(), self.here()).is_some() {
+            // Mark duplicates by re-inserting with an impossible PC; the
+            // assembler checks parity below.
+            self.labels.insert(format!("\u{0}dup:{name}"), 0);
+        }
+        self
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Asm {
+        self.slots.push(Slot::Done(inst));
+        self
+    }
+
+    // ---- register-register ALU ----
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sll, rd, rs1, rs2)
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Slt, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sltu, rd, rs1, rs2)
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2` (signed)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Div, rd, rs1, rs2)
+    }
+    /// `rd = rs1 % rs2` (unsigned)
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Remu, rd, rs1, rs2)
+    }
+
+    /// Emits an arbitrary register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    // ---- register-immediate ALU ----
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Or, rd, rs1, imm)
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Xor, rd, rs1, imm)
+    }
+    /// `rd = (rs1 < imm) ? 1 : 0` (signed)
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Slt, rd, rs1, imm)
+    }
+
+    /// Emits an arbitrary register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.push(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = rs1` (pseudo-instruction: `addi rd, rs1, 0`).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Asm {
+        self.addi(rd, rs1, 0)
+    }
+
+    /// Materializes a 64-bit constant in `rd`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    // ---- memory ----
+
+    /// Load doubleword: `rd = mem64[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::D, true, rd, base, offset)
+    }
+    /// Load word, sign-extended.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::W, true, rd, base, offset)
+    }
+    /// Load word, zero-extended.
+    pub fn lwu(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::W, false, rd, base, offset)
+    }
+    /// Load halfword, sign-extended.
+    pub fn lh(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::H, true, rd, base, offset)
+    }
+    /// Load byte, sign-extended.
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::B, true, rd, base, offset)
+    }
+    /// Load byte, zero-extended.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.load(MemWidth::B, false, rd, base, offset)
+    }
+
+    /// Emits an arbitrary load.
+    pub fn load(
+        &mut self,
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        base: Reg,
+        offset: i32,
+    ) -> &mut Asm {
+        self.push(Inst::Load {
+            width,
+            signed,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// Store doubleword: `mem64[base + offset] = src`.
+    pub fn sd(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.store(MemWidth::D, src, base, offset)
+    }
+    /// Store word.
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.store(MemWidth::W, src, base, offset)
+    }
+    /// Store halfword.
+    pub fn sh(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.store(MemWidth::H, src, base, offset)
+    }
+    /// Store byte.
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.store(MemWidth::B, src, base, offset)
+    }
+
+    /// Emits an arbitrary store.
+    pub fn store(&mut self, width: MemWidth, src: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.push(Inst::Store {
+            width,
+            base,
+            src,
+            offset,
+        })
+    }
+
+    // ---- control transfer ----
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(BranchCond::Geu, rs1, rs2, label)
+    }
+
+    /// Emits an arbitrary conditional branch to a label.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.slots
+            .push(Slot::BranchTo(cond, rs1, rs2, label.to_string()));
+        self
+    }
+
+    /// Unconditional jump to `label` (pseudo: `jal zero, label`).
+    pub fn j(&mut self, label: &str) -> &mut Asm {
+        self.slots.push(Slot::JalTo(Reg::ZERO, label.to_string()));
+        self
+    }
+
+    /// Call `label`, linking in `ra`.
+    pub fn call(&mut self, label: &str) -> &mut Asm {
+        self.slots.push(Slot::JalTo(Reg::RA, label.to_string()));
+        self
+    }
+
+    /// Return through `ra` (pseudo: `jalr zero, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Asm {
+        self.push(Inst::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            offset: 0,
+        })
+    }
+
+    /// Indirect jump: `jalr rd, offset(base)`.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.push(Inst::Jalr { rd, base, offset })
+    }
+
+    /// No-op (`addi zero, zero, 0`).
+    pub fn nop(&mut self) -> &mut Asm {
+        self.addi(Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// Terminates the program.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves all label references and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if any branch/jump references a
+    /// label that was never defined, and [`AsmError::DuplicateLabel`] if a
+    /// label was defined more than once.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        for key in self.labels.keys() {
+            if let Some(dup) = key.strip_prefix("\u{0}dup:") {
+                return Err(AsmError::DuplicateLabel(dup.to_string()));
+            }
+        }
+        let resolve = |name: &str| -> Result<u64, AsmError> {
+            self.labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
+        };
+        let mut insts = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            insts.push(match slot {
+                Slot::Done(inst) => *inst,
+                Slot::BranchTo(cond, rs1, rs2, label) => Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(label)?,
+                },
+                Slot::JalTo(rd, label) => Inst::Jal {
+                    rd: *rd,
+                    target: resolve(label)?,
+                },
+            });
+        }
+        let labels = self
+            .labels
+            .into_iter()
+            .filter(|(k, _)| !k.starts_with('\u{0}'))
+            .collect();
+        Ok(Program::new(self.base, insts, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new(0);
+        a.label("top");
+        a.beq(Reg::A0, Reg::ZERO, "done"); // forward
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.j("top"); // backward
+        a.label("done");
+        a.halt();
+        let p = a.assemble().unwrap();
+        match p.fetch(0).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(*target, p.label("done").unwrap()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(8).unwrap() {
+            Inst::Jal { target, .. } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new(0);
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".to_string())
+        );
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new(0x2000);
+        assert_eq!(a.here(), 0x2000);
+        a.nop();
+        assert_eq!(a.here(), 0x2004);
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let mut a = Asm::new(0);
+        a.mv(Reg::A0, Reg::A1);
+        a.nop();
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            *p.fetch(0).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            *p.fetch(8).unwrap(),
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn call_links_ra() {
+        let mut a = Asm::new(0);
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        match p.fetch(0).unwrap() {
+            Inst::Jal { rd, target } => {
+                assert_eq!(*rd, Reg::RA);
+                assert_eq!(*target, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

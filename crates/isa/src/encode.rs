@@ -1,0 +1,589 @@
+//! Binary instruction encoding.
+//!
+//! Guest instructions encode to fixed 32-bit words in a RISC-V-flavored
+//! layout (7-bit opcode in bits 6:0, register specifiers in the standard
+//! rd/rs1/rs2 positions). Because [`Inst`] stores control-flow targets as
+//! absolute PCs, [`encode`] takes the instruction's own PC and emits a
+//! PC-relative offset; [`decode`] reverses it. The round-trip is exact for
+//! every encodable instruction — property-tested in the crate's test
+//! suite — and the paper-relevant consequence is honored: fixed-length
+//! words mean helper-thread storage (HTC rows) can be costed per
+//! instruction, as Table II does.
+//!
+//! Range limits (offsets/immediates that fit the field widths) are
+//! enforced by [`encode`] returning [`EncodeError`] rather than silently
+//! truncating. The `Li` pseudo-instruction carries up to 20 signed bits
+//! (`lui`-class material); larger constants must be composed.
+
+use crate::{AluOp, BranchCond, Inst, MemWidth, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`encode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// A branch/jump target is out of PC-relative range for the field.
+    OffsetOutOfRange {
+        /// The offending byte offset.
+        offset: i64,
+    },
+    /// An immediate exceeds its field width.
+    ImmOutOfRange {
+        /// The offending immediate.
+        imm: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::OffsetOutOfRange { offset } => {
+                write!(f, "branch offset {offset} out of range")
+            }
+            EncodeError::ImmOutOfRange { imm } => write!(f, "immediate {imm} out of range"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error returned by [`decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The unrecognizable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+// Opcodes (bits 6:0).
+const OP_ALU: u32 = 0x33;
+const OP_ALUI: u32 = 0x13;
+/// Immediate ALU ops whose funct has bit 3 set (Or/And...): second opcode,
+/// freeing every operand bit position.
+const OP_ALUI_HI: u32 = 0x1b;
+const OP_LI: u32 = 0x37; // lui-class: 20-bit upper + sign trick below
+const OP_LOAD: u32 = 0x03;
+const OP_STORE: u32 = 0x23;
+const OP_BRANCH: u32 = 0x63;
+const OP_JAL: u32 = 0x6f;
+const OP_JALR: u32 = 0x67;
+const OP_HALT: u32 = 0x7f;
+
+fn funct_of_alu(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Sll => 2,
+        AluOp::Slt => 3,
+        AluOp::Sltu => 4,
+        AluOp::Xor => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Or => 8,
+        AluOp::And => 9,
+        AluOp::Mul => 10,
+        AluOp::Div => 11,
+        AluOp::Divu => 12,
+        AluOp::Rem => 13,
+        AluOp::Remu => 14,
+        AluOp::Addw => 15,
+        AluOp::Subw => 16,
+        AluOp::Mulw => 17,
+        AluOp::Sllw => 18,
+    }
+}
+
+fn alu_of_funct(f: u32) -> Option<AluOp> {
+    Some(match f {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Sll,
+        3 => AluOp::Slt,
+        4 => AluOp::Sltu,
+        5 => AluOp::Xor,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Or,
+        9 => AluOp::And,
+        10 => AluOp::Mul,
+        11 => AluOp::Div,
+        12 => AluOp::Divu,
+        13 => AluOp::Rem,
+        14 => AluOp::Remu,
+        15 => AluOp::Addw,
+        16 => AluOp::Subw,
+        17 => AluOp::Mulw,
+        18 => AluOp::Sllw,
+        _ => return None,
+    })
+}
+
+fn funct_of_cond(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_of_funct(f: u32) -> Option<BranchCond> {
+    Some(match f {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn funct_of_mem(w: MemWidth, signed: bool) -> u32 {
+    let base = match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    };
+    base | ((!signed as u32) << 2)
+}
+
+fn mem_of_funct(f: u32) -> Option<(MemWidth, bool)> {
+    let w = match f & 3 {
+        0 => MemWidth::B,
+        1 => MemWidth::H,
+        2 => MemWidth::W,
+        _ => MemWidth::D,
+    };
+    Some((w, (f >> 2) & 1 == 0))
+}
+
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&v)
+}
+
+fn rd(word: u32) -> Option<Reg> {
+    Reg::new(((word >> 7) & 0x1f) as u8)
+}
+
+fn rs1(word: u32) -> Option<Reg> {
+    Reg::new(((word >> 15) & 0x1f) as u8)
+}
+
+fn rs2(word: u32) -> Option<Reg> {
+    Reg::new(((word >> 20) & 0x1f) as u8)
+}
+
+/// Encodes `inst`, located at `pc`, into a 32-bit word.
+///
+/// # Errors
+///
+/// [`EncodeError::OffsetOutOfRange`] when a PC-relative target does not
+/// fit its field (±2^12 bytes for branches, ±2^20 halfwords for `jal`);
+/// [`EncodeError::ImmOutOfRange`] when an immediate exceeds 12 bits
+/// (loads/stores/ALU) or 20 bits (`li`).
+pub fn encode(inst: &Inst, pc: u64) -> Result<u32, EncodeError> {
+    Ok(match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            OP_ALU
+                | ((rd.index() as u32) << 7)
+                | ((funct_of_alu(op) & 0x7) << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                // funct bits 3.. spill into bits 25..31.
+                | ((funct_of_alu(op) >> 3) << 25)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            if !fits_signed(imm as i64, 12) {
+                return Err(EncodeError::ImmOutOfRange { imm: imm as i64 });
+            }
+            // funct bit 3 selects between the two immediate opcodes; the
+            // low 3 funct bits sit at 12..14 and the immediate at 20..31.
+            let opcode = if funct_of_alu(op) & 0x8 != 0 {
+                OP_ALUI_HI
+            } else {
+                OP_ALUI
+            };
+            opcode
+                | ((rd.index() as u32) << 7)
+                | ((funct_of_alu(op) & 0x7) << 12)
+                | ((rs1.index() as u32) << 15)
+                | (((imm as u32) & 0xfff) << 20)
+        }
+        Inst::Li { rd, imm } => {
+            if !fits_signed(imm, 20) {
+                return Err(EncodeError::ImmOutOfRange { imm });
+            }
+            OP_LI | ((rd.index() as u32) << 7) | (((imm as u32) & 0xf_ffff) << 12)
+        }
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            base,
+            offset,
+        } => {
+            if !fits_signed(offset as i64, 12) {
+                return Err(EncodeError::ImmOutOfRange { imm: offset as i64 });
+            }
+            OP_LOAD
+                | ((rd.index() as u32) << 7)
+                | (funct_of_mem(width, signed) << 12)
+                | ((base.index() as u32) << 15)
+                | (((offset as u32) & 0xfff) << 20)
+        }
+        Inst::Store {
+            width,
+            base,
+            src,
+            offset,
+        } => {
+            if !fits_signed(offset as i64, 12) {
+                return Err(EncodeError::ImmOutOfRange { imm: offset as i64 });
+            }
+            // Store offset split: low 5 bits in rd slot, high 7 in 25..31.
+            let off = (offset as u32) & 0xfff;
+            OP_STORE
+                | ((off & 0x1f) << 7)
+                | (funct_of_mem(width, true) << 12)
+                | ((base.index() as u32) << 15)
+                | ((src.index() as u32) << 20)
+                | (((off >> 5) & 0x7f) << 25)
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            // ±2048 halfwords of PC-relative range: 12 offset bits split
+            // across the rd slot (low 5) and bits 25..31 (high 7), exactly
+            // like the store immediate.
+            let offset = target as i64 - pc as i64;
+            if offset % 2 != 0 || !fits_signed(offset / 2, 12) {
+                return Err(EncodeError::OffsetOutOfRange { offset });
+            }
+            let offset_field = ((offset / 2) as u32) & 0xfff;
+            OP_BRANCH
+                | ((offset_field & 0x1f) << 7)
+                | (funct_of_cond(cond) << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | (((offset_field >> 5) & 0x7f) << 25)
+        }
+        Inst::Jal { rd, target } => {
+            let offset = target as i64 - pc as i64;
+            if offset % 2 != 0 || !fits_signed(offset / 2, 20) {
+                return Err(EncodeError::OffsetOutOfRange { offset });
+            }
+            OP_JAL | ((rd.index() as u32) << 7) | ((((offset / 2) as u32) & 0xf_ffff) << 12)
+        }
+        Inst::Jalr { rd, base, offset } => {
+            if !fits_signed(offset as i64, 12) {
+                return Err(EncodeError::ImmOutOfRange { imm: offset as i64 });
+            }
+            OP_JALR
+                | ((rd.index() as u32) << 7)
+                | ((base.index() as u32) << 15)
+                | (((offset as u32) & 0xfff) << 20)
+        }
+        Inst::Halt => OP_HALT,
+    })
+}
+
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v as i64) << shift) >> shift
+}
+
+/// Decodes a 32-bit word located at `pc` back into an [`Inst`].
+///
+/// # Errors
+///
+/// [`DecodeError`] when the opcode or a function field is unrecognized.
+pub fn decode(word: u32, pc: u64) -> Result<Inst, DecodeError> {
+    let err = DecodeError { word };
+    let opcode = word & 0x7f;
+    Ok(match opcode {
+        OP_ALU => {
+            let funct = ((word >> 12) & 0x7) | (((word >> 25) & 0x7f) << 3);
+            Inst::Alu {
+                op: alu_of_funct(funct).ok_or(err)?,
+                rd: rd(word).ok_or(err)?,
+                rs1: rs1(word).ok_or(err)?,
+                rs2: rs2(word).ok_or(err)?,
+            }
+        }
+        OP_ALUI | OP_ALUI_HI => {
+            let hi = (opcode == OP_ALUI_HI) as u32;
+            let funct = ((word >> 12) & 0x7) | (hi << 3);
+            Inst::AluImm {
+                op: alu_of_funct(funct).ok_or(err)?,
+                rd: rd(word).ok_or(err)?,
+                rs1: rs1(word).ok_or(err)?,
+                imm: sext((word >> 20) & 0xfff, 12) as i32,
+            }
+        }
+        OP_LI => Inst::Li {
+            rd: rd(word).ok_or(err)?,
+            imm: sext((word >> 12) & 0xf_ffff, 20),
+        },
+        OP_LOAD => {
+            let (width, signed) = mem_of_funct((word >> 12) & 0x7).ok_or(err)?;
+            Inst::Load {
+                width,
+                signed,
+                rd: rd(word).ok_or(err)?,
+                base: rs1(word).ok_or(err)?,
+                offset: sext((word >> 20) & 0xfff, 12) as i32,
+            }
+        }
+        OP_STORE => {
+            let (width, _) = mem_of_funct((word >> 12) & 0x7).ok_or(err)?;
+            let off = ((word >> 7) & 0x1f) | (((word >> 25) & 0x7f) << 5);
+            Inst::Store {
+                width,
+                base: rs1(word).ok_or(err)?,
+                src: rs2(word).ok_or(err)?,
+                offset: sext(off, 12) as i32,
+            }
+        }
+        OP_BRANCH => {
+            let off_field = ((word >> 7) & 0x1f) | (((word >> 25) & 0x7f) << 5);
+            let offset = sext(off_field, 12) * 2;
+            Inst::Branch {
+                cond: cond_of_funct((word >> 12) & 0x7).ok_or(err)?,
+                rs1: rs1(word).ok_or(err)?,
+                rs2: rs2(word).ok_or(err)?,
+                target: (pc as i64 + offset) as u64,
+            }
+        }
+        OP_JAL => {
+            let offset = sext((word >> 12) & 0xf_ffff, 20) * 2;
+            Inst::Jal {
+                rd: rd(word).ok_or(err)?,
+                target: (pc as i64 + offset) as u64,
+            }
+        }
+        OP_JALR => Inst::Jalr {
+            rd: rd(word).ok_or(err)?,
+            base: rs1(word).ok_or(err)?,
+            offset: sext((word >> 20) & 0xfff, 12) as i32,
+        },
+        OP_HALT => Inst::Halt,
+        _ => return Err(err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Inst, pc: u64) {
+        let word = encode(&inst, pc).expect("encodes");
+        let back = decode(word, pc).expect("decodes");
+        assert_eq!(inst, back, "word {word:#010x}");
+    }
+
+    #[test]
+    fn alu_roundtrips_every_op() {
+        for f in 0..32 {
+            if let Some(op) = alu_of_funct(f) {
+                roundtrip(
+                    Inst::Alu {
+                        op,
+                        rd: Reg::A0,
+                        rs1: Reg::T3,
+                        rs2: Reg::S11,
+                    },
+                    0x1000,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alui_roundtrips_extremes() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            roundtrip(
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::T0,
+                    rs1: Reg::T1,
+                    imm,
+                },
+                0,
+            );
+        }
+        roundtrip(
+            Inst::AluImm {
+                op: AluOp::Or,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                imm: 255,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn alui_rejects_oversized_immediates() {
+        let e = encode(
+            &Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                imm: 4096,
+            },
+            0,
+        );
+        assert_eq!(e, Err(EncodeError::ImmOutOfRange { imm: 4096 }));
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        for (w, s) in [
+            (MemWidth::B, true),
+            (MemWidth::B, false),
+            (MemWidth::H, true),
+            (MemWidth::W, false),
+            (MemWidth::D, true),
+        ] {
+            roundtrip(
+                Inst::Load {
+                    width: w,
+                    signed: s,
+                    rd: Reg::A5,
+                    base: Reg::SP,
+                    offset: -8,
+                },
+                0x40,
+            );
+        }
+        roundtrip(
+            Inst::Store {
+                width: MemWidth::D,
+                base: Reg::S0,
+                src: Reg::A1,
+                offset: 2047,
+            },
+            0x40,
+        );
+        roundtrip(
+            Inst::Store {
+                width: MemWidth::W,
+                base: Reg::S0,
+                src: Reg::A1,
+                offset: -2048,
+            },
+            0x40,
+        );
+    }
+
+    #[test]
+    fn branches_are_pc_relative() {
+        for target in [0x1000u64, 0x800, 0x1ffe, 0x1004] {
+            roundtrip(
+                Inst::Branch {
+                    cond: BranchCond::Ltu,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    target,
+                },
+                0x1000,
+            );
+        }
+        // Same instruction encodes differently at different PCs.
+        let b = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            target: 0x1900,
+        };
+        assert_ne!(encode(&b, 0x1000).unwrap(), encode(&b, 0x1400).unwrap());
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        let b = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            target: 0x10_0000,
+        };
+        assert!(matches!(
+            encode(&b, 0),
+            Err(EncodeError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn jal_and_jalr_roundtrip() {
+        roundtrip(
+            Inst::Jal {
+                rd: Reg::RA,
+                target: 0x4_0000,
+            },
+            0x1000,
+        );
+        roundtrip(
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                offset: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn li_range() {
+        roundtrip(
+            Inst::Li {
+                rd: Reg::A0,
+                imm: 524_287,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Li {
+                rd: Reg::A0,
+                imm: -524_288,
+            },
+            0,
+        );
+        assert!(matches!(
+            encode(
+                &Inst::Li {
+                    rd: Reg::A0,
+                    imm: 1 << 20
+                },
+                0
+            ),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn halt_roundtrips() {
+        roundtrip(Inst::Halt, 0);
+    }
+
+    #[test]
+    fn garbage_words_rejected() {
+        assert!(decode(0x0000_0000, 0).is_err());
+        assert!(decode(0xffff_ffff & !0x7f | 0x5a, 0).is_err());
+    }
+}

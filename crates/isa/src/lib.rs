@@ -1,0 +1,59 @@
+//! # phelps-isa
+//!
+//! Guest instruction set for the Phelps reproduction: a pragmatic RV64IM
+//! subset with a label-based [assembler](Asm), [sparse memory](Memory), and
+//! a [functional emulator](Cpu) that produces per-instruction
+//! [`ExecRecord`]s for trace-driven timing simulation.
+//!
+//! The crate is freestanding — workloads are written directly against it —
+//! and every downstream crate (the cycle-level core, the Phelps machinery,
+//! the Branch Runahead baseline) consumes its types.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use phelps_isa::{Asm, Cpu, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Assemble: a0 = popcount-ish loop counting down from 16.
+//! let mut a = Asm::new(0x1000);
+//! a.li(Reg::A0, 0);
+//! a.li(Reg::A1, 16);
+//! a.label("loop");
+//! a.addi(Reg::A0, Reg::A0, 2);
+//! a.addi(Reg::A1, Reg::A1, -1);
+//! a.bne(Reg::A1, Reg::ZERO, "loop");
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! // Execute functionally.
+//! let mut cpu = Cpu::new(prog);
+//! while !cpu.is_halted() {
+//!     let record = cpu.step()?; // one ExecRecord per dynamic instruction
+//!     let _ = record.next_pc;
+//! }
+//! assert_eq!(cpu.reg(Reg::A0), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod emu;
+mod encode;
+mod inst;
+mod mem;
+mod parse;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use emu::{Cpu, EmuError, ExecRecord};
+pub use encode::{decode, encode, DecodeError, EncodeError};
+pub use inst::{AluOp, BranchCond, Inst, MemWidth, SrcRegs};
+pub use mem::Memory;
+pub use parse::{parse_asm, ParseError};
+pub use program::{Program, INST_BYTES};
+pub use reg::{Reg, NUM_REGS};

@@ -1,0 +1,172 @@
+//! Sparse, paged guest memory.
+//!
+//! Guest programs address a flat 64-bit byte space. Pages are allocated
+//! lazily on first touch and zero-filled, so workloads can scatter data
+//! structures anywhere without preallocation. Accesses may straddle page
+//! boundaries.
+
+use std::collections::HashMap;
+
+use crate::MemWidth;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse byte-addressable memory with 4 KiB lazily-allocated pages.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_isa::{Memory, MemWidth};
+///
+/// let mut mem = Memory::new();
+/// mem.write(0x1000, MemWidth::D, 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read(0x1000, MemWidth::D, false), 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read(0x1000, MemWidth::B, false), 0x0d); // little-endian
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory; all bytes read as zero until written.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `width` bytes at `addr` (little-endian), zero- or sign-extending
+    /// to 64 bits according to `signed`.
+    pub fn read(&self, addr: u64, width: MemWidth, signed: bool) -> u64 {
+        let n = width.bytes();
+        let mut raw: u64 = 0;
+        for i in 0..n {
+            raw |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        if signed {
+            let bits = 8 * n as u32;
+            if bits < 64 {
+                let shift = 64 - bits;
+                return (((raw << shift) as i64) >> shift) as u64;
+            }
+        }
+        raw
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr` (little-endian).
+    pub fn write(&mut self, addr: u64, width: MemWidth, value: u64) {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Convenience: read a 64-bit doubleword.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, MemWidth::D, false)
+    }
+
+    /// Convenience: write a 64-bit doubleword.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, MemWidth::D, value);
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read(0, MemWidth::D, false), 0);
+        assert_eq!(mem.read(0xffff_ffff_ffff_fff0, MemWidth::D, false), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut mem = Memory::new();
+        mem.write(0x100, MemWidth::B, 0xab);
+        mem.write(0x200, MemWidth::H, 0xabcd);
+        mem.write(0x300, MemWidth::W, 0xdead_beef);
+        mem.write(0x400, MemWidth::D, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read(0x100, MemWidth::B, false), 0xab);
+        assert_eq!(mem.read(0x200, MemWidth::H, false), 0xabcd);
+        assert_eq!(mem.read(0x300, MemWidth::W, false), 0xdead_beef);
+        assert_eq!(mem.read(0x400, MemWidth::D, false), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let mut mem = Memory::new();
+        mem.write(0x10, MemWidth::B, 0x80);
+        assert_eq!(mem.read(0x10, MemWidth::B, true), 0xffff_ffff_ffff_ff80);
+        assert_eq!(mem.read(0x10, MemWidth::B, false), 0x80);
+        mem.write(0x20, MemWidth::W, 0x8000_0000);
+        assert_eq!(mem.read(0x20, MemWidth::W, true), 0xffff_ffff_8000_0000);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = Memory::new();
+        mem.write(0x40, MemWidth::W, 0x0403_0201);
+        assert_eq!(mem.read_u8(0x40), 0x01);
+        assert_eq!(mem.read_u8(0x41), 0x02);
+        assert_eq!(mem.read_u8(0x42), 0x03);
+        assert_eq!(mem.read_u8(0x43), 0x04);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = 0x1000 - 4; // straddles page 0 and page 1
+        mem.write(addr, MemWidth::D, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(addr, MemWidth::D, false), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_copies_slice() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x500, &[1, 2, 3, 4]);
+        assert_eq!(mem.read(0x500, MemWidth::W, false), 0x0403_0201);
+    }
+
+    #[test]
+    fn partial_overwrite_preserves_neighbors() {
+        let mut mem = Memory::new();
+        mem.write(0x600, MemWidth::D, u64::MAX);
+        mem.write(0x602, MemWidth::B, 0);
+        assert_eq!(mem.read(0x600, MemWidth::D, false), 0xffff_ffff_ff00_ffff);
+    }
+}

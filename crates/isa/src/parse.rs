@@ -1,0 +1,420 @@
+//! Textual assembly parsing.
+//!
+//! [`parse_asm`] accepts the same surface syntax the crate's `Display`
+//! implementations emit, plus labels and comments, and produces an
+//! [`Asm`] builder ready to assemble:
+//!
+//! ```text
+//! # sum the first n naturals
+//! loop:
+//!     add a0, a0, a1
+//!     addi a1, a1, -1
+//!     bne a1, zero, loop
+//!     halt
+//! ```
+//!
+//! Supported: every register-register and register-immediate ALU
+//! mnemonic, `li`/`mv`/`nop`, all load/store widths, all branch
+//! conditions (targets are labels), `j`/`call`/`ret`/`jalr`, and `halt`.
+//! Comments start with `#` or `//`; labels end with `:`.
+
+use crate::{AluOp, Asm, BranchCond, MemWidth, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_asm`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    // ABI names.
+    for r in Reg::all() {
+        if r.abi_name() == tok {
+            return Ok(r);
+        }
+    }
+    // xN names.
+    if let Some(n) = tok.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if let Some(r) = Reg::new(i) {
+                return Ok(r);
+            }
+        }
+    }
+    Err(ParseError {
+        line,
+        message: format!("unknown register `{tok}`"),
+    })
+}
+
+fn imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| ParseError {
+        line,
+        message: format!("bad immediate `{tok}`"),
+    })?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Splits `off(base)` into (offset, base register).
+fn mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let open = tok.find('(').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected `off(base)`, got `{tok}`"),
+    })?;
+    let close = tok.rfind(')').ok_or_else(|| ParseError {
+        line,
+        message: format!("unclosed `(` in `{tok}`"),
+    })?;
+    let off = if open == 0 {
+        0
+    } else {
+        imm(&tok[..open], line)? as i32
+    };
+    let base = reg(&tok[open + 1..close], line)?;
+    Ok((off, base))
+}
+
+/// Parses a full program listing into an [`Asm`] builder at `base`.
+///
+/// # Errors
+///
+/// [`ParseError`] identifies the offending line; label resolution errors
+/// surface later from [`Asm::assemble`].
+///
+/// # Examples
+///
+/// ```
+/// use phelps_isa::{parse_asm, Cpu, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let asm = parse_asm(
+///     "    li a0, 0
+///          li a1, 10
+///      loop:
+///          add a0, a0, a1
+///          addi a1, a1, -1
+///          bne a1, zero, loop
+///          halt",
+///     0x1000,
+/// )?;
+/// let mut cpu = Cpu::new(asm.assemble()?);
+/// cpu.run(1_000)?;
+/// assert_eq!(cpu.reg(Reg::A0), 55);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_asm(text: &str, base: u64) -> Result<Asm, ParseError> {
+    let mut a = Asm::new(base);
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let code = raw.split('#').next().unwrap_or("");
+        let code = code.split("//").next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Label?
+        if let Some(label) = code.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(ParseError {
+                    line,
+                    message: format!("bad label `{code}`"),
+                });
+            }
+            a.label(label);
+            continue;
+        }
+        let mut parts = code.split_whitespace();
+        let mnem = parts.next().expect("nonempty");
+        let ops: Vec<&str> = code[mnem.len()..]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    line,
+                    message: format!("`{mnem}` takes {n} operands, got {}", ops.len()),
+                })
+            }
+        };
+
+        let alu3 = |a: &mut Asm, op: AluOp| -> Result<(), ParseError> {
+            need(3)?;
+            a.alu(
+                op,
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                reg(ops[2], line)?,
+            );
+            Ok(())
+        };
+        let alui = |a: &mut Asm, op: AluOp| -> Result<(), ParseError> {
+            need(3)?;
+            a.alui(
+                op,
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                imm(ops[2], line)? as i32,
+            );
+            Ok(())
+        };
+        let load = |a: &mut Asm, w: MemWidth, s: bool| -> Result<(), ParseError> {
+            need(2)?;
+            let (off, b) = mem_operand(ops[1], line)?;
+            a.load(w, s, reg(ops[0], line)?, b, off);
+            Ok(())
+        };
+        let store = |a: &mut Asm, w: MemWidth| -> Result<(), ParseError> {
+            need(2)?;
+            let (off, b) = mem_operand(ops[1], line)?;
+            a.store(w, reg(ops[0], line)?, b, off);
+            Ok(())
+        };
+        let branch = |a: &mut Asm, c: BranchCond| -> Result<(), ParseError> {
+            need(3)?;
+            a.branch(c, reg(ops[0], line)?, reg(ops[1], line)?, ops[2]);
+            Ok(())
+        };
+
+        match mnem {
+            "add" => alu3(&mut a, AluOp::Add)?,
+            "sub" => alu3(&mut a, AluOp::Sub)?,
+            "sll" => alu3(&mut a, AluOp::Sll)?,
+            "slt" => alu3(&mut a, AluOp::Slt)?,
+            "sltu" => alu3(&mut a, AluOp::Sltu)?,
+            "xor" => alu3(&mut a, AluOp::Xor)?,
+            "srl" => alu3(&mut a, AluOp::Srl)?,
+            "sra" => alu3(&mut a, AluOp::Sra)?,
+            "or" => alu3(&mut a, AluOp::Or)?,
+            "and" => alu3(&mut a, AluOp::And)?,
+            "mul" => alu3(&mut a, AluOp::Mul)?,
+            "div" => alu3(&mut a, AluOp::Div)?,
+            "divu" => alu3(&mut a, AluOp::Divu)?,
+            "rem" => alu3(&mut a, AluOp::Rem)?,
+            "remu" => alu3(&mut a, AluOp::Remu)?,
+            "addw" => alu3(&mut a, AluOp::Addw)?,
+            "subw" => alu3(&mut a, AluOp::Subw)?,
+            "mulw" => alu3(&mut a, AluOp::Mulw)?,
+            "sllw" => alu3(&mut a, AluOp::Sllw)?,
+            "addi" => alui(&mut a, AluOp::Add)?,
+            "slli" => alui(&mut a, AluOp::Sll)?,
+            "srli" => alui(&mut a, AluOp::Srl)?,
+            "srai" => alui(&mut a, AluOp::Sra)?,
+            "andi" => alui(&mut a, AluOp::And)?,
+            "ori" => alui(&mut a, AluOp::Or)?,
+            "xori" => alui(&mut a, AluOp::Xor)?,
+            "slti" => alui(&mut a, AluOp::Slt)?,
+            "li" => {
+                need(2)?;
+                a.li(reg(ops[0], line)?, imm(ops[1], line)?);
+            }
+            "mv" => {
+                need(2)?;
+                a.mv(reg(ops[0], line)?, reg(ops[1], line)?);
+            }
+            "nop" => {
+                need(0)?;
+                a.nop();
+            }
+            "ld" => load(&mut a, MemWidth::D, true)?,
+            "lw" => load(&mut a, MemWidth::W, true)?,
+            "lwu" => load(&mut a, MemWidth::W, false)?,
+            "lh" => load(&mut a, MemWidth::H, true)?,
+            "lhu" => load(&mut a, MemWidth::H, false)?,
+            "lb" => load(&mut a, MemWidth::B, true)?,
+            "lbu" => load(&mut a, MemWidth::B, false)?,
+            "sd" => store(&mut a, MemWidth::D)?,
+            "sw" => store(&mut a, MemWidth::W)?,
+            "sh" => store(&mut a, MemWidth::H)?,
+            "sb" => store(&mut a, MemWidth::B)?,
+            "beq" => branch(&mut a, BranchCond::Eq)?,
+            "bne" => branch(&mut a, BranchCond::Ne)?,
+            "blt" => branch(&mut a, BranchCond::Lt)?,
+            "bge" => branch(&mut a, BranchCond::Ge)?,
+            "bltu" => branch(&mut a, BranchCond::Ltu)?,
+            "bgeu" => branch(&mut a, BranchCond::Geu)?,
+            "j" => {
+                need(1)?;
+                a.j(ops[0]);
+            }
+            "call" => {
+                need(1)?;
+                a.call(ops[0]);
+            }
+            "ret" => {
+                need(0)?;
+                a.ret();
+            }
+            "jalr" => {
+                need(2)?;
+                let (off, b) = mem_operand(ops[1], line)?;
+                a.jalr(reg(ops[0], line)?, b, off);
+            }
+            "halt" => {
+                need(0)?;
+                a.halt();
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cpu;
+
+    #[test]
+    fn parses_and_runs_a_program() {
+        let asm = parse_asm(
+            "# doubles a0 three times
+             li a0, 5
+             li a1, 3
+             loop:
+                 add a0, a0, a0   // double
+                 addi a1, a1, -1
+                 bne a1, zero, loop
+             halt",
+            0x1000,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(asm.assemble().unwrap());
+        cpu.run(1000).unwrap();
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.reg(Reg::A0), 40);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let asm = parse_asm(
+            "li a0, 0x8000
+             li a1, -3
+             sd a1, 8(a0)
+             ld a2, 8(a0)
+             lwu a3, 8(a0)
+             halt",
+            0,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(asm.assemble().unwrap());
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::A2), (-3i64) as u64);
+        assert_eq!(cpu.reg(Reg::A3), 0xffff_fffd);
+    }
+
+    #[test]
+    fn x_names_and_abi_names_mix() {
+        let asm = parse_asm("add x10, x11, a2\nhalt", 0).unwrap();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let asm = parse_asm(
+            "li a0, 7
+             call f
+             halt
+             f:
+                 add a0, a0, a0
+                 ret",
+            0,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(asm.assemble().unwrap());
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 14);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_asm("nop\nfrobnicate a0\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_asm("add a0, a1\n", 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("3 operands"));
+
+        let e = parse_asm("ld a0, a1\n", 0).unwrap_err();
+        assert!(e.message.contains("off(base)"));
+
+        let e = parse_asm("li q7, 3\n", 0).unwrap_err();
+        assert!(e.message.contains("unknown register"));
+    }
+
+    #[test]
+    fn display_output_reparses_for_alu_and_mem() {
+        // Round-trip through Display for PC-independent instructions.
+        use crate::{AluOp, Inst, MemWidth};
+        let insts = [
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: Reg::A0,
+                rs1: Reg::T1,
+                rs2: Reg::S3,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A1,
+                rs1: Reg::A1,
+                imm: -7,
+            },
+            Inst::Load {
+                width: MemWidth::W,
+                signed: true,
+                rd: Reg::T0,
+                base: Reg::SP,
+                offset: 16,
+            },
+            Inst::Store {
+                width: MemWidth::D,
+                base: Reg::A0,
+                src: Reg::A2,
+                offset: -8,
+            },
+            Inst::Halt,
+        ];
+        let text: String = insts.iter().map(|i| format!("{i}\n")).collect();
+        let asm = parse_asm(&text, 0x2000).unwrap();
+        let p = asm.assemble().unwrap();
+        for (got, want) in p.iter().map(|(_, i)| *i).zip(insts) {
+            assert_eq!(got, want);
+        }
+    }
+}

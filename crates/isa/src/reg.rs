@@ -1,0 +1,203 @@
+//! Logical integer registers of the guest ISA.
+//!
+//! The guest ISA uses the 32 integer registers of RV64 with the standard ABI
+//! mnemonics. [`Reg`] is a validated newtype: a `Reg` always holds an index
+//! in `0..32`, so downstream tables (rename maps, last-producer tables, ...)
+//! can index arrays with it without bounds anxiety.
+
+use std::fmt;
+
+/// Number of logical integer registers in the guest ISA.
+pub const NUM_REGS: usize = 32;
+
+/// A logical integer register (`x0`..`x31`).
+///
+/// `x0` is hard-wired to zero, exactly as in RISC-V: writes are discarded and
+/// reads return zero. The emulator and the timing model both honor this.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_isa::Reg;
+///
+/// let r = Reg::new(10).unwrap();
+/// assert_eq!(r, Reg::A0);
+/// assert_eq!(r.index(), 10);
+/// assert_eq!(r.to_string(), "a0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `x3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `t0` (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary `t1` (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary `t2` (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer `s0` (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Saved register `s1` (`x9`).
+    pub const S1: Reg = Reg(9);
+    /// Argument/return register `a0` (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Argument/return register `a1` (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Argument register `a2` (`x12`).
+    pub const A2: Reg = Reg(12);
+    /// Argument register `a3` (`x13`).
+    pub const A3: Reg = Reg(13);
+    /// Argument register `a4` (`x14`).
+    pub const A4: Reg = Reg(14);
+    /// Argument register `a5` (`x15`).
+    pub const A5: Reg = Reg(15);
+    /// Argument register `a6` (`x16`).
+    pub const A6: Reg = Reg(16);
+    /// Argument register `a7` (`x17`).
+    pub const A7: Reg = Reg(17);
+    /// Saved register `s2` (`x18`).
+    pub const S2: Reg = Reg(18);
+    /// Saved register `s3` (`x19`).
+    pub const S3: Reg = Reg(19);
+    /// Saved register `s4` (`x20`).
+    pub const S4: Reg = Reg(20);
+    /// Saved register `s5` (`x21`).
+    pub const S5: Reg = Reg(21);
+    /// Saved register `s6` (`x22`).
+    pub const S6: Reg = Reg(22);
+    /// Saved register `s7` (`x23`).
+    pub const S7: Reg = Reg(23);
+    /// Saved register `s8` (`x24`).
+    pub const S8: Reg = Reg(24);
+    /// Saved register `s9` (`x25`).
+    pub const S9: Reg = Reg(25);
+    /// Saved register `s10` (`x26`).
+    pub const S10: Reg = Reg(26);
+    /// Saved register `s11` (`x27`).
+    pub const S11: Reg = Reg(27);
+    /// Temporary `t3` (`x28`).
+    pub const T3: Reg = Reg(28);
+    /// Temporary `t4` (`x29`).
+    pub const T4: Reg = Reg(29);
+    /// Temporary `t5` (`x30`).
+    pub const T5: Reg = Reg(30);
+    /// Temporary `t6` (`x31`).
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from a raw index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use phelps_isa::Reg;
+    /// assert!(Reg::new(31).is_some());
+    /// assert!(Reg::new(32).is_none());
+    /// ```
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The raw register index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over all 32 logical registers, `x0` first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use phelps_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 32);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+
+    /// The standard ABI mnemonic for this register (e.g. `"a0"`).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; NUM_REGS] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({})", self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert_eq!(Reg::new(0), Some(Reg::ZERO));
+        assert_eq!(Reg::new(10), Some(Reg::A0));
+        assert_eq!(Reg::new(31), Some(Reg::T6));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn abi_names_match_convention() {
+        assert_eq!(Reg::ZERO.abi_name(), "zero");
+        assert_eq!(Reg::SP.abi_name(), "sp");
+        assert_eq!(Reg::A7.abi_name(), "a7");
+        assert_eq!(Reg::S11.abi_name(), "s11");
+        assert_eq!(Reg::T6.abi_name(), "t6");
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(format!("{:?}", Reg::A0), "Reg(a0)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the guest ALU matches host semantics on random
+//! operands, and assembled programs execute deterministically.
+
+use phelps_isa::{AluOp, Asm, BranchCond, Cpu, MemWidth, Memory, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    /// Guest ALU ops agree with host arithmetic on random operands.
+    #[test]
+    fn alu_matches_host(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Or.eval(a, b), a | b);
+        prop_assert_eq!(AluOp::And.eval(a, b), a & b);
+        prop_assert_eq!(AluOp::Slt.eval(a, b), ((a as i64) < (b as i64)) as u64);
+        prop_assert_eq!(AluOp::Sltu.eval(a, b), (a < b) as u64);
+        prop_assert_eq!(AluOp::Mul.eval(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(AluOp::Sll.eval(a, b), a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(AluOp::Srl.eval(a, b), a.wrapping_shr((b & 63) as u32));
+    }
+
+    /// Division follows RISC-V edge-case semantics for every operand pair.
+    #[test]
+    fn division_riscv_semantics(a in any::<u64>(), b in any::<u64>()) {
+        if b == 0 {
+            prop_assert_eq!(AluOp::Divu.eval(a, b), u64::MAX);
+            prop_assert_eq!(AluOp::Remu.eval(a, b), a);
+            prop_assert_eq!(AluOp::Div.eval(a, b), u64::MAX);
+            prop_assert_eq!(AluOp::Rem.eval(a, b), a);
+        } else {
+            prop_assert_eq!(AluOp::Divu.eval(a, b), a / b);
+            prop_assert_eq!(AluOp::Remu.eval(a, b), a % b);
+            prop_assert_eq!(
+                AluOp::Div.eval(a, b),
+                (a as i64).wrapping_div(b as i64) as u64
+            );
+        }
+    }
+
+    /// Branch conditions agree with host comparisons.
+    #[test]
+    fn branch_conditions_match_host(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        prop_assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
+        prop_assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
+        prop_assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
+        prop_assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+    }
+
+    /// Memory round-trips every width at random (possibly unaligned,
+    /// possibly page-straddling) addresses.
+    #[test]
+    fn memory_roundtrip(addr in 0u64..0x10_0000, v in any::<u64>()) {
+        let mut mem = Memory::new();
+        for w in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+            mem.write(addr, w, v);
+            let bits = 8 * w.bytes() as u32;
+            let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            prop_assert_eq!(mem.read(addr, w, false), v & mask);
+        }
+    }
+
+    /// A computed guest sum over random inputs matches the host.
+    #[test]
+    fn summing_program_matches_host(values in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mut a = Asm::new(0x1000);
+        a.label("loop");
+        a.slli(Reg::T0, Reg::A1, 3);
+        a.add(Reg::T0, Reg::A0, Reg::T0);
+        a.ld(Reg::T1, Reg::T0, 0);
+        a.add(Reg::A3, Reg::A3, Reg::T1);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.bne(Reg::A1, Reg::A2, "loop");
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        for (i, v) in values.iter().enumerate() {
+            cpu.mem.write_u64(0x8000 + 8 * i as u64, *v as u64);
+        }
+        cpu.set_reg(Reg::A0, 0x8000);
+        cpu.set_reg(Reg::A2, values.len() as u64);
+        cpu.run(1_000_000).unwrap();
+        prop_assert!(cpu.is_halted());
+        let expected: u64 = values.iter().map(|v| *v as u64).sum();
+        prop_assert_eq!(cpu.reg(Reg::A3), expected);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: every encodable instruction round-trips through the
+//! 32-bit binary encoding, and Display output re-parses to the same
+//! instruction for PC-independent forms.
+
+use phelps_isa::{decode, encode, parse_asm, AluOp, BranchCond, Inst, MemWidth, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("valid index"))
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+        Just(AluOp::Addw),
+        Just(AluOp::Subw),
+        Just(AluOp::Mulw),
+        Just(AluOp::Sllw),
+    ]
+}
+
+fn any_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D),
+    ]
+}
+
+fn any_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn alu_roundtrip(op in any_alu_op(), rd in any_reg(), rs1 in any_reg(), rs2 in any_reg()) {
+        let inst = Inst::Alu { op, rd, rs1, rs2 };
+        let w = encode(&inst, 0x1000).expect("encodes");
+        prop_assert_eq!(decode(w, 0x1000).expect("decodes"), inst);
+    }
+
+    #[test]
+    fn alui_roundtrip(
+        op in prop_oneof![
+            Just(AluOp::Add), Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra),
+            Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Slt),
+        ],
+        rd in any_reg(), rs1 in any_reg(), imm in -2048i32..=2047,
+    ) {
+        let inst = Inst::AluImm { op, rd, rs1, imm };
+        let w = encode(&inst, 0).expect("encodes");
+        prop_assert_eq!(decode(w, 0).expect("decodes"), inst);
+    }
+
+    #[test]
+    fn mem_roundtrip(
+        width in any_width(), signed in any::<bool>(),
+        rd in any_reg(), base in any_reg(), offset in -2048i32..=2047,
+    ) {
+        let load = Inst::Load { width, signed, rd, base, offset };
+        let w = encode(&load, 0x40).expect("encodes");
+        prop_assert_eq!(decode(w, 0x40).expect("decodes"), load);
+
+        let store = Inst::Store { width, base, src: rd, offset };
+        let w = encode(&store, 0x40).expect("encodes");
+        prop_assert_eq!(decode(w, 0x40).expect("decodes"), store);
+    }
+
+    #[test]
+    fn branch_roundtrip(
+        cond in any_cond(), rs1 in any_reg(), rs2 in any_reg(),
+        pc in (0u64..1 << 20).prop_map(|p| p * 4),
+        half_off in -2048i64..=2047,
+    ) {
+        let target = (pc as i64 + half_off * 2).max(0) as u64;
+        let inst = Inst::Branch { cond, rs1, rs2, target };
+        match encode(&inst, pc) {
+            Ok(w) => prop_assert_eq!(decode(w, pc).expect("decodes"), inst),
+            Err(_) => {
+                // Only legal failure: clamping `target` at 0 pushed the
+                // offset out of range.
+                prop_assert!(pc as i64 + half_off * 2 < 0);
+            }
+        }
+    }
+
+    #[test]
+    fn jal_roundtrip(
+        rd in any_reg(),
+        pc in (0u64..1 << 18).prop_map(|p| p * 4),
+        half_off in -(1i64 << 19)..(1i64 << 19) - 1,
+    ) {
+        let target = (pc as i64 + half_off * 2).max(0) as u64;
+        let inst = Inst::Jal { rd, target };
+        match encode(&inst, pc) {
+            Ok(w) => prop_assert_eq!(decode(w, pc).expect("decodes"), inst),
+            Err(_) => prop_assert!(pc as i64 + half_off * 2 < 0),
+        }
+    }
+
+    #[test]
+    fn display_reparses_alu(op in any_alu_op(), rd in any_reg(), rs1 in any_reg(), rs2 in any_reg()) {
+        let inst = Inst::Alu { op, rd, rs1, rs2 };
+        let text = format!("{inst}\nhalt");
+        let p = parse_asm(&text, 0).expect("parses").assemble().expect("assembles");
+        prop_assert_eq!(*p.fetch(0).expect("first instruction"), inst);
+    }
+}

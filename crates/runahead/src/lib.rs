@@ -1,0 +1,104 @@
+//! # phelps-runahead
+//!
+//! The Branch Runahead baseline: chain-based branch pre-execution with
+//! speculative or non-speculative child-chain triggering, plugged into the
+//! same multi-thread pipeline as Phelps through
+//! [`phelps::sim::PreExecEngine`].
+//!
+//! Two run configurations mirror the paper:
+//!
+//! * **BR** — the main thread keeps half the frontend width, LQ, and PRF
+//!   for the full run (but the whole ROB and SQ); chains run in the other
+//!   half with loose (dataflow) retirement.
+//! * **BR-12w** — a 12-wide core where the main thread keeps full baseline
+//!   resources and the chains get a 4-wide engine of their own (Fig. 12a).
+//!
+//! ```no_run
+//! use phelps::sim::{Mode, RunConfig};
+//! use phelps_runahead::{simulate_runahead, BrVariant};
+//! use phelps_workloads::suite;
+//!
+//! let cfg = RunConfig::scaled(Mode::Baseline);
+//! let result = simulate_runahead(suite::astar().cpu, &cfg, BrVariant::Speculative);
+//! println!("BR-spec IPC: {:.3}", result.stats.ipc());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chains;
+pub mod engine;
+
+pub use chains::{Chain, ChainSet};
+pub use engine::{BrConfig, BrEngine};
+
+use phelps::sim::{Pipeline, RunConfig, SimResult, ThreadQuota};
+use phelps_isa::Cpu;
+use phelps_uarch::config::CoreConfig;
+
+/// Which Branch Runahead configuration to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BrVariant {
+    /// Speculative child-chain triggering (BR-spec).
+    Speculative,
+    /// Non-speculative triggering (BR-non-spec).
+    NonSpeculative,
+    /// Speculative triggering on the 12-wide core (BR-12w).
+    TwelveWide,
+}
+
+/// Runs a workload under Branch Runahead.
+///
+/// The partition is held for the full run (the paper's §VI methodology):
+/// the main thread gets half the frontend width, LQ and PRF but the whole
+/// ROB and SQ; BR-12w gives the main thread full baseline resources on a
+/// 12-wide core.
+pub fn simulate_runahead(cpu: Cpu, cfg: &RunConfig, variant: BrVariant) -> SimResult {
+    let base = CoreConfig::paper_default();
+    let (core, mt_quota) = match variant {
+        BrVariant::TwelveWide => (
+            CoreConfig::br_12_wide(),
+            ThreadQuota {
+                width: base.width,
+                rob: base.rob,
+                lq: base.lq,
+                sq: base.sq,
+                prf: base.prf,
+            },
+        ),
+        _ => (
+            base.clone(),
+            ThreadQuota {
+                width: base.width / 2,
+                rob: base.rob, // whole ROB to the main thread
+                lq: base.lq / 2,
+                sq: base.sq, // whole SQ to the main thread
+                prf: base.prf / 2,
+            },
+        ),
+    };
+    let side_quota = ThreadQuota {
+        width: base.width / 2,
+        rob: base.rob / 2, // usage-counter budget for chains
+        lq: base.lq / 2,
+        sq: 8,
+        prf: base.prf / 2,
+    };
+
+    let speculative = variant != BrVariant::NonSpeculative;
+    let mut engine = BrEngine::new(BrConfig {
+        speculative,
+        epoch_len: cfg.epoch_len,
+        delinq_threshold: cfg.delinq_threshold(),
+    });
+    let mut regs = [0u64; phelps_isa::NUM_REGS];
+    for r in phelps_isa::Reg::all() {
+        regs[r.index()] = cpu.reg(r);
+    }
+    engine.seed_mt_regs(regs);
+
+    let mode = phelps::sim::Mode::Baseline;
+    let mut pipeline = Pipeline::new(cpu, core, &mode, Some(engine), cfg.max_mt_insts);
+    pipeline.set_quotas(mt_quota, side_quota);
+    pipeline.run()
+}

@@ -1,0 +1,135 @@
+//! PC-indexed bimodal predictor.
+
+use super::{Counter, DirectionPredictor, HistoryCheckpoint};
+
+/// A classic bimodal predictor: a table of 2-bit saturating counters
+/// indexed by branch PC.
+///
+/// Used standalone by Branch Runahead to speculatively trigger child chains
+/// (the paper's §II), and as the base table inside [`Tage`](super::Tage).
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::bpred::{Bimodal, DirectionPredictor};
+///
+/// let mut p = Bimodal::new(1024);
+/// // Train a strongly-taken branch.
+/// for _ in 0..4 {
+///     let pred = p.predict(0x40);
+///     p.update(0x40, true, pred);
+/// }
+/// assert!(p.predict(0x40));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<Counter<2>>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal table with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two(), "bimodal entries must be 2^n");
+        Bimodal {
+            table: vec![Counter::weakly_not_taken(); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// The raw counter for `pc`, exposed for confidence checks.
+    pub fn counter(&self, pc: u64) -> Counter<2> {
+        self.table[self.index(pc)]
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn speculate(&mut self, _pc: u64, _taken: bool) {}
+
+    fn checkpoint(&self) -> HistoryCheckpoint {
+        HistoryCheckpoint::default()
+    }
+
+    fn recover(&mut self, _ckpt: &HistoryCheckpoint) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Bimodal::new(256);
+        for _ in 0..10 {
+            p.update(0x100, true, false);
+        }
+        assert!(p.predict(0x100));
+        for _ in 0..10 {
+            p.update(0x104, false, true);
+        }
+        assert!(!p.predict(0x104));
+    }
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        let mut p = Bimodal::new(256);
+        assert!(!p.predict(0x0));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(256);
+        for _ in 0..4 {
+            p.update(0x10, true, false);
+            p.update(0x14, false, true);
+        }
+        assert!(p.predict(0x10));
+        assert!(!p.predict(0x14));
+    }
+
+    #[test]
+    fn aliasing_wraps_by_table_size() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..4 {
+            p.update(0x0, true, false);
+        }
+        // 16 entries, pc>>2 indexing: pc = 16*4 aliases to index 0.
+        assert!(p.predict(64 * 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn non_power_of_two_rejected() {
+        let _ = Bimodal::new(100);
+    }
+
+    #[test]
+    fn cannot_flip_on_single_outcome_when_saturated() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(0x8, true, false);
+        }
+        p.update(0x8, false, true);
+        assert!(
+            p.predict(0x8),
+            "hysteresis holds after one opposite outcome"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Loop predictor: side predictor for loops with stable trip counts.
+//!
+//! The "L" in TAGE-SC-L. Each entry tracks the trip count of a backward
+//! branch; once the same trip count is observed several times in a row, the
+//! loop predictor overrides TAGE for that branch, predicting "taken" for
+//! the body iterations and "not-taken" exactly at the trip count.
+//!
+//! Trip counts are *trained* at retire ([`LoopPredictor::update`]) but
+//! *predicted* with a speculative per-entry iteration count advanced at
+//! fetch ([`LoopPredictor::speculate`]) — essential for short loops that
+//! fit in the pipeline several times over, where the retire-time count
+//! lags fetch by multiple whole passes. On a misprediction recovery the
+//! speculative counts resync to the retired ones
+//! ([`LoopPredictor::resync`]).
+
+/// Confidence threshold before a loop entry is allowed to predict.
+const CONF_MAX: u8 = 3;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u32,
+    trip: u32,
+    /// Retire-time iteration count.
+    current: u32,
+    /// Fetch-time (speculative) iteration count; advanced in
+    /// [`LoopPredictor::speculate`], resynced to `current` on recovery.
+    spec_current: u32,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Loop trip-count predictor.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::bpred::LoopPredictor;
+///
+/// let mut lp = LoopPredictor::new(64);
+/// // A loop at pc 0x40 that always runs 5 iterations (4 taken, 1 not).
+/// for _ in 0..8 {
+///     for i in 0..5 {
+///         lp.speculate(0x40, i < 4);
+///         lp.update(0x40, i < 4);
+///     }
+/// }
+/// // Confident now: predicts not-taken exactly at the 5th iteration.
+/// for i in 0..5 {
+///     let pred = lp.predict(0x40);
+///     assert_eq!(pred, Some(i < 4));
+///     lp.speculate(0x40, i < 4);
+///     lp.update(0x40, i < 4);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LoopPredictor {
+    entries: Vec<LoopEntry>,
+    mask: u64,
+}
+
+impl LoopPredictor {
+    /// Creates a loop predictor with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> LoopPredictor {
+        assert!(entries.is_power_of_two(), "loop entries must be 2^n");
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u32 {
+        ((pc >> 2) >> self.mask.count_ones()) as u32 & 0x3fff
+    }
+
+    /// Predicts the branch at `pc`, or `None` when the entry is absent or
+    /// not yet confident. Uses the speculative (fetch-time) iteration
+    /// count.
+    pub fn predict(&self, pc: u64) -> Option<bool> {
+        let e = &self.entries[self.index(pc)];
+        if e.valid && e.tag == self.tag(pc) && e.confidence >= CONF_MAX && e.trip > 0 {
+            Some(e.spec_current + 1 < e.trip)
+        } else {
+            None
+        }
+    }
+
+    /// Advances the speculative iteration count at fetch.
+    pub fn speculate(&mut self, pc: u64, taken: bool) {
+        let tag = self.tag(pc);
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if e.valid && e.tag == tag {
+            if taken {
+                e.spec_current = e.spec_current.saturating_add(1);
+            } else {
+                e.spec_current = 0;
+            }
+        }
+    }
+
+    /// Resyncs all speculative counts to the retired counts (misprediction
+    /// recovery).
+    pub fn resync(&mut self) {
+        for e in &mut self.entries {
+            e.spec_current = e.current;
+        }
+    }
+
+    /// Whether the entry for `pc` is confident (prediction would be used).
+    pub fn confident(&self, pc: u64) -> bool {
+        self.predict(pc).is_some()
+    }
+
+    /// Trains with the retired outcome of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let tag = self.tag(pc);
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != tag {
+            // Allocate only at a loop exit so counts start aligned.
+            if !taken {
+                *e = LoopEntry {
+                    tag,
+                    trip: 0,
+                    current: 0,
+                    spec_current: 0,
+                    confidence: 0,
+                    valid: true,
+                };
+            }
+            return;
+        }
+        if taken {
+            e.current += 1;
+            // A loop that exceeds the learned trip count invalidates it.
+            if e.trip > 0 && e.current >= e.trip {
+                e.confidence = 0;
+                e.trip = 0;
+            }
+            return;
+        }
+        // Loop exit: compare observed trip count with learned.
+        let observed = e.current + 1;
+        if e.trip == observed {
+            e.confidence = (e.confidence + 1).min(CONF_MAX);
+        } else {
+            e.trip = observed;
+            e.confidence = 0;
+        }
+        e.current = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_loop(lp: &mut LoopPredictor, pc: u64, trip: u32) {
+        for i in 0..trip {
+            // Fetch-then-retire, as the pipeline drives it.
+            lp.speculate(pc, i + 1 < trip);
+            lp.update(pc, i + 1 < trip);
+        }
+    }
+
+    #[test]
+    fn fixed_trip_count_becomes_confident() {
+        let mut lp = LoopPredictor::new(64);
+        for _ in 0..6 {
+            run_loop(&mut lp, 0x100, 7);
+        }
+        assert!(lp.confident(0x100));
+        // Predict one full pass correctly.
+        for i in 0..7u32 {
+            assert_eq!(lp.predict(0x100), Some(i + 1 < 7), "iteration {i}");
+            lp.speculate(0x100, i + 1 < 7);
+            lp.update(0x100, i + 1 < 7);
+        }
+    }
+
+    #[test]
+    fn speculative_count_runs_ahead_of_retire() {
+        // A pipeline fetches several iterations before any retire: the
+        // speculative count must carry the prediction.
+        let mut lp = LoopPredictor::new(64);
+        for _ in 0..6 {
+            run_loop(&mut lp, 0x500, 5);
+        }
+        assert!(lp.confident(0x500));
+        // Fetch a whole pass without retiring anything.
+        for i in 0..5u32 {
+            assert_eq!(lp.predict(0x500), Some(i + 1 < 5), "fetch {i}");
+            lp.speculate(0x500, i + 1 < 5);
+        }
+        // Recovery resyncs to the retired count (0 here: nothing retired
+        // since the last exit).
+        lp.resync();
+        assert_eq!(lp.predict(0x500), Some(true));
+    }
+
+    #[test]
+    fn variable_trip_count_never_confident() {
+        let mut lp = LoopPredictor::new(64);
+        for t in [3u32, 5, 4, 6, 3, 7, 5, 4, 6, 8] {
+            run_loop(&mut lp, 0x200, t);
+        }
+        assert!(!lp.confident(0x200), "unstable trips stay unconfident");
+    }
+
+    #[test]
+    fn trip_count_change_resets_confidence() {
+        let mut lp = LoopPredictor::new(64);
+        for _ in 0..6 {
+            run_loop(&mut lp, 0x300, 4);
+        }
+        assert!(lp.confident(0x300));
+        run_loop(&mut lp, 0x300, 9);
+        assert!(!lp.confident(0x300), "new trip count retrains");
+    }
+
+    #[test]
+    fn unallocated_pc_predicts_none() {
+        let lp = LoopPredictor::new(64);
+        assert_eq!(lp.predict(0xdead0), None);
+    }
+
+    #[test]
+    fn trip_one_loop() {
+        // A "loop" that never iterates (always exits immediately).
+        let mut lp = LoopPredictor::new(64);
+        for _ in 0..8 {
+            lp.speculate(0x400, false);
+            lp.update(0x400, false);
+        }
+        assert_eq!(lp.predict(0x400), Some(false));
+    }
+}

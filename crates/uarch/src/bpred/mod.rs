@@ -1,0 +1,155 @@
+//! Conditional branch direction predictors.
+//!
+//! The paper's core uses a 64KB TAGE-SC-L predictor. We implement a
+//! TAGE-SC-L-class composite — [`TageScL`] — from three cooperating parts:
+//!
+//! * [`Tage`]: a bimodal base table plus tagged geometric-history tables,
+//! * [`LoopPredictor`]: a side predictor for loops with stable trip counts,
+//! * a statistical-corrector-style confidence vote that arbitrates between
+//!   the TAGE provider and its alternate prediction.
+//!
+//! All predictors implement [`DirectionPredictor`], so the timing model can
+//! also run with a plain [`Bimodal`] (used by Branch Runahead for chain
+//! triggering) or with oracle prediction.
+
+mod bimodal;
+mod loop_pred;
+mod tage;
+mod tagescl;
+
+pub use bimodal::Bimodal;
+pub use loop_pred::LoopPredictor;
+pub use tage::{Tage, TageConfig};
+pub use tagescl::TageScL;
+
+/// A conditional-branch direction predictor.
+///
+/// The contract mirrors hardware: `predict` is called at fetch with only
+/// the branch PC (history is internal speculative state), `update` is
+/// called at retire with the actual outcome, and `recover_history` is
+/// called on a pipeline squash to rewind speculative history to the state
+/// captured at the mispredicted branch.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains the predictor with the retired outcome of `pc`.
+    ///
+    /// `predicted` is the direction that was predicted for this dynamic
+    /// instance at fetch (whatever its source), so the predictor can
+    /// allocate on mispredictions.
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool);
+
+    /// Appends `taken` to the speculative global history at fetch time.
+    ///
+    /// Separated from [`DirectionPredictor::predict`] so the fetch unit can
+    /// record history for branches whose prediction came from elsewhere
+    /// (prediction queues), keeping the default predictor's history
+    /// consistent.
+    fn speculate(&mut self, pc: u64, taken: bool);
+
+    /// Captures an opaque checkpoint of speculative history.
+    fn checkpoint(&self) -> HistoryCheckpoint;
+
+    /// Rewinds speculative history to `ckpt` (misprediction recovery).
+    fn recover(&mut self, ckpt: &HistoryCheckpoint);
+}
+
+/// Opaque speculative-history checkpoint.
+///
+/// Cheap to clone; taken at every in-flight conditional branch.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HistoryCheckpoint {
+    /// Global history length at the checkpoint (the predictors rewind by
+    /// truncating to this length).
+    pub ghist_len: u64,
+}
+
+/// Saturating n-bit counter helper.
+///
+/// `Counter::<3>` is a 3-bit counter in `-4..=3`; taken-ness is the sign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Counter<const BITS: u32>(i8);
+
+impl<const BITS: u32> Counter<BITS> {
+    const MAX: i8 = (1 << (BITS - 1)) - 1;
+    const MIN: i8 = -(1 << (BITS - 1));
+
+    /// A weakly-not-taken counter.
+    pub fn weakly_not_taken() -> Counter<BITS> {
+        Counter(-1)
+    }
+
+    /// A weakly-taken counter.
+    pub fn weakly_taken() -> Counter<BITS> {
+        Counter(0)
+    }
+
+    /// Predicted direction: counter >= 0 means taken.
+    pub fn taken(self) -> bool {
+        self.0 >= 0
+    }
+
+    /// Confidence: counter at either saturation extreme.
+    pub fn is_saturated(self) -> bool {
+        self.0 == Self::MAX || self.0 == Self::MIN
+    }
+
+    /// Raw value.
+    pub fn value(self) -> i8 {
+        self.0
+    }
+
+    /// Moves the counter toward `taken`.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(Self::MAX);
+        } else {
+            self.0 = (self.0 - 1).max(Self::MIN);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_directions() {
+        let mut c = Counter::<2>::weakly_taken();
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert!(c.taken());
+        assert!(c.is_saturated());
+        assert_eq!(c.value(), 1);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert!(!c.taken());
+        assert_eq!(c.value(), -2);
+    }
+
+    #[test]
+    fn counter_hysteresis() {
+        let mut c = Counter::<2>::weakly_taken();
+        c.update(true); // strongly taken
+        c.update(false); // weakly taken
+        assert!(c.taken(), "one not-taken does not flip a strong counter");
+        c.update(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn three_bit_range() {
+        let mut c = Counter::<3>::weakly_not_taken();
+        for _ in 0..20 {
+            c.update(false);
+        }
+        assert_eq!(c.value(), -4);
+        for _ in 0..20 {
+            c.update(true);
+        }
+        assert_eq!(c.value(), 3);
+    }
+}

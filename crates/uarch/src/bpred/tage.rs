@@ -1,0 +1,619 @@
+//! TAGE: tagged geometric-history-length predictor.
+//!
+//! A clean-room implementation of the TAGE family: a bimodal base table
+//! plus `N` tagged tables indexed by hashes of the branch PC and
+//! geometrically increasing slices of global history. The longest-history
+//! hit provides the prediction; a newly-allocated weak provider defers to
+//! the alternate prediction; usefulness counters arbitrate allocation.
+//!
+//! Two global histories are kept:
+//!
+//! * a **speculative** history, appended at fetch ([`Tage::speculate`]) and
+//!   rewound on pipeline squash ([`Tage::recover`]);
+//! * a **retired** history, appended at retire inside [`Tage::update`].
+//!
+//! Because updates arrive in retire order, the retired history at update
+//! time equals the speculative history the branch saw at fetch, so table
+//! indices recompute exactly without carrying metadata through the
+//! pipeline.
+//!
+//! History folding is **incremental**, as in hardware: each table keeps
+//! circularly-folded registers of its history window, updated in O(1) per
+//! appended bit. A recovery truncates the raw bit history and replays only
+//! the surviving window to rebuild the folds.
+
+use super::{Bimodal, Counter, DirectionPredictor, HistoryCheckpoint};
+
+/// Geometry of a [`Tage`] predictor.
+#[derive(Clone, Debug)]
+pub struct TageConfig {
+    /// log2 of the number of entries in each tagged table.
+    pub table_bits: u32,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+    /// History length per tagged table, shortest first.
+    pub history_lengths: Vec<u32>,
+    /// log2 of bimodal base-table entries.
+    pub base_bits: u32,
+    /// Period (in updates) of the usefulness-counter aging reset.
+    pub useful_reset_period: u64,
+}
+
+impl TageConfig {
+    /// A 64KB-class configuration: 8 tagged tables with geometric history
+    /// lengths from 4 to 256, 4K entries each, 11-bit tags, 16K-entry base.
+    pub fn large() -> TageConfig {
+        TageConfig {
+            table_bits: 12,
+            tag_bits: 11,
+            history_lengths: vec![4, 7, 12, 20, 34, 60, 110, 256],
+            base_bits: 14,
+            useful_reset_period: 256 * 1024,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> TageConfig {
+        TageConfig {
+            table_bits: 9,
+            tag_bits: 8,
+            history_lengths: vec![4, 8, 16, 32],
+            base_bits: 10,
+            useful_reset_period: 16 * 1024,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TageEntry {
+    tag: u32,
+    ctr: Counter<3>,
+    useful: u8,
+}
+
+impl TageEntry {
+    fn empty() -> TageEntry {
+        TageEntry {
+            tag: u32::MAX,
+            ctr: Counter::weakly_not_taken(),
+            useful: 0,
+        }
+    }
+}
+
+/// One circularly-folded register: `width`-bit XOR-fold of the most recent
+/// `hist_len` history bits, maintained incrementally.
+#[derive(Clone, Copy, Debug)]
+struct Fold {
+    value: u32,
+    width: u32,
+    hist_len: u32,
+}
+
+impl Fold {
+    fn new(width: u32, hist_len: u32) -> Fold {
+        Fold {
+            value: 0,
+            width: width.max(1),
+            hist_len,
+        }
+    }
+
+    /// Pushes `inbit`; `outbit` is the bit leaving the window.
+    fn push(&mut self, inbit: bool, outbit: bool) {
+        let w = self.width;
+        let mut f = (self.value << 1) | inbit as u32;
+        // Wrap the carry bit (circular rotation of a w-bit register).
+        f ^= (f >> w) & 1;
+        // Remove the exiting bit at its accumulated rotation. hist_len % w
+        // is < w, so this can never set the carry bit again.
+        f ^= (outbit as u32) << (self.hist_len % w);
+        self.value = f & ((1u32 << w) - 1);
+    }
+}
+
+/// Append-only bit history with truncation-based recovery and per-table
+/// incremental folds.
+#[derive(Clone, Debug)]
+struct FoldedHistory {
+    bits: Vec<bool>,
+    /// Absolute position of `bits[0]` (compaction offset).
+    base: u64,
+    /// Per table: (index fold, tag fold 1, tag fold 2).
+    folds: Vec<(Fold, Fold, Fold)>,
+    max_hist: u32,
+}
+
+impl FoldedHistory {
+    fn new(cfg: &TageConfig) -> FoldedHistory {
+        let folds = cfg
+            .history_lengths
+            .iter()
+            .map(|&hl| {
+                (
+                    Fold::new(cfg.table_bits, hl),
+                    Fold::new(cfg.tag_bits, hl),
+                    Fold::new(cfg.tag_bits.saturating_sub(1).max(1), hl),
+                )
+            })
+            .collect();
+        FoldedHistory {
+            bits: Vec::new(),
+            base: 0,
+            folds,
+            max_hist: cfg.history_lengths.iter().copied().max().unwrap_or(1),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.base + self.bits.len() as u64
+    }
+
+    fn bit_at(&self, abs: u64) -> bool {
+        abs.checked_sub(self.base)
+            .and_then(|i| self.bits.get(i as usize).copied())
+            .unwrap_or(false)
+    }
+
+    fn push(&mut self, b: bool) {
+        let len = self.len();
+        for f in self.folds.iter_mut() {
+            let hl = f.0.hist_len as u64;
+            // Bit leaving this table's window (absolute position len - hl).
+            let out = if len >= hl {
+                (len - hl)
+                    .checked_sub(self.base)
+                    .and_then(|idx| self.bits.get(idx as usize).copied())
+                    .unwrap_or(false)
+            } else {
+                false
+            };
+            f.0.push(b, out);
+            f.1.push(b, out);
+            f.2.push(b, out);
+        }
+        self.bits.push(b);
+        // Compact: keep a window comfortably larger than the deepest
+        // history plus any in-flight rollback depth.
+        if self.bits.len() > (1 << 20) {
+            let keep = (self.max_hist as usize + 4096).min(self.bits.len());
+            let drop = self.bits.len() - keep;
+            self.bits.drain(0..drop);
+            self.base += drop as u64;
+        }
+    }
+
+    /// Truncates to absolute length `to` and rebuilds the folds by
+    /// replaying the surviving window (recovery path; rare).
+    fn truncate(&mut self, to: u64) {
+        if to < self.base {
+            // Rolled back past the compaction window (cannot happen for
+            // in-flight checkpoints; defensive for direct API use).
+            self.base = to;
+            self.bits.clear();
+        }
+        let keep = to.saturating_sub(self.base) as usize;
+        self.bits.truncate(keep.min(self.bits.len()));
+        let len = self.bits.len();
+        for f in self.folds.iter_mut() {
+            let hl = f.0.hist_len as usize;
+            f.0.value = 0;
+            f.1.value = 0;
+            f.2.value = 0;
+            let start = len.saturating_sub(hl);
+            for i in start..len {
+                let b = self.bits[i];
+                // Nothing exits during a from-zero window replay.
+                f.0.push(b, false);
+                f.1.push(b, false);
+                f.2.push(b, false);
+            }
+        }
+        let _ = self.bit_at(0);
+    }
+
+    fn idx_fold(&self, table: usize) -> u64 {
+        self.folds[table].0.value as u64
+    }
+
+    fn tag_fold(&self, table: usize) -> (u64, u64) {
+        (
+            self.folds[table].1.value as u64,
+            self.folds[table].2.value as u64,
+        )
+    }
+}
+
+/// The TAGE predictor.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::bpred::{DirectionPredictor, Tage, TageConfig};
+///
+/// let mut t = Tage::new(TageConfig::small());
+/// // A branch alternating T/NT is learned through history correlation.
+/// // (Speculating with the actual outcome models the repaired history a
+/// // pipeline restores after each misprediction recovery.)
+/// let mut correct = 0;
+/// for i in 0..2000u32 {
+///     let actual = i % 2 == 0;
+///     let pred = t.predict(0x400);
+///     t.speculate(0x400, actual);
+///     if pred == actual { correct += 1; }
+///     t.update(0x400, actual, pred);
+/// }
+/// assert!(correct > 1800, "learned the alternation: {correct}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tage {
+    cfg: TageConfig,
+    base: Bimodal,
+    tables: Vec<Vec<TageEntry>>,
+    spec_hist: FoldedHistory,
+    ret_hist: FoldedHistory,
+    updates: u64,
+    rng: u64,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor with the given geometry.
+    pub fn new(cfg: TageConfig) -> Tage {
+        let entries = 1usize << cfg.table_bits;
+        let tables = vec![vec![TageEntry::empty(); entries]; cfg.history_lengths.len()];
+        Tage {
+            base: Bimodal::new(1 << cfg.base_bits),
+            tables,
+            spec_hist: FoldedHistory::new(&cfg),
+            ret_hist: FoldedHistory::new(&cfg),
+            updates: 0,
+            cfg,
+            rng: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn index(&self, hist: &FoldedHistory, pc: u64, table: usize) -> usize {
+        let folded = hist.idx_fold(table);
+        let pc_part = (pc >> 2) ^ (pc >> (2 + self.cfg.table_bits as u64));
+        ((pc_part ^ folded ^ ((table as u64) << 3)) & ((1 << self.cfg.table_bits) - 1)) as usize
+    }
+
+    fn tag(&self, hist: &FoldedHistory, pc: u64, table: usize) -> u32 {
+        let (f1, f2) = hist.tag_fold(table);
+        (((pc >> 2) as u32) ^ (f1 as u32) ^ ((f2 as u32) << 1)) & ((1 << self.cfg.tag_bits) - 1)
+    }
+
+    /// (provider_table, provider_pred, alt_pred) using `hist`.
+    fn lookup(&self, hist: &FoldedHistory, pc: u64) -> Lookup {
+        let mut provider = None;
+        let mut alt = None;
+        for t in (0..self.tables.len()).rev() {
+            let idx = self.index(hist, pc, t);
+            let e = &self.tables[t][idx];
+            if e.tag == self.tag(hist, pc, t) {
+                if provider.is_none() {
+                    provider = Some((t, idx));
+                } else {
+                    alt = Some((t, idx));
+                    break;
+                }
+            }
+        }
+        let base_pred = self.base.counter(pc).taken();
+        let alt_pred = alt
+            .map(|(t, i)| self.tables[t][i].ctr.taken())
+            .unwrap_or(base_pred);
+        match provider {
+            Some((t, i)) => {
+                let e = &self.tables[t][i];
+                let weak =
+                    !e.ctr.is_saturated() && e.ctr.value().unsigned_abs() <= 1 && e.useful == 0;
+                let pred = if weak { alt_pred } else { e.ctr.taken() };
+                Lookup {
+                    provider: Some((t, i)),
+                    pred,
+                    alt_pred,
+                    provider_pred: e.ctr.taken(),
+                }
+            }
+            None => Lookup {
+                provider: None,
+                pred: base_pred,
+                alt_pred: base_pred,
+                provider_pred: base_pred,
+            },
+        }
+    }
+
+    /// Prediction recomputed with the retired history, used by composite
+    /// predictors at update time to reconstruct the fetch-time decision.
+    pub fn predict_with_retired(&self, pc: u64) -> bool {
+        self.lookup(&self.ret_hist, pc).pred
+    }
+
+    /// Provider confidence of the current speculative lookup: `true` when
+    /// the providing counter is saturated (used by the SC stage).
+    pub fn confident(&self, pc: u64) -> bool {
+        let l = self.lookup(&self.spec_hist, pc);
+        match l.provider {
+            Some((t, i)) => self.tables[t][i].ctr.is_saturated(),
+            None => self.base.counter(pc).is_saturated(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Lookup {
+    provider: Option<(usize, usize)>,
+    pred: bool,
+    alt_pred: bool,
+    provider_pred: bool,
+}
+
+impl DirectionPredictor for Tage {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.lookup(&self.spec_hist, pc).pred
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
+        self.updates += 1;
+        // Recompute with retired history == fetch-time speculative history.
+        let l = self.lookup(&self.ret_hist, pc);
+
+        // Train provider (or base).
+        match l.provider {
+            Some((t, i)) => {
+                // Usefulness: provider distinct from alt and correct.
+                if l.provider_pred != l.alt_pred {
+                    let e = &mut self.tables[t][i];
+                    if l.provider_pred == taken {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+                self.tables[t][i].ctr.update(taken);
+                // Also train base when provider was weak (alt used).
+                if l.pred != l.provider_pred {
+                    self.base.update(pc, taken, l.pred);
+                }
+            }
+            None => self.base.update(pc, taken, l.pred),
+        }
+
+        // Allocate on a mispredicting lookup, in a longer-history table.
+        if l.pred != taken {
+            let start = l.provider.map(|(t, _)| t + 1).unwrap_or(0);
+            if start < self.tables.len() {
+                // Choose among tables with u==0; prefer shorter history,
+                // with some randomization to avoid ping-pong.
+                let mut candidates: Vec<usize> = Vec::new();
+                for t in start..self.tables.len() {
+                    let idx = self.index(&self.ret_hist, pc, t);
+                    if self.tables[t][idx].useful == 0 {
+                        candidates.push(t);
+                    }
+                }
+                if candidates.is_empty() {
+                    // Decay usefulness along the way.
+                    for t in start..self.tables.len() {
+                        let idx = self.index(&self.ret_hist, pc, t);
+                        let e = &mut self.tables[t][idx];
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                } else {
+                    let pick = if candidates.len() > 1 && self.next_rand() & 3 == 0 {
+                        candidates[1]
+                    } else {
+                        candidates[0]
+                    };
+                    let idx = self.index(&self.ret_hist, pc, pick);
+                    let tag = self.tag(&self.ret_hist, pc, pick);
+                    self.tables[pick][idx] = TageEntry {
+                        tag,
+                        ctr: if taken {
+                            Counter::weakly_taken()
+                        } else {
+                            Counter::weakly_not_taken()
+                        },
+                        useful: 0,
+                    };
+                }
+            }
+        }
+
+        // Periodic graceful aging of usefulness bits.
+        if self.updates.is_multiple_of(self.cfg.useful_reset_period) {
+            for table in &mut self.tables {
+                for e in table.iter_mut() {
+                    e.useful /= 2;
+                }
+            }
+        }
+
+        self.ret_hist.push(taken);
+    }
+
+    fn speculate(&mut self, _pc: u64, taken: bool) {
+        self.spec_hist.push(taken);
+    }
+
+    fn checkpoint(&self) -> HistoryCheckpoint {
+        HistoryCheckpoint {
+            ghist_len: self.spec_hist.len(),
+        }
+    }
+
+    fn recover(&mut self, ckpt: &HistoryCheckpoint) {
+        self.spec_hist.truncate(ckpt.ghist_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_stream(t: &mut Tage, stream: &[(u64, bool)]) -> usize {
+        let mut correct = 0;
+        for &(pc, actual) in stream {
+            let pred = t.predict(pc);
+            // Speculate with the actual outcome: a pipeline repairs the
+            // speculative history on every misprediction recovery, so the
+            // steady-state history a branch sees is the actual one.
+            t.speculate(pc, actual);
+            if pred == actual {
+                correct += 1;
+            }
+            t.update(pc, actual, pred);
+        }
+        correct
+    }
+
+    #[test]
+    fn learns_strong_bias() {
+        let mut t = Tage::new(TageConfig::small());
+        let stream: Vec<(u64, bool)> = (0..1000).map(|_| (0x40, true)).collect();
+        let correct = train_stream(&mut t, &stream);
+        assert!(correct > 980, "biased branch nearly perfect: {correct}");
+    }
+
+    #[test]
+    fn learns_period_four_pattern() {
+        let mut t = Tage::new(TageConfig::small());
+        let stream: Vec<(u64, bool)> = (0..4000).map(|i| (0x80, i % 4 == 0)).collect();
+        let correct = train_stream(&mut t, &stream);
+        assert!(
+            correct > 3600,
+            "periodic pattern learned via history tables: {correct}"
+        );
+    }
+
+    #[test]
+    fn random_data_dependent_branch_stays_hard() {
+        // A pseudo-random 50/50 branch (delinquent by construction) must
+        // NOT be learnable — this is what makes MPKI meaningful.
+        let mut t = Tage::new(TageConfig::small());
+        let mut x: u64 = 12345;
+        let stream: Vec<(u64, bool)> = (0..8000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (0xc0, (x >> 33) & 1 == 1)
+            })
+            .collect();
+        let correct = train_stream(&mut t, &stream);
+        let acc = correct as f64 / stream.len() as f64;
+        assert!(
+            acc < 0.65,
+            "random branch should hover near chance, got {acc}"
+        );
+    }
+
+    #[test]
+    fn correlated_branches_exploit_global_history() {
+        // b2 at 0x200 always equals the last outcome of b1 at 0x100.
+        let mut t = Tage::new(TageConfig::small());
+        let mut x: u64 = 99;
+        let mut correct_b2 = 0;
+        let mut total_b2 = 0;
+        for i in 0..6000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b1 = (x >> 33) & 1 == 1;
+            let p1 = t.predict(0x100);
+            t.speculate(0x100, b1);
+            t.update(0x100, b1, p1);
+
+            let p2 = t.predict(0x200);
+            t.speculate(0x200, b1);
+            if i > 2000 {
+                total_b2 += 1;
+                if p2 == b1 {
+                    correct_b2 += 1;
+                }
+            }
+            t.update(0x200, b1, p2);
+        }
+        let acc = correct_b2 as f64 / total_b2 as f64;
+        assert!(acc > 0.9, "correlated branch learned via history: {acc}");
+    }
+
+    #[test]
+    fn checkpoint_recover_rewinds_history() {
+        let mut t = Tage::new(TageConfig::small());
+        for i in 0..100 {
+            t.speculate(0x10, i % 2 == 0);
+        }
+        let ckpt = t.checkpoint();
+        let before = t.predict(0x40);
+        for _ in 0..50 {
+            t.speculate(0x10, true);
+        }
+        t.recover(&ckpt);
+        assert_eq!(
+            t.predict(0x40),
+            before,
+            "prediction identical after history rewind"
+        );
+    }
+
+    #[test]
+    fn incremental_folds_match_replay() {
+        // The incremental fold after N pushes equals a from-zero replay of
+        // the last `hist_len` bits (the recovery path) — push a random
+        // stream, then truncate-to-same-length must be a no-op.
+        let cfg = TageConfig::small();
+        let mut h = FoldedHistory::new(&cfg);
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.push((x >> 40) & 1 == 1);
+        }
+        let before: Vec<u64> = (0..cfg.history_lengths.len())
+            .map(|t| h.idx_fold(t) ^ (h.tag_fold(t).0 << 20) ^ (h.tag_fold(t).1 << 40))
+            .collect();
+        let len = h.len();
+        h.truncate(len);
+        let after: Vec<u64> = (0..cfg.history_lengths.len())
+            .map(|t| h.idx_fold(t) ^ (h.tag_fold(t).0 << 20) ^ (h.tag_fold(t).1 << 40))
+            .collect();
+        assert_eq!(before, after, "truncate-to-self preserves folds");
+    }
+
+    #[test]
+    fn fold_distinguishes_histories() {
+        let cfg = TageConfig::small();
+        let mut h1 = FoldedHistory::new(&cfg);
+        let mut h2 = FoldedHistory::new(&cfg);
+        for i in 0..32 {
+            h1.push(i % 2 == 0);
+            h2.push(i % 3 == 0);
+        }
+        assert_ne!(h1.idx_fold(2), h2.idx_fold(2));
+    }
+
+    #[test]
+    fn truncate_below_base_is_safe() {
+        let cfg = TageConfig::small();
+        let mut h = FoldedHistory::new(&cfg);
+        for i in 0..100 {
+            h.push(i % 2 == 0);
+        }
+        h.truncate(0);
+        assert_eq!(h.len(), 0);
+        h.push(true); // still functional
+        assert_eq!(h.len(), 1);
+    }
+}

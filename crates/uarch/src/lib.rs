@@ -1,0 +1,40 @@
+//! # phelps-uarch
+//!
+//! Cycle-level superscalar core *components* for the Phelps reproduction:
+//!
+//! * [`config`] — the paper's core configuration (Table III) and the
+//!   thread-partitioning plans (Table I);
+//! * [`bpred`] — the default branch predictor family (TAGE-SC-L class),
+//!   plus bimodal (used by the Branch Runahead baseline);
+//! * [`mem`] — set-associative caches with MSHRs, IPCP/VLDP-style
+//!   prefetchers, and the composed three-level hierarchy;
+//! * [`stats`] — counters and derived metrics (IPC, MPKI, weighted
+//!   harmonic means for SimPoint aggregation).
+//!
+//! The pipeline itself (fetch/rename/issue/execute/retire with helper
+//! threads) lives in the `phelps` crate, which binds these components to
+//! the paper's mechanisms.
+//!
+//! ```
+//! use phelps_uarch::config::CoreConfig;
+//! use phelps_uarch::bpred::{DirectionPredictor, TageScL};
+//!
+//! let cfg = CoreConfig::paper_default();
+//! assert_eq!(cfg.rob, 632);
+//!
+//! let mut bp = TageScL::small();
+//! let pred = bp.predict(0x1000);
+//! bp.speculate(0x1000, pred);
+//! bp.update(0x1000, true, pred);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bpred;
+pub mod config;
+pub mod mem;
+pub mod stats;
+
+pub use config::{ActiveThreads, CacheConfig, CoreConfig, PartitionPlan};
+pub use stats::SimStats;

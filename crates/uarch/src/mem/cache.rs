@@ -1,0 +1,331 @@
+//! Set-associative cache model with MSHRs.
+//!
+//! [`Cache`] models tags only (data values live in the simulator's memory
+//! images): LRU replacement, fill/evict bookkeeping, and a bounded set of
+//! miss-status holding registers that merge concurrent misses to the same
+//! block and bound memory-level parallelism.
+
+use crate::config::CacheConfig;
+
+/// Result of probing one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Probe {
+    /// Block present; access completes at this level's latency.
+    Hit {
+        /// Whether the block was brought in by a prefetch and this is the
+        /// first demand touch.
+        first_prefetch_hit: bool,
+    },
+    /// Block absent; the access must go to the next level.
+    Miss,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU stamp: larger is more recent.
+    lru: u64,
+    /// Filled by prefetch and not yet demand-touched.
+    prefetched: bool,
+}
+
+impl Line {
+    fn invalid() -> Line {
+        Line {
+            tag: 0,
+            valid: false,
+            lru: 0,
+            prefetched: false,
+        }
+    }
+}
+
+/// An outstanding miss tracked by an MSHR.
+#[derive(Clone, Copy, Debug)]
+struct Mshr {
+    block: u64,
+    /// Cycle at which the fill completes and the MSHR frees.
+    done_cycle: u64,
+}
+
+/// One cache level.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::config::CacheConfig;
+/// use phelps_uarch::mem::{Cache, Probe};
+///
+/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 64, latency: 3, mshrs: 4 };
+/// let mut c = Cache::new(cfg);
+/// assert_eq!(c.probe(0x40, 0), Probe::Miss);
+/// c.fill(0x40, false, 0);
+/// assert!(matches!(c.probe(0x40, 1), Probe::Hit { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshrs: Vec<Mshr>,
+    stamp: u64,
+    /// Demand accesses observed.
+    pub accesses: u64,
+    /// Demand misses observed.
+    pub misses: u64,
+    /// Demand hits on prefetched blocks (first touch).
+    pub prefetch_hits: u64,
+    /// Fills performed.
+    pub fills: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry implies zero sets or a non-power-of-two set
+    /// count.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![vec![Line::invalid(); cfg.ways as usize]; sets as usize],
+            mshrs: Vec::new(),
+            stamp: 0,
+            accesses: 0,
+            misses: 0,
+            prefetch_hits: 0,
+            fills: 0,
+            cfg,
+        }
+    }
+
+    /// This level's hit latency.
+    pub fn latency(&self) -> u32 {
+        self.cfg.latency
+    }
+
+    /// The configured block size.
+    pub fn block_bytes(&self) -> u64 {
+        self.cfg.block_bytes
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.block_bytes
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block & (self.sets.len() as u64 - 1)) as usize
+    }
+
+    /// Probes for a demand access at `cycle`; counts statistics and updates
+    /// recency on a hit. Does **not** fill — the hierarchy calls
+    /// [`Cache::fill`] when the miss returns.
+    pub fn probe(&mut self, addr: u64, cycle: u64) -> Probe {
+        let _ = cycle;
+        self.accesses += 1;
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.stamp += 1;
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == block {
+                line.lru = self.stamp;
+                let first = line.prefetched;
+                if first {
+                    self.prefetch_hits += 1;
+                    line.prefetched = false;
+                }
+                return Probe::Hit {
+                    first_prefetch_hit: first,
+                };
+            }
+        }
+        self.misses += 1;
+        Probe::Miss
+    }
+
+    /// Probes without counting or recency update (used by prefetchers to
+    /// filter redundant prefetches).
+    pub fn contains(&self, addr: u64) -> bool {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.sets[set].iter().any(|l| l.valid && l.tag == block)
+    }
+
+    /// Fills the block containing `addr`, evicting LRU if needed.
+    /// `prefetched` marks prefetch fills for usefulness accounting.
+    pub fn fill(&mut self, addr: u64, prefetched: bool, cycle: u64) {
+        let _ = cycle;
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.stamp += 1;
+        self.fills += 1;
+        // Already present (e.g. merged fill): refresh.
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == block)
+        {
+            line.lru = self.stamp;
+            return;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways >= 1");
+        *victim = Line {
+            tag: block,
+            valid: true,
+            lru: self.stamp,
+            prefetched,
+        };
+    }
+
+    /// Tries to allocate (or merge into) an MSHR for a miss on `addr` whose
+    /// fill completes at `done_cycle`. Returns `false` when all MSHRs are
+    /// busy — the access must retry later, modeling bounded MLP.
+    pub fn mshr_allocate(&mut self, addr: u64, now: u64, done_cycle: u64) -> bool {
+        self.mshrs.retain(|m| m.done_cycle > now);
+        let block = self.block_of(addr);
+        if self.mshrs.iter().any(|m| m.block == block) {
+            return true; // merged
+        }
+        if self.mshrs.len() >= self.cfg.mshrs as usize {
+            return false;
+        }
+        self.mshrs.push(Mshr { block, done_cycle });
+        true
+    }
+
+    /// If a miss to `addr`'s block is already outstanding, the cycle its
+    /// fill completes (for merging loads onto an in-flight miss).
+    pub fn mshr_pending(&mut self, addr: u64, now: u64) -> Option<u64> {
+        self.mshrs.retain(|m| m.done_cycle > now);
+        let block = self.block_of(addr);
+        self.mshrs
+            .iter()
+            .find(|m| m.block == block)
+            .map(|m| m.done_cycle)
+    }
+
+    /// Number of MSHRs currently in use.
+    pub fn mshrs_in_use(&mut self, now: u64) -> usize {
+        self.mshrs.retain(|m| m.done_cycle > now);
+        self.mshrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            block_bytes: 64,
+            latency: 3,
+            mshrs: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.probe(0x100, 0), Probe::Miss);
+        c.fill(0x100, false, 0);
+        assert!(matches!(c.probe(0x100, 1), Probe::Hit { .. }));
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn same_block_different_offset_hits() {
+        let mut c = small();
+        c.fill(0x100, false, 0);
+        assert!(matches!(c.probe(0x13f, 0), Probe::Hit { .. }));
+        assert_eq!(c.probe(0x140, 0), Probe::Miss, "next block misses");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(); // 4 sets, 2 ways
+                             // Three blocks mapping to the same set (stride = sets * block = 256).
+        c.fill(0x000, false, 0);
+        c.fill(0x100, false, 0);
+        let _ = c.probe(0x000, 1); // make 0x000 most recent
+        c.fill(0x200, false, 2); // evicts 0x100
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x100));
+        assert!(c.contains(0x200));
+    }
+
+    #[test]
+    fn a_hit_never_evicts() {
+        let mut c = small();
+        c.fill(0x000, false, 0);
+        c.fill(0x100, false, 0);
+        for _ in 0..10 {
+            let _ = c.probe(0x000, 0);
+            let _ = c.probe(0x100, 0);
+        }
+        assert!(c.contains(0x000) && c.contains(0x100));
+    }
+
+    #[test]
+    fn prefetch_hit_counted_once() {
+        let mut c = small();
+        c.fill(0x300, true, 0);
+        assert_eq!(
+            c.probe(0x300, 1),
+            Probe::Hit {
+                first_prefetch_hit: true
+            }
+        );
+        assert_eq!(
+            c.probe(0x300, 2),
+            Probe::Hit {
+                first_prefetch_hit: false
+            }
+        );
+        assert_eq!(c.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn mshrs_bound_outstanding_misses() {
+        let mut c = small(); // 2 MSHRs
+        assert!(c.mshr_allocate(0x000, 0, 100));
+        assert!(c.mshr_allocate(0x040, 0, 100));
+        assert!(!c.mshr_allocate(0x080, 0, 100), "third miss blocked");
+        // Same-block miss merges without a new MSHR.
+        assert!(c.mshr_allocate(0x001, 0, 100));
+        // After fills complete, MSHRs free.
+        assert!(c.mshr_allocate(0x080, 101, 200));
+    }
+
+    #[test]
+    fn mshr_pending_reports_fill_time() {
+        let mut c = small();
+        assert!(c.mshr_allocate(0x40, 0, 77));
+        assert_eq!(c.mshr_pending(0x40, 1), Some(77));
+        assert_eq!(c.mshr_pending(0x40, 78), None);
+        assert_eq!(c.mshr_pending(0x80, 1), None);
+    }
+
+    #[test]
+    fn refill_of_present_block_does_not_duplicate() {
+        let mut c = small();
+        c.fill(0x100, false, 0);
+        c.fill(0x100, false, 1);
+        // Still exactly one copy: filling two more same-set blocks evicts
+        // at most two distinct blocks.
+        c.fill(0x200, false, 2);
+        c.fill(0x300, false, 3);
+        let present = [0x100u64, 0x200, 0x300]
+            .iter()
+            .filter(|&&a| c.contains(a))
+            .count();
+        assert_eq!(present, 2, "2-way set holds exactly two blocks");
+    }
+}

@@ -1,0 +1,10 @@
+//! Memory-hierarchy models: caches, MSHRs, prefetchers, and the composed
+//! three-level hierarchy.
+
+mod cache;
+mod hierarchy;
+mod prefetch;
+
+pub use cache::{Cache, Probe};
+pub use hierarchy::{AccessLevel, AccessResult, MemoryHierarchy};
+pub use prefetch::{IpcpPrefetcher, PrefetchRequest, VldpPrefetcher};

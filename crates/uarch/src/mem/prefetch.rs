@@ -1,0 +1,319 @@
+//! Hardware prefetchers.
+//!
+//! Two prefetchers in the spirit of the paper's configuration (Table III):
+//!
+//! * [`IpcpPrefetcher`] — an IPCP-style L1D prefetcher that classifies each
+//!   load IP (constant-stride vs. complex) and issues stride prefetches with
+//!   a confidence-scaled degree.
+//! * [`VldpPrefetcher`] — a VLDP-style L2 prefetcher that keeps a history of
+//!   recent block deltas per page and predicts the next delta from delta
+//!   pattern tables.
+//!
+//! Both produce candidate prefetch addresses; the hierarchy decides whether
+//! to fill (filtering blocks already present).
+
+use std::collections::HashMap;
+
+/// A prefetch candidate produced by a prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PrefetchRequest {
+    /// Target address (any byte within the target block).
+    pub addr: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct IpEntry {
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// IPCP-style per-IP stride prefetcher for the L1 data cache.
+///
+/// Classification is implicit in the confidence counter: an IP whose
+/// consecutive accesses repeat the same stride gains confidence and issues
+/// deeper prefetches; irregular IPs issue nothing.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::mem::IpcpPrefetcher;
+///
+/// let mut pf = IpcpPrefetcher::new(256);
+/// let mut reqs = Vec::new();
+/// for i in 0..8u64 {
+///     reqs = pf.train(0x40, 0x1000 + i * 64);
+/// }
+/// assert!(!reqs.is_empty(), "constant stride detected");
+/// ```
+#[derive(Clone, Debug)]
+pub struct IpcpPrefetcher {
+    table: Vec<IpEntry>,
+    mask: u64,
+}
+
+impl IpcpPrefetcher {
+    /// Creates a prefetcher with `entries` IP-table slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> IpcpPrefetcher {
+        assert!(entries.is_power_of_two());
+        IpcpPrefetcher {
+            table: vec![IpEntry::default(); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    /// Trains on a demand access by load `pc` to `addr` and returns
+    /// prefetch candidates.
+    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<PrefetchRequest> {
+        let e = &mut self.table[((pc >> 2) & self.mask) as usize];
+        let mut out = Vec::new();
+        if e.valid {
+            let stride = addr as i64 - e.last_addr as i64;
+            if stride == e.stride && stride != 0 {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.confidence = e.confidence.saturating_sub(1);
+                if e.confidence == 0 {
+                    e.stride = stride;
+                }
+            }
+            if e.confidence >= 2 && e.stride != 0 {
+                // Degree scales with confidence (2 → depth 2, 3 → depth 4).
+                let degree = if e.confidence == 3 { 4 } else { 2 };
+                for d in 1..=degree {
+                    let target = addr as i64 + e.stride * d;
+                    if target > 0 {
+                        out.push(PrefetchRequest {
+                            addr: target as u64,
+                        });
+                    }
+                }
+            }
+        } else {
+            e.valid = true;
+            e.stride = 0;
+            e.confidence = 0;
+        }
+        e.last_addr = addr;
+        out
+    }
+}
+
+const VLDP_HISTORY: usize = 3;
+
+#[derive(Clone, Debug)]
+struct PageEntry {
+    last_block: u64,
+    deltas: [i64; VLDP_HISTORY],
+    n_deltas: usize,
+}
+
+/// VLDP-style variable-length delta prefetcher for the L2 cache.
+///
+/// Per 4KB page, tracks the last few block-granularity deltas; delta
+/// pattern tables map a history of 1 or 2 recent deltas to the most likely
+/// next delta. Longer-history matches take precedence.
+#[derive(Clone, Debug)]
+pub struct VldpPrefetcher {
+    pages: HashMap<u64, PageEntry>,
+    /// DPT-1: last delta -> predicted next delta (with confidence).
+    dpt1: HashMap<i64, (i64, u8)>,
+    /// DPT-2: (delta[-2], delta[-1]) -> predicted next delta.
+    dpt2: HashMap<(i64, i64), (i64, u8)>,
+    block_bytes: u64,
+    max_pages: usize,
+}
+
+impl VldpPrefetcher {
+    /// Creates a VLDP prefetcher operating on `block_bytes` blocks.
+    pub fn new(block_bytes: u64) -> VldpPrefetcher {
+        VldpPrefetcher {
+            pages: HashMap::new(),
+            dpt1: HashMap::new(),
+            dpt2: HashMap::new(),
+            block_bytes,
+            max_pages: 64,
+        }
+    }
+
+    fn learn(map_entry: &mut (i64, u8), next: i64) {
+        if map_entry.0 == next {
+            map_entry.1 = (map_entry.1 + 1).min(3);
+        } else if map_entry.1 == 0 {
+            *map_entry = (next, 1);
+        } else {
+            map_entry.1 -= 1;
+        }
+    }
+
+    /// Trains on an L2 demand access and returns prefetch candidates.
+    pub fn train(&mut self, addr: u64) -> Vec<PrefetchRequest> {
+        let page = addr >> 12;
+        let block = addr / self.block_bytes;
+        let mut out = Vec::new();
+
+        if self.pages.len() > self.max_pages && !self.pages.contains_key(&page) {
+            // Evict an arbitrary old page to bound state (hardware keeps a
+            // small page table too).
+            if let Some(&victim) = self.pages.keys().next() {
+                self.pages.remove(&victim);
+            }
+        }
+
+        let e = self.pages.entry(page).or_insert(PageEntry {
+            last_block: block,
+            deltas: [0; VLDP_HISTORY],
+            n_deltas: 0,
+        });
+
+        let delta = block as i64 - e.last_block as i64;
+        if delta != 0 {
+            // Train DPTs with the observed transition.
+            if e.n_deltas >= 1 {
+                let d1 = e.deltas[0];
+                VldpPrefetcher::learn(self.dpt1.entry(d1).or_insert((delta, 0)), delta);
+                if e.n_deltas >= 2 {
+                    let d2 = e.deltas[1];
+                    VldpPrefetcher::learn(self.dpt2.entry((d2, d1)).or_insert((delta, 0)), delta);
+                }
+            }
+            // Shift history.
+            for i in (1..VLDP_HISTORY).rev() {
+                e.deltas[i] = e.deltas[i - 1];
+            }
+            e.deltas[0] = delta;
+            e.n_deltas = (e.n_deltas + 1).min(VLDP_HISTORY);
+            e.last_block = block;
+
+            // Predict: prefer the 2-delta table.
+            let pred = if e.n_deltas >= 2 {
+                self.dpt2
+                    .get(&(e.deltas[1], e.deltas[0]))
+                    .filter(|(_, c)| *c >= 1)
+                    .map(|(d, _)| *d)
+                    .or_else(|| {
+                        self.dpt1
+                            .get(&e.deltas[0])
+                            .filter(|(_, c)| *c >= 1)
+                            .map(|(d, _)| *d)
+                    })
+            } else {
+                self.dpt1
+                    .get(&e.deltas[0])
+                    .filter(|(_, c)| *c >= 1)
+                    .map(|(d, _)| *d)
+            };
+            if let Some(d) = pred {
+                let target = (block as i64 + d) * self.block_bytes as i64;
+                if target > 0 {
+                    out.push(PrefetchRequest {
+                        addr: target as u64,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipcp_learns_constant_stride() {
+        let mut pf = IpcpPrefetcher::new(64);
+        let mut last = Vec::new();
+        for i in 0..6u64 {
+            last = pf.train(0x10, 0x8000 + i * 128);
+        }
+        assert!(!last.is_empty());
+        assert_eq!(last[0].addr, 0x8000 + 5 * 128 + 128);
+    }
+
+    #[test]
+    fn ipcp_irregular_stream_issues_nothing() {
+        let mut pf = IpcpPrefetcher::new(64);
+        let addrs = [0x100u64, 0x9000, 0x44, 0x7770, 0x2345, 0xfff0];
+        let mut total = 0;
+        for a in addrs {
+            total += pf.train(0x20, a).len();
+        }
+        assert_eq!(total, 0, "no confidence on random addresses");
+    }
+
+    #[test]
+    fn ipcp_confidence_scales_degree() {
+        let mut pf = IpcpPrefetcher::new(64);
+        let mut reqs = Vec::new();
+        for i in 0..12u64 {
+            reqs = pf.train(0x30, 0x4000 + i * 64);
+        }
+        assert_eq!(reqs.len(), 4, "saturated confidence issues degree 4");
+    }
+
+    #[test]
+    fn ipcp_separate_ips_tracked_independently() {
+        let mut pf = IpcpPrefetcher::new(64);
+        for i in 0..8u64 {
+            let r1 = pf.train(0x40, 0x1000 + i * 64);
+            let r2 = pf.train(0x44, 0x9000 + i * 256);
+            if i == 7 {
+                assert!(!r1.is_empty() && !r2.is_empty());
+                assert_eq!(r1[0].addr, 0x1000 + 7 * 64 + 64);
+                assert_eq!(r2[0].addr, 0x9000 + 7 * 256 + 256);
+            }
+        }
+    }
+
+    #[test]
+    fn vldp_learns_repeating_delta_pattern() {
+        let mut pf = VldpPrefetcher::new(64);
+        // Pattern of block deltas within a page: +1, +3, +1, +3, ...
+        let mut block = 0u64;
+        let mut predicted_right = 0;
+        let mut total = 0;
+        for i in 0..40 {
+            let delta = if i % 2 == 0 { 1 } else { 3 };
+            block += delta;
+            let reqs = pf.train(block * 64);
+            if i > 10 {
+                total += 1;
+                let next = block + if (i + 1) % 2 == 0 { 1 } else { 3 };
+                if reqs.iter().any(|r| r.addr / 64 == next) {
+                    predicted_right += 1;
+                }
+            }
+        }
+        assert!(
+            predicted_right * 2 > total,
+            "{predicted_right}/{total} pattern predictions"
+        );
+    }
+
+    #[test]
+    fn vldp_same_block_rereference_is_ignored() {
+        let mut pf = VldpPrefetcher::new(64);
+        let _ = pf.train(0x1000);
+        let reqs = pf.train(0x1008); // same block
+        assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn vldp_page_state_bounded() {
+        let mut pf = VldpPrefetcher::new(64);
+        for p in 0..1000u64 {
+            let _ = pf.train(p << 12);
+        }
+        assert!(
+            pf.pages.len() <= 66,
+            "page table bounded: {}",
+            pf.pages.len()
+        );
+    }
+}

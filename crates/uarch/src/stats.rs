@@ -1,0 +1,214 @@
+//! Simulation statistics.
+//!
+//! [`SimStats`] is a passive counter bundle filled in by the timing model
+//! and read by the experiment harness. Derived quantities (IPC, MPKI,
+//! speedups) are computed on demand so the raw counters stay authoritative.
+
+/// Where a conditional-branch prediction consumed by the fetch unit came
+/// from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PredSource {
+    /// The core's default (TAGE-SC-L-class) predictor.
+    DefaultPredictor,
+    /// A Phelps prediction queue (or a Branch Runahead outcome queue).
+    PreExecQueue,
+    /// Oracle prediction (perfect-BP configuration).
+    Oracle,
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Clone, Default, Debug)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired by the main thread.
+    pub mt_retired: u64,
+    /// Instructions retired by helper threads / pre-execution engines.
+    pub ht_retired: u64,
+    /// Conditional branches retired by the main thread.
+    pub mt_cond_branches: u64,
+    /// Main-thread conditional-branch mispredictions (fetch-time prediction
+    /// wrong, regardless of source).
+    pub mt_mispredicts: u64,
+    /// Mispredictions whose consumed prediction came from a pre-execution
+    /// queue.
+    pub mispredicts_from_queue: u64,
+    /// Conditional-branch predictions consumed from a pre-execution queue.
+    pub preds_from_queue: u64,
+    /// Conditional-branch predictions from the default predictor while a
+    /// queue was expected but empty/untimely.
+    pub queue_untimely: u64,
+    /// Pipeline squashes due to load-store ordering violations.
+    pub load_violations: u64,
+    /// Helper-thread trigger events (pre-execution started).
+    pub triggers: u64,
+    /// Helper-thread termination events.
+    pub terminations: u64,
+    /// L1D accesses / misses (demand).
+    pub l1d_accesses: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// L2 demand misses.
+    pub l2_misses: u64,
+    /// L3 demand misses.
+    pub l3_misses: u64,
+    /// Prefetches issued (all levels).
+    pub prefetches_issued: u64,
+    /// Demand hits on prefetched blocks.
+    pub prefetch_hits: u64,
+    /// Cycles the main thread's fetch stalled behind an unresolved
+    /// misprediction.
+    pub mt_fetch_stall_mispredict: u64,
+    /// Cycles the main thread's fetch stalled on live-in move injection.
+    pub mt_fetch_stall_trigger: u64,
+}
+
+impl SimStats {
+    /// Creates a zeroed counter bundle.
+    pub fn new() -> SimStats {
+        SimStats::default()
+    }
+
+    /// Main-thread instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mt_retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Main-thread mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.mt_retired == 0 {
+            0.0
+        } else {
+            1000.0 * self.mt_mispredicts as f64 / self.mt_retired as f64
+        }
+    }
+
+    /// Branch-prediction accuracy over retired conditional branches.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.mt_cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mt_mispredicts as f64 / self.mt_cond_branches as f64
+        }
+    }
+
+    /// Helper-thread instruction overhead, normalized to main-thread
+    /// instructions (Fig. 13b is expressed per 100M retired).
+    pub fn ht_overhead_ratio(&self) -> f64 {
+        if self.mt_retired == 0 {
+            0.0
+        } else {
+            self.ht_retired as f64 / self.mt_retired as f64
+        }
+    }
+}
+
+/// Speedup of `test` over `baseline` by IPC.
+pub fn speedup(baseline: &SimStats, test: &SimStats) -> f64 {
+    if baseline.ipc() == 0.0 {
+        0.0
+    } else {
+        test.ipc() / baseline.ipc()
+    }
+}
+
+/// Weighted harmonic mean of IPCs, the paper's SimPoint aggregation.
+///
+/// `points` are `(weight, ipc)` pairs; weights need not sum to one.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::stats::weighted_harmonic_mean_ipc;
+/// let ipc = weighted_harmonic_mean_ipc(&[(1.0, 2.0), (1.0, 4.0)]);
+/// assert!((ipc - 8.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn weighted_harmonic_mean_ipc(points: &[(f64, f64)]) -> f64 {
+    let total_w: f64 = points.iter().map(|(w, _)| w).sum();
+    if total_w == 0.0 {
+        return 0.0;
+    }
+    let denom: f64 = points
+        .iter()
+        .filter(|(_, ipc)| *ipc > 0.0)
+        .map(|(w, ipc)| w / ipc)
+        .sum();
+    if denom == 0.0 {
+        0.0
+    } else {
+        total_w / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_mpki() {
+        let s = SimStats {
+            cycles: 1000,
+            mt_retired: 2500,
+            mt_cond_branches: 500,
+            mt_mispredicts: 25,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mpki() - 10.0).abs() < 1e-12);
+        assert!((s.branch_accuracy() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::new();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.ht_overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = SimStats {
+            cycles: 1000,
+            mt_retired: 1000,
+            ..SimStats::default()
+        };
+        let fast = SimStats {
+            cycles: 500,
+            mt_retired: 1000,
+            ..SimStats::default()
+        };
+        assert!((speedup(&base, &fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_dominated_by_slow_points() {
+        let m = weighted_harmonic_mean_ipc(&[(0.9, 1.0), (0.1, 100.0)]);
+        assert!(m < 2.0, "harmonic mean stays near the dominant slow point");
+    }
+
+    #[test]
+    fn harmonic_mean_single_point_is_identity() {
+        assert!((weighted_harmonic_mean_ipc(&[(0.37, 3.2)]) - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_empty_is_zero() {
+        assert_eq!(weighted_harmonic_mean_ipc(&[]), 0.0);
+    }
+
+    #[test]
+    fn ht_overhead_matches_fig13b_units() {
+        let s = SimStats {
+            mt_retired: 100_000_000,
+            ht_retired: 34_700_000,
+            ..SimStats::default()
+        };
+        assert!((s.ht_overhead_ratio() - 0.347).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! An astar-like grid-expansion kernel (the `makebound2` idiom, paper
+//! Fig. 3).
+//!
+//! A worklist of grid cells is scanned; for each cell, all eight neighbors
+//! are tested. Per neighbor there is a **pair of dependent delinquent
+//! branches**: `b_odd` tests the neighbor's `waymap` fill state (a load of
+//! arbitrary grid data — hard to predict) and, when it passes, `b_even`
+//! tests a second data-dependent condition; when that passes too, a store
+//! marks the neighbor's `waymap` entry and appends it to the output
+//! worklist. The stores **influence later instances of the odd branches**
+//! (a loop-carried store→load dependence through `waymap`) and are
+//! **control-dependent** on both branches of their pair — exactly the
+//! b1→b2→s1 structure the paper analyzes.
+//!
+//! Guest memory layout:
+//!
+//! * `ARRAY_A`: `waymap[cells]` fill state (8 bytes per cell),
+//! * `ARRAY_B`: input worklist of cell indices,
+//! * `ARRAY_C`: output worklist,
+//! * `ARRAY_D`: per-cell cost field tested by the even branches,
+//! * `SCRATCH`: output tail counter.
+
+use crate::graph::layout;
+use phelps_isa::{Asm, Cpu, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the astar-like kernel.
+#[derive(Clone, Debug)]
+pub struct AstarParams {
+    /// Grid side length (cells = side²).
+    pub side: usize,
+    /// Number of worklist entries to process.
+    pub worklist: usize,
+    /// RNG seed for the initial fill state and costs.
+    pub seed: u64,
+}
+
+impl Default for AstarParams {
+    fn default() -> AstarParams {
+        AstarParams {
+            // Non-power-of-two pitch, like real map grids: a power-of-two
+            // side makes same-column cells alias into one store-cache set
+            // ((r*256+c) mod 16 == c mod 16), artificially thrashing the
+            // helper thread's 16-set speculative cache.
+            side: 257,
+            worklist: 30_000,
+            seed: 0xa57a,
+        }
+    }
+}
+
+/// Builds the prepared CPU for the astar-like kernel.
+///
+/// Register conventions inside the loop:
+/// `s0` = waymap base, `s1` = input worklist base, `s2` = output base,
+/// `s3` = cost base, `s4` = loop index, `s5` = worklist length,
+/// `s6` = output tail, `s7` = side, `t*`/`a*` = scratch.
+pub fn astar_grid(params: &AstarParams) -> Cpu {
+    let side = params.side as i64;
+    let mut a = Asm::new(0x10000);
+
+    // Neighbor offsets of the 8 surrounding cells (as in makebound2's
+    // eight index1 computations).
+    let offsets: [i64; 8] = [1, -1, side, -side, side + 1, side - 1, -side + 1, -side - 1];
+
+    a.label("outer");
+    // Per-iteration search state (stands in for astar's mutating
+    // cost/bound state): a register LCG advanced once per worklist
+    // element. The even branches mix it into their tests, making them
+    // data-dependent per dynamic instance — as delinquent as the odd ones.
+    a.li(Reg::T6, 0x5851_f42d);
+    a.mul(Reg::S7, Reg::S7, Reg::T6);
+    a.addi(Reg::S7, Reg::S7, 12345);
+    // index = worklist[s4]
+    a.slli(Reg::T0, Reg::S4, 3);
+    a.add(Reg::T0, Reg::S1, Reg::T0);
+    a.ld(Reg::A0, Reg::T0, 0); // a0 = index
+
+    for (k, off) in offsets.iter().enumerate() {
+        let skip = format!("skip{k}");
+        // index1 = index + offset
+        a.li(Reg::T1, *off);
+        a.add(Reg::A1, Reg::A0, Reg::T1); // a1 = index1
+                                          // waymap[index1] load → b_odd
+        a.slli(Reg::T2, Reg::A1, 3);
+        a.add(Reg::T2, Reg::S0, Reg::T2); // t2 = &waymap[index1]
+        a.ld(Reg::T3, Reg::T2, 0); // t3 = waymap[index1].fillnum
+        a.bne(Reg::T3, Reg::ZERO, &skip); // b_odd: already filled → skip
+                                          // cost test → b_even (cost mixed with the mutating search state)
+        a.slli(Reg::T4, Reg::A1, 3);
+        a.add(Reg::T4, Reg::S3, Reg::T4);
+        a.ld(Reg::T5, Reg::T4, 0); // t5 = cost[index1]
+        a.xor(Reg::T5, Reg::T5, Reg::S7);
+        a.srli(Reg::T5, Reg::T5, 7);
+        a.andi(Reg::T5, Reg::T5, 3);
+        a.beq(Reg::T5, Reg::ZERO, &skip); // b_even: cost rejects (~25%) → skip
+                                          // s_k: waymap[index1].fillnum = 1 (influences future b_odd).
+        a.li(Reg::T6, 1);
+        a.sd(Reg::T6, Reg::T2, 0);
+        // Append to the output worklist.
+        a.slli(Reg::A2, Reg::S6, 3);
+        a.add(Reg::A2, Reg::S2, Reg::A2);
+        a.sd(Reg::A1, Reg::A2, 0);
+        a.addi(Reg::S6, Reg::S6, 1);
+        // "Other statements" in the accepted block (paper Fig. 3 line 15):
+        // bookkeeping outside every delinquent-branch slice.
+        a.add(Reg::S8, Reg::S8, Reg::A1);
+        a.xor(Reg::S9, Reg::S9, Reg::A1);
+        a.addi(Reg::S10, Reg::S10, 1);
+        a.or(Reg::S11, Reg::S11, Reg::S9);
+        a.label(&skip);
+    }
+
+    // "Other statements": bookkeeping outside every branch slice.
+    a.add(Reg::A3, Reg::A3, Reg::A0);
+    a.xor(Reg::A4, Reg::A4, Reg::A3);
+    a.slli(Reg::A5, Reg::A3, 1);
+    a.add(Reg::A6, Reg::A6, Reg::A5);
+    a.andi(Reg::A7, Reg::A4, 1023);
+    a.or(Reg::A6, Reg::A6, Reg::A7);
+    a.add(Reg::A3, Reg::A3, Reg::A7);
+    a.xor(Reg::A4, Reg::A4, Reg::A6);
+
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "outer");
+    // Bound-generation boundary (makebound2 returns; the caller swaps the
+    // bound lists and calls it again): accepted neighbors become the next
+    // worklist.
+    a.li(Reg::T0, layout::SCRATCH as i64);
+    a.ld(Reg::T1, Reg::T0, 8); // processed-cells budget
+    a.add(Reg::T2, Reg::T2, Reg::S5);
+    a.sub(Reg::T1, Reg::T1, Reg::S5);
+    a.sd(Reg::T1, Reg::T0, 8);
+    a.blt(Reg::T1, Reg::ZERO, "done");
+    a.beq(Reg::S6, Reg::ZERO, "done");
+    a.mv(Reg::A2, Reg::S1);
+    a.mv(Reg::S1, Reg::S2);
+    a.mv(Reg::S2, Reg::A2);
+    a.mv(Reg::S5, Reg::S6);
+    a.li(Reg::S6, 0);
+    a.li(Reg::S4, 0);
+    a.j("outer");
+    a.label("done");
+    // Persist the output tail.
+    a.li(Reg::T0, layout::SCRATCH as i64);
+    a.sd(Reg::S6, Reg::T0, 0);
+    a.halt();
+
+    let prog = a.assemble().expect("astar kernel assembles");
+    let mut cpu = Cpu::new(prog);
+
+    // Initialize guest data.
+    let side = params.side;
+    let cells = (side * side) as u64;
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    // waymap: ~35% pre-filled obstacles so the expanding bound meets an
+    // irregular fill boundary (b_odd outcomes stay data-dependent);
+    // borders are sentinel-filled so the wavefront cannot escape the grid.
+    for c in 0..cells {
+        let r = c as usize / side;
+        let col = c as usize % side;
+        let border = r == 0 || col == 0 || r == side - 1 || col == side - 1;
+        let filled = border || rng.gen_range(0..100) < 35;
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * c, filled as u64);
+        // cost: arbitrary values mixed with mutable search state by b_even.
+        cpu.mem
+            .write_u64(layout::ARRAY_D + 8 * c, rng.gen_range(0..1_000_000));
+    }
+    // Seed worklist: a scattering of start cells near the center. Each
+    // generation's accepted neighbors become the next worklist (bound
+    // expansion), so consecutive entries are spatially adjacent and their
+    // eight-neighborhoods overlap — the wavefront behavior that makes the
+    // `waymap` stores influence `b_odd` loads a few iterations later
+    // (the paper's loop-carried store→load dependence, varying distance).
+    let mut seeds = 0u64;
+    let mid = side / 2;
+    for dr in -2i64..=2 {
+        for dc in -2i64..=2 {
+            let r = (mid as i64 + dr * 3) as usize;
+            let c = (mid as i64 + dc * 3) as usize;
+            let cell = (r * side + c) as u64;
+            cpu.mem.write_u64(layout::ARRAY_B + 8 * seeds, cell);
+            cpu.mem.write_u64(layout::ARRAY_A + 8 * cell, 1); // seed is filled
+            seeds += 1;
+        }
+    }
+    // Processed-cells budget bounds the run length.
+    cpu.mem
+        .write_u64(layout::SCRATCH + 8, params.worklist as u64);
+
+    cpu.set_reg(Reg::S0, layout::ARRAY_A);
+    cpu.set_reg(Reg::S1, layout::ARRAY_B);
+    cpu.set_reg(Reg::S2, layout::ARRAY_C);
+    cpu.set_reg(Reg::S3, layout::ARRAY_D);
+    cpu.set_reg(Reg::S4, 0);
+    cpu.set_reg(Reg::S5, seeds);
+    cpu.set_reg(Reg::S6, 0);
+    cpu.set_reg(Reg::S7, params.seed | 1); // LCG search-state seed
+    cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(params: &AstarParams) -> Cpu {
+        let mut cpu = astar_grid(params);
+        cpu.run(100_000_000).unwrap();
+        assert!(cpu.is_halted(), "kernel halts");
+        cpu
+    }
+
+    #[test]
+    fn kernel_expands_a_bound_wavefront() {
+        let cpu = run(&AstarParams {
+            side: 65,
+            worklist: 2_000,
+            seed: 7,
+        });
+        // s10 counts accepted neighbors across all generations.
+        let accepted = cpu.reg(Reg::S10);
+        assert!(accepted > 500, "the bound expands: {accepted}");
+        assert!(
+            accepted < 65 * 65,
+            "acceptances bounded by the grid: {accepted}"
+        );
+    }
+
+    #[test]
+    fn stores_prevent_reacceptance() {
+        // Every accepted cell is marked filled, so the total number of
+        // acceptances can never exceed the number of initially-unfilled
+        // cells (the loop-carried store→load dependence is live).
+        let params = AstarParams {
+            side: 65,
+            worklist: 50_000,
+            seed: 9,
+        };
+        let cpu = run(&params);
+        let cells = (params.side * params.side) as u64;
+        let mut unfilled_initially = 0;
+        // Recount with the generator's stream.
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        for c in 0..cells {
+            let r = c as usize / params.side;
+            let col = c as usize % params.side;
+            let border = r == 0 || col == 0 || r == params.side - 1 || col == params.side - 1;
+            let filled = rng.gen_range(0..100) < 35;
+            let _ = rng.gen_range(0..1_000_000u64);
+            if !border && !filled {
+                unfilled_initially += 1;
+            }
+        }
+        let accepted = cpu.reg(Reg::S10);
+        assert!(
+            accepted <= unfilled_initially,
+            "acceptances {accepted} bounded by unfilled {unfilled_initially}"
+        );
+        // Every accepted cell is now marked in waymap.
+        let mut marked = 0u64;
+        for c in 0..cells {
+            if cpu.mem.read_u64(layout::ARRAY_A + 8 * c) != 0 {
+                marked += 1;
+            }
+        }
+        assert!(marked as u64 >= accepted, "marks cover acceptances");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = AstarParams {
+            side: 65,
+            worklist: 1_000,
+            seed: 11,
+        };
+        let mut a = astar_grid(&p);
+        let mut b = astar_grid(&p);
+        a.run(100_000_000).unwrap();
+        b.run(100_000_000).unwrap();
+        assert_eq!(a.reg(Reg::S10), b.reg(Reg::S10));
+        assert_eq!(a.retired(), b.retired());
+        // Different seeds give different expansions.
+        let mut c = astar_grid(&AstarParams { seed: 12, ..p });
+        c.run(100_000_000).unwrap();
+        assert_ne!(a.reg(Reg::S10), c.reg(Reg::S10));
+    }
+
+    #[test]
+    fn budget_bounds_the_run() {
+        let small = run(&AstarParams {
+            side: 129,
+            worklist: 500,
+            seed: 3,
+        });
+        let large = run(&AstarParams {
+            side: 129,
+            worklist: 5_000,
+            seed: 3,
+        });
+        assert!(large.retired() > small.retired() * 2);
+    }
+}

@@ -1,0 +1,799 @@
+//! GAP-style graph kernels in guest assembly.
+//!
+//! Each kernel follows the microarchitectural idiom the paper relies on:
+//!
+//! * [`bfs`] and [`bc`] use the **nested-loop idiom** of Fig. 2 — a
+//!   long-running outer loop over the frontier with a short,
+//!   unpredictable-trip-count inner loop over neighbors, an inner header
+//!   branch, unpredictable body branches, and **guarded stores that
+//!   influence later branch instances** (`parent[v]` / `depth[v]`);
+//! * [`pr`] has the nested idiom with a delinquent inner loop branch only;
+//! * [`cc`] (label propagation) adds an unpredictable compare branch with
+//!   a guarded, influential store;
+//! * [`cc_sv`] (Shiloach–Vishkin-style) runs **two** delinquent flat loops
+//!   (hook and pointer-jumping) in the same epochs — the paper's Fig. 14
+//!   `cc_sv` scenario;
+//! * [`sssp`] (Bellman–Ford over an edge list) has the full b1→b2→s1
+//!   nesting in a flat loop: a reachability test guarding a relaxation
+//!   test guarding the `dist[v]` store that feeds both.
+
+use crate::graph::{layout, write_csr, Graph};
+use phelps_isa::{Asm, Cpu, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `u64::MAX` materialized with `li` (sign-extended -1).
+const INF: i64 = -1;
+
+fn prepared_cpu(a: Asm, g: &Graph) -> Cpu {
+    let mut cpu = Cpu::new(a.assemble().expect("kernel assembles"));
+    write_csr(&mut cpu.mem, g);
+    cpu
+}
+
+/// Breadth-first search from `source`, level-synchronous with explicit
+/// frontier arrays. Returns the prepared CPU.
+///
+/// Register map: `s0`=offs, `s1`=neigh, `s2`=parent, `s3`=frontier,
+/// `s4`=next, `s5`=frontier size, `s6`=next tail, `s7`=fi, `a7`=-1.
+pub fn bfs(g: &Graph, source: usize) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("outer");
+    // u = frontier[fi]
+    a.slli(Reg::T6, Reg::S7, 3);
+    a.add(Reg::T6, Reg::S3, Reg::T6);
+    a.ld(Reg::T0, Reg::T6, 0);
+    // start/end = offs[u], offs[u+1]
+    a.slli(Reg::T6, Reg::T0, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T6, 0);
+    a.ld(Reg::T3, Reg::T6, 8);
+    a.bgeu(Reg::T2, Reg::T3, "skip_inner"); // brA: header
+    a.label("inner");
+    // v = neigh[j]
+    a.slli(Reg::T6, Reg::T2, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::T4, Reg::T6, 0);
+    // parent check
+    a.slli(Reg::T5, Reg::T4, 3);
+    a.add(Reg::T5, Reg::S2, Reg::T5);
+    a.ld(Reg::A2, Reg::T5, 0);
+    a.bne(Reg::A2, Reg::A7, "cont"); // brB: visited?
+    a.sd(Reg::T0, Reg::T5, 0); // parent[v] = u (guarded, influential)
+    a.slli(Reg::A3, Reg::S6, 3);
+    a.add(Reg::A3, Reg::S4, Reg::A3);
+    a.sd(Reg::T4, Reg::A3, 0); // next[tail] = v
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.label("cont");
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.bltu(Reg::T2, Reg::T3, "inner"); // brC: inner backward
+    a.label("skip_inner");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S7, Reg::S7, 1);
+    a.bltu(Reg::S7, Reg::S5, "outer"); // brD: outer backward
+                                       // Level boundary: swap frontier/next.
+    a.beq(Reg::S6, Reg::ZERO, "done");
+    a.mv(Reg::A4, Reg::S3);
+    a.mv(Reg::S3, Reg::S4);
+    a.mv(Reg::S4, Reg::A4);
+    a.mv(Reg::S5, Reg::S6);
+    a.li(Reg::S6, 0);
+    a.li(Reg::S7, 0);
+    a.j("outer");
+    a.label("done");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * v, u64::MAX);
+    }
+    cpu.mem
+        .write_u64(layout::ARRAY_A + 8 * source as u64, source as u64);
+    cpu.mem.write_u64(layout::ARRAY_B, source as u64);
+    cpu.set_reg(Reg::S0, layout::OFFSETS);
+    cpu.set_reg(Reg::S1, layout::NEIGHBORS);
+    cpu.set_reg(Reg::S2, layout::ARRAY_A);
+    cpu.set_reg(Reg::S3, layout::ARRAY_B);
+    cpu.set_reg(Reg::S4, layout::ARRAY_C);
+    cpu.set_reg(Reg::S5, 1);
+    cpu.set_reg(Reg::S6, 0);
+    cpu.set_reg(Reg::S7, 0);
+    cpu.set_reg(Reg::A7, u64::MAX);
+    cpu
+}
+
+/// PageRank, pull style with Q32 fixed-point arithmetic, `iters` sweeps.
+///
+/// Register map: `s0`=offs, `s1`=neigh, `s2`=contrib, `s3`=rank,
+/// `s4`=u, `s5`=n, `s6`=iteration counter, `a6`=base rank, `a5`=alpha num.
+pub fn pr(g: &Graph, iters: u64) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("sweep");
+    a.li(Reg::S4, 0);
+    a.label("outer");
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T6, 0); // start
+    a.ld(Reg::T3, Reg::T6, 8); // end
+    a.li(Reg::T0, 0); // sum
+    a.bgeu(Reg::T2, Reg::T3, "skip_inner"); // header
+    a.label("inner");
+    a.slli(Reg::T6, Reg::T2, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::T4, Reg::T6, 0); // v
+    a.slli(Reg::T5, Reg::T4, 3);
+    a.add(Reg::T5, Reg::S2, Reg::T5);
+    a.ld(Reg::A2, Reg::T5, 0); // contrib[v]
+    a.add(Reg::T0, Reg::T0, Reg::A2);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.bltu(Reg::T2, Reg::T3, "inner"); // brC delinquent (trip count)
+    a.label("skip_inner");
+    // rank[u] = base + (alpha * sum) >> 8   (alpha = 217/256 ≈ 0.85)
+    a.mul(Reg::T0, Reg::T0, Reg::A5);
+    a.srli(Reg::T0, Reg::T0, 8);
+    a.add(Reg::T0, Reg::T0, Reg::A6);
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T6, Reg::S3, Reg::T6);
+    a.sd(Reg::T0, Reg::T6, 0);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "outer");
+    // Contribution update pass: contrib[v] = rank[v] / degree[v].
+    a.li(Reg::S4, 0);
+    a.label("contrib");
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T5, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T5, 0);
+    a.ld(Reg::T3, Reg::T5, 8);
+    a.sub(Reg::T3, Reg::T3, Reg::T2); // degree
+    a.add(Reg::T5, Reg::S3, Reg::T6);
+    a.ld(Reg::T0, Reg::T5, 0); // rank[v]
+    a.alu(phelps_isa::AluOp::Divu, Reg::T0, Reg::T0, Reg::T3);
+    a.add(Reg::T5, Reg::S2, Reg::T6);
+    a.sd(Reg::T0, Reg::T5, 0);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "contrib");
+    a.addi(Reg::S6, Reg::S6, -1);
+    a.bne(Reg::S6, Reg::ZERO, "sweep");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    let init_rank = 1u64 << 20;
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_B + 8 * v, init_rank);
+        let deg = g.neighbors_of(v as usize).len() as u64;
+        cpu.mem
+            .write_u64(layout::ARRAY_A + 8 * v, init_rank / deg.max(1));
+    }
+    cpu.set_reg(Reg::S0, layout::OFFSETS);
+    cpu.set_reg(Reg::S1, layout::NEIGHBORS);
+    cpu.set_reg(Reg::S2, layout::ARRAY_A); // contrib
+    cpu.set_reg(Reg::S3, layout::ARRAY_B); // rank
+    cpu.set_reg(Reg::S5, n);
+    cpu.set_reg(Reg::S6, iters);
+    cpu.set_reg(Reg::A5, 217);
+    cpu.set_reg(Reg::A6, (1u64 << 20) * 39 / 256); // (1-alpha) * init
+    cpu
+}
+
+/// Connected components via label propagation, `max_sweeps` bounded.
+///
+/// Register map: `s0`=offs, `s1`=neigh, `s2`=comp, `s4`=u, `s5`=n,
+/// `s6`=changed, `s7`=sweeps left.
+pub fn cc(g: &Graph, max_sweeps: u64) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("sweep");
+    a.li(Reg::S4, 0);
+    a.li(Reg::S6, 0);
+    a.label("outer");
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T6, 0);
+    a.ld(Reg::T3, Reg::T6, 8);
+    // cu = comp[u]
+    a.slli(Reg::A2, Reg::S4, 3);
+    a.add(Reg::A2, Reg::S2, Reg::A2);
+    a.ld(Reg::T0, Reg::A2, 0);
+    a.bgeu(Reg::T2, Reg::T3, "skip_inner"); // header
+    a.label("inner");
+    a.slli(Reg::T6, Reg::T2, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::T4, Reg::T6, 0); // v
+    a.slli(Reg::T5, Reg::T4, 3);
+    a.add(Reg::T5, Reg::S2, Reg::T5);
+    a.ld(Reg::A3, Reg::T5, 0); // cv = comp[v]
+    a.bgeu(Reg::A3, Reg::T0, "cont"); // b1: cv < cu? (unpredictable)
+    a.mv(Reg::T0, Reg::A3); // cu = cv
+    a.sd(Reg::T0, Reg::A2, 0); // comp[u] = cv (guarded, influential)
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.label("cont");
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.bltu(Reg::T2, Reg::T3, "inner"); // brC
+    a.label("skip_inner");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "outer"); // brD
+    a.addi(Reg::S7, Reg::S7, -1);
+    a.beq(Reg::S7, Reg::ZERO, "done");
+    a.bne(Reg::S6, Reg::ZERO, "sweep");
+    a.label("done");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * v, v);
+    }
+    cpu.set_reg(Reg::S0, layout::OFFSETS);
+    cpu.set_reg(Reg::S1, layout::NEIGHBORS);
+    cpu.set_reg(Reg::S2, layout::ARRAY_A);
+    cpu.set_reg(Reg::S5, n);
+    cpu.set_reg(Reg::S7, max_sweeps);
+    cpu
+}
+
+/// Shiloach–Vishkin-style connected components over an explicit edge list:
+/// a *hook* loop and a *pointer-jumping* loop — two delinquent loops live
+/// in the same epoch (the paper's `cc_sv` Fig. 14 scenario).
+///
+/// Register map: `s0`=edge array (u,v pairs), `s2`=comp, `s4`=index,
+/// `s5`=edge count ×2, `s6`=changed, `s7`=sweeps left, `s3`=n.
+pub fn cc_sv(g: &Graph, max_sweeps: u64) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("sweep");
+    a.li(Reg::S4, 0);
+    a.li(Reg::S6, 0);
+    // Hook: for each directed edge (u, v).
+    a.label("hook");
+    a.slli(Reg::T6, Reg::S4, 4); // 16 bytes per edge
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T0, Reg::T6, 0); // u
+    a.ld(Reg::T1, Reg::T6, 8); // v
+    a.slli(Reg::T2, Reg::T0, 3);
+    a.add(Reg::T2, Reg::S2, Reg::T2);
+    a.ld(Reg::T3, Reg::T2, 0); // cu = comp[u]
+    a.slli(Reg::T4, Reg::T1, 3);
+    a.add(Reg::T4, Reg::S2, Reg::T4);
+    a.ld(Reg::T5, Reg::T4, 0); // cv = comp[v]
+    a.bgeu(Reg::T5, Reg::T3, "nohook"); // b1: cv < cu (delinquent)
+                                        // comp[cu] = cv (hook the root; guarded, influential store)
+    a.slli(Reg::A2, Reg::T3, 3);
+    a.add(Reg::A2, Reg::S2, Reg::A2);
+    a.sd(Reg::T5, Reg::A2, 0);
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.label("nohook");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "hook"); // loop branch (hook loop)
+                                      // Pointer jumping: comp[i] = comp[comp[i]] until stable this sweep.
+    a.li(Reg::S4, 0);
+    a.label("jump");
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T6, Reg::S2, Reg::T6);
+    a.ld(Reg::T0, Reg::T6, 0); // c = comp[i]
+    a.slli(Reg::T1, Reg::T0, 3);
+    a.add(Reg::T1, Reg::S2, Reg::T1);
+    a.ld(Reg::T2, Reg::T1, 0); // cc = comp[c]
+    a.beq(Reg::T2, Reg::T0, "nojump"); // b2: already a root? (delinquent)
+    a.sd(Reg::T2, Reg::T6, 0); // comp[i] = cc (guarded, influential)
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.label("nojump");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S3, "jump"); // loop branch (jump loop)
+    a.addi(Reg::S7, Reg::S7, -1);
+    a.beq(Reg::S7, Reg::ZERO, "done");
+    a.bne(Reg::S6, Reg::ZERO, "sweep");
+    a.label("done");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * v, v);
+    }
+    // Edge list at ARRAY_D: every directed edge as (u, v), 16 B each.
+    let mut idx = 0u64;
+    for u in 0..g.num_vertices() {
+        for &v in g.neighbors_of(u) {
+            cpu.mem.write_u64(layout::ARRAY_D + 16 * idx, u as u64);
+            cpu.mem.write_u64(layout::ARRAY_D + 16 * idx + 8, v);
+            idx += 1;
+        }
+    }
+    cpu.set_reg(Reg::S0, layout::ARRAY_D);
+    cpu.set_reg(Reg::S2, layout::ARRAY_A);
+    cpu.set_reg(Reg::S3, n);
+    cpu.set_reg(Reg::S5, idx);
+    cpu.set_reg(Reg::S7, max_sweeps);
+    cpu
+}
+
+/// Single-source shortest paths: Bellman–Ford sweeps over the edge list
+/// with per-edge weights. The relaxation has the full b1→b2→s1 structure:
+/// reachability (b1) guards the improvement test (b2) which guards the
+/// `dist[v]` store that influences future instances of both.
+///
+/// Register map: `s0`=edges (u,v,w triples), `s2`=dist, `s4`=index,
+/// `s5`=edge count, `s6`=changed, `s7`=rounds left, `a7`=INF.
+pub fn sssp(g: &Graph, source: usize, rounds: u64, seed: u64) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("round");
+    a.li(Reg::S4, 0);
+    a.li(Reg::S6, 0);
+    a.label("edge");
+    // u, v, w (24 bytes per edge: index*24)
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::A2, Reg::T6, Reg::T6);
+    a.add(Reg::T6, Reg::A2, Reg::T6); // t6 = 24 * s4
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T0, Reg::T6, 0); // u
+    a.ld(Reg::T1, Reg::T6, 8); // v
+    a.ld(Reg::T2, Reg::T6, 16); // w
+    a.slli(Reg::T3, Reg::T0, 3);
+    a.add(Reg::T3, Reg::S2, Reg::T3);
+    a.ld(Reg::T4, Reg::T3, 0); // du = dist[u]
+    a.beq(Reg::T4, Reg::A7, "skip"); // b1: unreachable? (delinquent)
+    a.add(Reg::T4, Reg::T4, Reg::T2); // nd = du + w
+    a.slli(Reg::T5, Reg::T1, 3);
+    a.add(Reg::T5, Reg::S2, Reg::T5);
+    a.ld(Reg::A3, Reg::T5, 0); // dv = dist[v]
+    a.bgeu(Reg::T4, Reg::A3, "skip"); // b2: no improvement (delinquent, guarded)
+    a.sd(Reg::T4, Reg::T5, 0); // s1: dist[v] = nd (guarded by b1 & b2)
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.label("skip");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "edge"); // loop branch
+    a.addi(Reg::S7, Reg::S7, -1);
+    a.beq(Reg::S7, Reg::ZERO, "done");
+    a.bne(Reg::S6, Reg::ZERO, "round");
+    a.label("done");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * v, u64::MAX);
+    }
+    cpu.mem.write_u64(layout::ARRAY_A + 8 * source as u64, 0);
+    let mut idx = 0u64;
+    for u in 0..g.num_vertices() {
+        for &v in g.neighbors_of(u) {
+            let w = rng.gen_range(1..64u64);
+            cpu.mem.write_u64(layout::ARRAY_D + 24 * idx, u as u64);
+            cpu.mem.write_u64(layout::ARRAY_D + 24 * idx + 8, v);
+            cpu.mem.write_u64(layout::ARRAY_D + 24 * idx + 16, w);
+            idx += 1;
+        }
+    }
+    cpu.set_reg(Reg::S0, layout::ARRAY_D);
+    cpu.set_reg(Reg::S2, layout::ARRAY_A);
+    cpu.set_reg(Reg::S4, 0);
+    cpu.set_reg(Reg::S5, idx);
+    cpu.set_reg(Reg::S7, rounds);
+    cpu.set_reg(Reg::A7, INF as u64);
+    cpu
+}
+
+/// Betweenness-centrality forward phase: a level-synchronous BFS that also
+/// accumulates path counts (`sigma`), with two dependent data-driven
+/// branches per neighbor and guarded stores that feed later loads.
+///
+/// Register map: as [`bfs`], plus `a5`=sigma base, `a6`=depth base,
+/// `a4`=current depth.
+pub fn bc(g: &Graph, source: usize) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("outer");
+    a.slli(Reg::T6, Reg::S7, 3);
+    a.add(Reg::T6, Reg::S3, Reg::T6);
+    a.ld(Reg::T0, Reg::T6, 0); // u
+    a.slli(Reg::T6, Reg::T0, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T6, 0); // start
+    a.ld(Reg::T3, Reg::T6, 8); // end
+                               // sigma_u
+    a.slli(Reg::A2, Reg::T0, 3);
+    a.add(Reg::A2, Reg::A5, Reg::A2);
+    a.ld(Reg::A2, Reg::A2, 0);
+    a.bgeu(Reg::T2, Reg::T3, "skip_inner"); // header
+    a.label("inner");
+    a.slli(Reg::T6, Reg::T2, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::T4, Reg::T6, 0); // v
+    a.slli(Reg::T5, Reg::T4, 3); // t5 = 8v (kept live for both paths)
+    a.add(Reg::A3, Reg::A6, Reg::T5); // &depth[v]
+    a.ld(Reg::A0, Reg::A3, 0); // depth[v] — not clobbered by either path
+    a.add(Reg::A1, Reg::A5, Reg::T5); // &sigma[v], shared by both paths
+    a.bne(Reg::A0, Reg::A7, "not_new"); // b1: depth[v] set? (delinquent)
+                                        // First discovery: depth[v]=d+1, sigma[v]+=sigma_u, enqueue.
+                                        // Path-local temps (t1/t6) are always written before read on this
+                                        // path, so the straight-lined helper thread computes correct values
+                                        // (no alternate-producer hazard; paper §V-K).
+    a.addi(Reg::T1, Reg::A4, 1);
+    a.sd(Reg::T1, Reg::A3, 0); // depth store (guarded, influential)
+    a.ld(Reg::T1, Reg::A1, 0);
+    a.add(Reg::T1, Reg::T1, Reg::A2);
+    a.sd(Reg::T1, Reg::A1, 0); // sigma store (guarded, influential)
+    a.slli(Reg::T6, Reg::S6, 3);
+    a.add(Reg::T6, Reg::S4, Reg::T6);
+    a.sd(Reg::T4, Reg::T6, 0);
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.j("cont");
+    a.label("not_new");
+    a.addi(Reg::T6, Reg::A4, 1);
+    a.bne(Reg::A0, Reg::T6, "cont"); // b2: same level? (delinquent, guarded)
+    a.ld(Reg::T1, Reg::A1, 0);
+    a.add(Reg::T1, Reg::T1, Reg::A2);
+    a.sd(Reg::T1, Reg::A1, 0); // sigma merge (guarded, influential)
+    a.label("cont");
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.bltu(Reg::T2, Reg::T3, "inner"); // brC
+    a.label("skip_inner");
+    // Per-vertex bookkeeping outside every branch slice (real compiled
+    // kernels carry stats, prefetch hints, and spilled temporaries here).
+    a.add(Reg::S8, Reg::S8, Reg::T0);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.andi(Reg::S10, Reg::S9, 4095);
+    a.or(Reg::S11, Reg::S11, Reg::S10);
+    a.add(Reg::S9, Reg::S9, Reg::S11);
+    a.xor(Reg::S8, Reg::S8, Reg::S10);
+    a.slli(Reg::S10, Reg::S11, 2);
+    a.add(Reg::S8, Reg::S8, Reg::S10);
+    a.addi(Reg::S7, Reg::S7, 1);
+    a.bltu(Reg::S7, Reg::S5, "outer"); // brD
+    a.beq(Reg::S6, Reg::ZERO, "done");
+    a.mv(Reg::A1, Reg::S3);
+    a.mv(Reg::S3, Reg::S4);
+    a.mv(Reg::S4, Reg::A1);
+    a.mv(Reg::S5, Reg::S6);
+    a.li(Reg::S6, 0);
+    a.li(Reg::S7, 0);
+    a.addi(Reg::A4, Reg::A4, 1);
+    a.j("outer");
+    a.label("done");
+    a.halt();
+
+    let mut cpu = prepared_cpu(a, g);
+    let n = g.num_vertices() as u64;
+    for v in 0..n {
+        cpu.mem.write_u64(layout::ARRAY_A + 8 * v, u64::MAX); // depth
+        cpu.mem.write_u64(layout::ARRAY_D + 8 * v, 0); // sigma
+    }
+    cpu.mem.write_u64(layout::ARRAY_A + 8 * source as u64, 0);
+    cpu.mem.write_u64(layout::ARRAY_D + 8 * source as u64, 1);
+    cpu.mem.write_u64(layout::ARRAY_B, source as u64);
+    cpu.set_reg(Reg::S0, layout::OFFSETS);
+    cpu.set_reg(Reg::S1, layout::NEIGHBORS);
+    cpu.set_reg(Reg::S3, layout::ARRAY_B);
+    cpu.set_reg(Reg::S4, layout::ARRAY_C);
+    cpu.set_reg(Reg::S5, 1);
+    cpu.set_reg(Reg::S6, 0);
+    cpu.set_reg(Reg::S7, 0);
+    cpu.set_reg(Reg::A4, 0);
+    cpu.set_reg(Reg::A5, layout::ARRAY_D);
+    cpu.set_reg(Reg::A6, layout::ARRAY_A);
+    cpu.set_reg(Reg::A7, u64::MAX);
+    cpu
+}
+
+/// Triangle counting over sorted adjacency lists: for each edge (u, v)
+/// with v < u, intersect the neighbor lists of `u` and `v` with a merge
+/// scan. The merge's comparison branches are data-dependent per element
+/// (the GAP `tc` kernel's character); the inner intersection loop has a
+/// short, unpredictable trip count.
+///
+/// Register map: `s0`=offs, `s1`=neigh, `s4`=u, `s5`=n, `s6`=triangles,
+/// `t*`/`a*`=scratch.
+pub fn tc(g: &Graph) -> Cpu {
+    let mut a = Asm::new(0x10000);
+
+    a.label("outer");
+    a.slli(Reg::T6, Reg::S4, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::T2, Reg::T6, 0); // u_start
+    a.ld(Reg::T3, Reg::T6, 8); // u_end
+    a.mv(Reg::A2, Reg::T2); // j over u's neighbors
+    a.bgeu(Reg::A2, Reg::T3, "skip_u"); // header
+    a.label("edges");
+    a.slli(Reg::T6, Reg::A2, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::T4, Reg::T6, 0); // v = neigh[j]
+    a.bgeu(Reg::T4, Reg::S4, "next_edge"); // count each edge once (v < u)
+                                           // Merge-intersect neigh[u] x neigh[v].
+    a.slli(Reg::T6, Reg::T4, 3);
+    a.add(Reg::T6, Reg::S0, Reg::T6);
+    a.ld(Reg::A3, Reg::T6, 0); // v_start (p)
+    a.ld(Reg::A4, Reg::T6, 8); // v_end
+    a.mv(Reg::A5, Reg::T2); // q over u's list
+    a.label("merge");
+    a.bgeu(Reg::A3, Reg::A4, "next_edge");
+    a.bgeu(Reg::A5, Reg::T3, "next_edge");
+    a.slli(Reg::T6, Reg::A3, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::A6, Reg::T6, 0); // x = neigh[p]
+    a.slli(Reg::T6, Reg::A5, 3);
+    a.add(Reg::T6, Reg::S1, Reg::T6);
+    a.ld(Reg::A7, Reg::T6, 0); // y = neigh[q]
+    a.bltu(Reg::A6, Reg::A7, "adv_p"); // data-dependent compare
+    a.bltu(Reg::A7, Reg::A6, "adv_q"); // data-dependent compare
+    a.addi(Reg::S6, Reg::S6, 1); // common neighbor: triangle
+    a.addi(Reg::A3, Reg::A3, 1);
+    a.addi(Reg::A5, Reg::A5, 1);
+    a.j("merge");
+    a.label("adv_p");
+    a.addi(Reg::A3, Reg::A3, 1);
+    a.j("merge");
+    a.label("adv_q");
+    a.addi(Reg::A5, Reg::A5, 1);
+    a.j("merge");
+    a.label("next_edge");
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.bltu(Reg::A2, Reg::T3, "edges");
+    a.label("skip_u");
+    // Per-vertex bookkeeping outside the branch slices.
+    a.add(Reg::S8, Reg::S8, Reg::S4);
+    a.xor(Reg::S9, Reg::S9, Reg::S8);
+    a.slli(Reg::S10, Reg::S8, 1);
+    a.add(Reg::S11, Reg::S11, Reg::S10);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.bltu(Reg::S4, Reg::S5, "outer");
+    a.halt();
+
+    let mut cpu = prepared_cpu_sorted(a, g);
+    cpu.set_reg(Reg::S0, layout::OFFSETS);
+    cpu.set_reg(Reg::S1, layout::NEIGHBORS);
+    cpu.set_reg(Reg::S5, g.num_vertices() as u64);
+    cpu
+}
+
+/// Like [`prepared_cpu`], but writes each vertex's neighbor list sorted
+/// (triangle counting's merge-intersection requires sorted lists).
+fn prepared_cpu_sorted(a: Asm, g: &Graph) -> Cpu {
+    let mut cpu = Cpu::new(a.assemble().expect("kernel assembles"));
+    for (i, off) in g.offsets.iter().enumerate() {
+        cpu.mem.write_u64(layout::OFFSETS + 8 * i as u64, *off);
+    }
+    let mut idx = 0u64;
+    for v in 0..g.num_vertices() {
+        let mut ns: Vec<u64> = g.neighbors_of(v).to_vec();
+        ns.sort_unstable();
+        for n in ns {
+            cpu.mem.write_u64(layout::NEIGHBORS + 8 * idx, n);
+            idx += 1;
+        }
+    }
+    cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn small_graph() -> Graph {
+        Graph::generate(GraphKind::RoadNetwork, 2_000, 5)
+    }
+
+    /// Host-side reference BFS for validation.
+    fn host_bfs(g: &Graph, source: usize) -> Vec<u64> {
+        let n = g.num_vertices();
+        let mut parent = vec![u64::MAX; n];
+        parent[source] = source as u64;
+        let mut frontier = vec![source];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in g.neighbors_of(u) {
+                    if parent[v as usize] == u64::MAX {
+                        parent[v as usize] = u as u64;
+                        next.push(v as usize);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        parent
+    }
+
+    #[test]
+    fn bfs_matches_host_reference() {
+        let g = small_graph();
+        let mut cpu = bfs(&g, 0);
+        cpu.run(100_000_000).unwrap();
+        assert!(cpu.is_halted());
+        let reference = host_bfs(&g, 0);
+        for (v, &p) in reference.iter().enumerate() {
+            let guest = cpu.mem.read_u64(layout::ARRAY_A + 8 * v as u64);
+            // Parents may differ (visit order), but reachability must match.
+            assert_eq!(guest == u64::MAX, p == u64::MAX, "vertex {v} reachability");
+        }
+    }
+
+    #[test]
+    fn pr_converges_toward_stationary_mass() {
+        let g = small_graph();
+        let mut cpu = pr(&g, 3);
+        cpu.run(100_000_000).unwrap();
+        assert!(cpu.is_halted());
+        // Ranks are positive and bounded.
+        let n = g.num_vertices() as u64;
+        let mut sum = 0u64;
+        for v in 0..n {
+            let r = cpu.mem.read_u64(layout::ARRAY_B + 8 * v);
+            assert!(r > 0, "vertex {v} rank zero");
+            sum += r;
+        }
+        let mean = sum / n;
+        assert!(mean > 1 << 16, "ranks retained mass: mean {mean}");
+    }
+
+    #[test]
+    fn cc_labels_connected_components_consistently() {
+        let g = small_graph();
+        let mut cpu = cc(&g, 64);
+        cpu.run(400_000_000).unwrap();
+        assert!(cpu.is_halted());
+        // Every edge's endpoints share a label after convergence.
+        for u in 0..g.num_vertices() {
+            let cu = cpu.mem.read_u64(layout::ARRAY_A + 8 * u as u64);
+            for &v in g.neighbors_of(u) {
+                let cv = cpu.mem.read_u64(layout::ARRAY_A + 8 * v);
+                assert_eq!(cu, cv, "edge ({u},{v}) labels");
+            }
+        }
+    }
+
+    #[test]
+    fn cc_sv_roots_stabilize() {
+        let g = Graph::generate(GraphKind::Uniform, 1_000, 3);
+        let mut cpu = cc_sv(&g, 32);
+        cpu.run(400_000_000).unwrap();
+        assert!(cpu.is_halted());
+        for u in 0..g.num_vertices() {
+            let cu = cpu.mem.read_u64(layout::ARRAY_A + 8 * u as u64);
+            for &v in g.neighbors_of(u) {
+                let cv = cpu.mem.read_u64(layout::ARRAY_A + 8 * v);
+                assert_eq!(cu, cv, "edge ({u},{v}) labels");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_distances_respect_triangle_inequality() {
+        let g = Graph::generate(GraphKind::Uniform, 800, 4);
+        let mut cpu = sssp(&g, 0, 64, 11);
+        cpu.run(400_000_000).unwrap();
+        assert!(cpu.is_halted());
+        let dist = |v: u64| -> u64 { cpu.mem.read_u64(layout::ARRAY_A + 8 * v) };
+        assert_eq!(dist(0), 0);
+        // Distances converged: no edge offers an improvement. Recompute
+        // weights with the generator's deterministic stream.
+        let mut rng = SmallRng::seed_from_u64(11);
+        for u in 0..g.num_vertices() {
+            for &v in g.neighbors_of(u) {
+                let w = rng.gen_range(1..64u64);
+                let du = dist(u as u64);
+                if du != u64::MAX {
+                    assert!(dist(v) <= du + w, "edge ({u},{v},{w}) still relaxable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tc_matches_host_triangle_count() {
+        let g = Graph::generate(GraphKind::Uniform, 400, 8);
+        let mut cpu = tc(&g);
+        cpu.run(400_000_000).unwrap();
+        assert!(cpu.is_halted());
+        // Host reference: count triangles via sorted-list intersection.
+        let mut expected = 0u64;
+        for u in 0..g.num_vertices() {
+            let mut nu: Vec<u64> = g.neighbors_of(u).to_vec();
+            nu.sort_unstable();
+            for &v in &nu {
+                if (v as usize) < u {
+                    let mut nv: Vec<u64> = g.neighbors_of(v as usize).to_vec();
+                    nv.sort_unstable();
+                    let (mut p, mut q) = (0, 0);
+                    while p < nv.len() && q < nu.len() {
+                        use std::cmp::Ordering;
+                        match nv[p].cmp(&nu[q]) {
+                            Ordering::Less => p += 1,
+                            Ordering::Greater => q += 1,
+                            Ordering::Equal => {
+                                expected += 1;
+                                p += 1;
+                                q += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cpu.reg(Reg::S6), expected);
+    }
+
+    #[test]
+    fn bc_sigma_counts_paths() {
+        let g = small_graph();
+        let mut cpu = bc(&g, 0);
+        cpu.run(200_000_000).unwrap();
+        assert!(cpu.is_halted());
+        // Source sigma is 1; every reachable vertex has sigma >= 1.
+        assert_eq!(cpu.mem.read_u64(layout::ARRAY_D), 1);
+        let reference = host_bfs(&g, 0);
+        for (v, &p) in reference.iter().enumerate() {
+            if p != u64::MAX && v != 0 {
+                let sigma = cpu.mem.read_u64(layout::ARRAY_D + 8 * v as u64);
+                assert!(sigma >= 1, "vertex {v} sigma {sigma}");
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic graph generators and the CSR layout shared by all GAP-style
+//! kernels.
+//!
+//! The paper evaluates GAP on the roadNet-CA input: a road network with
+//! mean degree ≈ 2.8, bounded maximum degree, and a very large diameter.
+//! [`GraphKind::RoadNetwork`] reproduces that character as a 2D grid with
+//! random perturbations (diagonal shortcuts and deletions). For the
+//! Fig. 15b input study, [`GraphKind::PowerLaw`] produces a web-google-like
+//! skewed-degree graph and [`GraphKind::Uniform`] an Erdős–Rényi-style
+//! graph.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Kind of synthetic input graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphKind {
+    /// roadNet-CA-like: low degree, huge diameter (grid + perturbation).
+    RoadNetwork,
+    /// web-google-like: power-law degrees, small diameter.
+    PowerLaw,
+    /// Uniform random graph with the given mean degree.
+    Uniform,
+}
+
+/// An undirected graph in CSR form (each edge stored in both directions).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Per-vertex neighbor-range offsets (`n + 1` entries).
+    pub offsets: Vec<u64>,
+    /// Flattened neighbor lists.
+    pub neighbors: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the undirected count).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Mean (directed) degree.
+    pub fn mean_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_vertices() as f64
+    }
+
+    /// The neighbor slice of vertex `v`.
+    pub fn neighbors_of(&self, v: usize) -> &[u64] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Generates a graph of roughly `n` vertices.
+    pub fn generate(kind: GraphKind, n: usize, seed: u64) -> Graph {
+        match kind {
+            GraphKind::RoadNetwork => road_network(n, seed),
+            GraphKind::PowerLaw => power_law(n, seed),
+            GraphKind::Uniform => uniform(n, 4, seed),
+        }
+    }
+
+    fn from_adj(adj: Vec<Vec<u64>>) -> Graph {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u64);
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+fn add_edge(adj: &mut [Vec<u64>], u: usize, v: usize) {
+    if u == v || adj[u].contains(&(v as u64)) {
+        return;
+    }
+    adj[u].push(v as u64);
+    adj[v].push(u as u64);
+}
+
+/// Grid with perturbations: mean degree close to roadNet-CA's ≈ 2.8.
+fn road_network(n: usize, seed: u64) -> Graph {
+    let side = (n as f64).sqrt().ceil() as usize;
+    let n = side * side;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let at = |r: usize, c: usize| r * side + c;
+    for r in 0..side {
+        for c in 0..side {
+            // Grid edges, with ~25% of them missing (dead ends, rivers).
+            if c + 1 < side && rng.gen_range(0..100) >= 25 {
+                add_edge(&mut adj, at(r, c), at(r, c + 1));
+            }
+            if r + 1 < side && rng.gen_range(0..100) >= 25 {
+                add_edge(&mut adj, at(r, c), at(r + 1, c));
+            }
+            // Occasional diagonal shortcut (highway ramps).
+            if r + 1 < side && c + 1 < side && rng.gen_range(0..100) < 4 {
+                add_edge(&mut adj, at(r, c), at(r + 1, c + 1));
+            }
+        }
+    }
+    // Stitch isolated vertices to a random nearby vertex so traversals
+    // reach most of the graph.
+    for v in 0..n {
+        if adj[v].is_empty() {
+            let u = if v + 1 < n { v + 1 } else { v - 1 };
+            add_edge(&mut adj, v, u);
+        }
+    }
+    Graph::from_adj(adj)
+}
+
+/// Preferential-attachment-style power-law graph.
+fn power_law(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut targets: Vec<usize> = vec![0, 1];
+    add_edge(&mut adj, 0, 1);
+    for v in 2..n {
+        let m = 1 + (rng.gen_range(0..100) < 40) as usize + (rng.gen_range(0..100) < 15) as usize;
+        for _ in 0..m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            add_edge(&mut adj, v, t);
+            targets.push(t);
+        }
+        targets.push(v);
+    }
+    Graph::from_adj(adj)
+}
+
+/// Uniform random graph with `mean_degree` expected undirected degree.
+fn uniform(n: usize, mean_degree: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let edges = n * mean_degree / 2;
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        add_edge(&mut adj, u, v);
+    }
+    for v in 0..n {
+        if adj[v].is_empty() {
+            let u = rng.gen_range(0..n);
+            add_edge(&mut adj, v, if u == v { (v + 1) % n } else { u });
+        }
+    }
+    Graph::from_adj(adj)
+}
+
+/// Guest-memory layout used by every graph kernel.
+pub mod layout {
+    /// Base of the CSR offsets array (`n + 1` doublewords).
+    pub const OFFSETS: u64 = 0x0100_0000;
+    /// Base of the CSR neighbors array (`m` doublewords).
+    pub const NEIGHBORS: u64 = 0x0400_0000;
+    /// First per-kernel array (parent / comp / dist / depth ...).
+    pub const ARRAY_A: u64 = 0x0c00_0000;
+    /// Second per-kernel array (frontier / sigma / rank ...).
+    pub const ARRAY_B: u64 = 0x1400_0000;
+    /// Third per-kernel array (next frontier / delta / new rank ...).
+    pub const ARRAY_C: u64 = 0x1c00_0000;
+    /// Fourth per-kernel array (work queues, orderings).
+    pub const ARRAY_D: u64 = 0x2400_0000;
+    /// Scratch cell region (counters, tails).
+    pub const SCRATCH: u64 = 0x2c00_0000;
+}
+
+/// Writes the CSR arrays into guest memory at the standard layout.
+pub fn write_csr(mem: &mut phelps_isa::Memory, g: &Graph) {
+    for (i, off) in g.offsets.iter().enumerate() {
+        mem.write_u64(layout::OFFSETS + 8 * i as u64, *off);
+    }
+    for (i, v) in g.neighbors.iter().enumerate() {
+        mem.write_u64(layout::NEIGHBORS + 8 * i as u64, *v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_network_character() {
+        let g = Graph::generate(GraphKind::RoadNetwork, 10_000, 1);
+        let d = g.mean_degree();
+        assert!(
+            (2.0..4.0).contains(&d),
+            "road networks have low mean degree, got {d}"
+        );
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.neighbors_of(v).len())
+            .max()
+            .unwrap();
+        assert!(max_deg <= 8, "bounded degree, got {max_deg}");
+    }
+
+    #[test]
+    fn power_law_has_hubs() {
+        let g = Graph::generate(GraphKind::PowerLaw, 10_000, 2);
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.neighbors_of(v).len())
+            .max()
+            .unwrap();
+        assert!(max_deg > 50, "power-law graphs have hubs, got {max_deg}");
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        for kind in [
+            GraphKind::RoadNetwork,
+            GraphKind::PowerLaw,
+            GraphKind::Uniform,
+        ] {
+            let g = Graph::generate(kind, 3000, 3);
+            assert_eq!(g.offsets[0], 0);
+            assert_eq!(*g.offsets.last().unwrap() as usize, g.neighbors.len());
+            for v in 0..g.num_vertices() {
+                assert!(g.offsets[v] <= g.offsets[v + 1], "monotone offsets");
+                for &u in g.neighbors_of(v) {
+                    assert!((u as usize) < g.num_vertices(), "valid neighbor");
+                    assert!(
+                        g.neighbors_of(u as usize).contains(&(v as u64)),
+                        "symmetric edges ({v} -> {u})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_isolated_vertices() {
+        for kind in [GraphKind::RoadNetwork, GraphKind::Uniform] {
+            let g = Graph::generate(kind, 2000, 7);
+            for v in 0..g.num_vertices() {
+                assert!(!g.neighbors_of(v).is_empty(), "vertex {v} isolated");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Graph::generate(GraphKind::RoadNetwork, 2000, 42);
+        let b = Graph::generate(GraphKind::RoadNetwork, 2000, 42);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.neighbors, b.neighbors);
+        let c = Graph::generate(GraphKind::RoadNetwork, 2000, 43);
+        assert_ne!(a.neighbors, c.neighbors, "different seeds differ");
+    }
+
+    #[test]
+    fn write_csr_roundtrip() {
+        let g = Graph::generate(GraphKind::Uniform, 500, 9);
+        let mut mem = phelps_isa::Memory::new();
+        write_csr(&mut mem, &g);
+        assert_eq!(mem.read_u64(layout::OFFSETS), 0);
+        let n = g.num_vertices() as u64;
+        assert_eq!(mem.read_u64(layout::OFFSETS + 8 * n), g.num_edges() as u64);
+        assert_eq!(mem.read_u64(layout::NEIGHBORS), g.neighbors[0]);
+    }
+}

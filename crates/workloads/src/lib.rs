@@ -1,0 +1,216 @@
+//! # phelps-workloads
+//!
+//! Guest-assembly workload kernels and synthetic graph generators for the
+//! Phelps reproduction.
+//!
+//! * [`astar`] — the `makebound2`-like grid-expansion kernel with the
+//!   b1→b2→s1 dependent-branch/store structure (paper Fig. 3);
+//! * [`gap`] — GAP-style graph kernels (`bfs`, `bc`, `pr`, `cc`, `cc_sv`,
+//!   `sssp`) over synthetic road-network / power-law / uniform graphs;
+//! * [`spec`] — SPEC2017-like idiom kernels, one per Fig. 14
+//!   misprediction category;
+//! * [`graph`] — CSR graphs, generators, and the guest memory layout;
+//! * [`simpoints`] — SimPoint-style representative-region selection
+//!   (interval BBVs + k-means), the paper's evaluation methodology.
+//!
+//! Every kernel returns a prepared [`phelps_isa::Cpu`] (program + data +
+//! entry registers) ready to hand to `phelps::sim::simulate`.
+//!
+//! ```
+//! use phelps_workloads::{suite, Workload};
+//!
+//! let w: Workload = suite::astar_small();
+//! assert_eq!(w.name, "astar");
+//! assert!(!w.cpu.is_halted());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod astar;
+pub mod gap;
+pub mod graph;
+pub mod simpoints;
+pub mod spec;
+
+use phelps_isa::Cpu;
+
+/// A named, prepared workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// Prepared guest CPU.
+    pub cpu: Cpu,
+}
+
+/// Prepared workload suites at experiment scale.
+pub mod suite {
+    use super::*;
+    use crate::graph::{Graph, GraphKind};
+
+    /// Default graph size for GAP kernels at experiment scale.
+    pub const GAP_VERTICES: usize = 40_000;
+    /// Seed shared by the suite for reproducibility.
+    pub const SEED: u64 = 0x9a9;
+
+    /// The road-network input used by default (roadNet-CA-like).
+    pub fn road_graph() -> Graph {
+        Graph::generate(GraphKind::RoadNetwork, GAP_VERTICES, SEED)
+    }
+
+    /// astar at experiment scale.
+    pub fn astar() -> Workload {
+        Workload {
+            name: "astar",
+            cpu: astar::astar_grid(&astar::AstarParams::default()),
+        }
+    }
+
+    /// astar at unit-test scale.
+    pub fn astar_small() -> Workload {
+        Workload {
+            name: "astar",
+            cpu: astar::astar_grid(&astar::AstarParams {
+                side: 64,
+                worklist: 4_000,
+                seed: 0xa57a,
+            }),
+        }
+    }
+
+    /// bfs on the road network.
+    pub fn bfs() -> Workload {
+        Workload {
+            name: "bfs",
+            cpu: gap::bfs(&road_graph(), 0),
+        }
+    }
+
+    /// bfs on an arbitrary graph (Fig. 15b input study).
+    pub fn bfs_on(kind: GraphKind, n: usize) -> Workload {
+        Workload {
+            name: "bfs",
+            cpu: gap::bfs(&Graph::generate(kind, n, SEED), 0),
+        }
+    }
+
+    /// bc (forward phase) on the road network.
+    pub fn bc() -> Workload {
+        Workload {
+            name: "bc",
+            cpu: gap::bc(&road_graph(), 0),
+        }
+    }
+
+    /// pr on the road network.
+    pub fn pr() -> Workload {
+        Workload {
+            name: "pr",
+            cpu: gap::pr(&road_graph(), 4),
+        }
+    }
+
+    /// cc (label propagation) on the road network.
+    pub fn cc() -> Workload {
+        Workload {
+            name: "cc",
+            cpu: gap::cc(&road_graph(), 24),
+        }
+    }
+
+    /// cc_sv (Shiloach–Vishkin-style) on the road network.
+    pub fn cc_sv() -> Workload {
+        Workload {
+            name: "cc_sv",
+            cpu: gap::cc_sv(&road_graph(), 24),
+        }
+    }
+
+    /// sssp (Bellman–Ford sweeps) on the road network.
+    pub fn sssp() -> Workload {
+        Workload {
+            name: "sssp",
+            cpu: gap::sssp(&road_graph(), 0, 48, SEED),
+        }
+    }
+
+    /// tc (triangle counting) on the road network.
+    pub fn tc() -> Workload {
+        Workload {
+            name: "tc",
+            cpu: gap::tc(&road_graph()),
+        }
+    }
+
+    /// The GAP + astar benchmarks of Figs. 12/13.
+    pub fn gap_suite() -> Vec<Workload> {
+        vec![bc(), bfs(), pr(), cc(), cc_sv(), sssp(), tc(), astar()]
+    }
+
+    /// The SPEC2017-like idiom kernels of Figs. 12a/14.
+    pub fn spec_suite() -> Vec<Workload> {
+        vec![
+            Workload {
+                name: "mcf",
+                cpu: spec::mcf_like(400_000, SEED),
+            },
+            Workload {
+                name: "leela",
+                cpu: spec::leela_like(60_000, 24, SEED),
+            },
+            Workload {
+                name: "omnetpp",
+                cpu: spec::omnetpp_like(15_000, 30, SEED),
+            },
+            Workload {
+                name: "exchange2",
+                cpu: spec::exchange2_like(6_000),
+            },
+            Workload {
+                name: "xz",
+                cpu: spec::xz_like(120_000, 3, SEED),
+            },
+            Workload {
+                name: "gcc",
+                cpu: spec::gcc_like(600, 80, SEED),
+            },
+            Workload {
+                name: "x264",
+                cpu: spec::x264_like(150_000),
+            },
+            Workload {
+                name: "deepsjeng",
+                cpu: spec::deepsjeng_like(30_000, SEED),
+            },
+            Workload {
+                name: "perlbench",
+                cpu: spec::perlbench_like(300_000, SEED),
+            },
+            Workload {
+                name: "xalanc",
+                cpu: spec::xalanc_like(4_096, 60_000, SEED),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_prepare_without_running() {
+        assert_eq!(suite::gap_suite().len(), 8);
+        assert_eq!(suite::spec_suite().len(), 10);
+    }
+
+    #[test]
+    fn names_are_unique_within_each_suite() {
+        let names: Vec<&str> = suite::gap_suite().iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

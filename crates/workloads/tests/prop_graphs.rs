@@ -1,0 +1,42 @@
+//! Property tests: every generated graph is a well-formed, symmetric CSR
+//! with no isolated vertices, at any size and seed.
+
+use phelps_workloads::graph::{Graph, GraphKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_graphs_are_well_formed(
+        n in 64usize..2000,
+        seed in any::<u64>(),
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [GraphKind::RoadNetwork, GraphKind::PowerLaw, GraphKind::Uniform][kind_idx];
+        let g = Graph::generate(kind, n, seed);
+        // CSR well-formedness.
+        prop_assert_eq!(g.offsets[0], 0);
+        prop_assert_eq!(*g.offsets.last().unwrap() as usize, g.neighbors.len());
+        for v in 0..g.num_vertices() {
+            prop_assert!(g.offsets[v] <= g.offsets[v + 1]);
+            prop_assert!(!g.neighbors_of(v).is_empty(), "no isolated vertices");
+            for &u in g.neighbors_of(v) {
+                prop_assert!((u as usize) < g.num_vertices());
+                prop_assert!(u as usize != v, "no self loops");
+                prop_assert!(
+                    g.neighbors_of(u as usize).contains(&(v as u64)),
+                    "symmetry {v}<->{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed(n in 64usize..512, seed in any::<u64>()) {
+        let a = Graph::generate(GraphKind::RoadNetwork, n, seed);
+        let b = Graph::generate(GraphKind::RoadNetwork, n, seed);
+        prop_assert_eq!(a.offsets, b.offsets);
+        prop_assert_eq!(a.neighbors, b.neighbors);
+    }
+}

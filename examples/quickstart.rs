@@ -1,0 +1,72 @@
+//! Quickstart: assemble a tiny delinquent loop, run it under the baseline
+//! core and under Phelps, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use phelps_repro::prelude::*;
+
+fn delinquent_loop(n: u64) -> Cpu {
+    // A loop whose branch tests pseudo-random data: the archetypal
+    // delinquent branch no history-based predictor can learn.
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    a.slli(Reg::T0, Reg::A1, 3);
+    a.add(Reg::T0, Reg::A0, Reg::T0);
+    a.ld(Reg::T1, Reg::T0, 0);
+    a.andi(Reg::T1, Reg::T1, 1);
+    a.beq(Reg::T1, Reg::ZERO, "skip"); // delinquent: data-dependent
+    a.addi(Reg::A3, Reg::A3, 7);
+    a.label("skip");
+    a.addi(Reg::A3, Reg::A3, 1);
+    a.xor(Reg::A3, Reg::A3, Reg::A1);
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.bne(Reg::A1, Reg::A2, "loop");
+    a.halt();
+
+    let mut cpu = Cpu::new(a.assemble().expect("assembles"));
+    let mut x = 42u64;
+    for i in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        cpu.mem.write_u64(0x100000 + i * 8, x >> 33);
+    }
+    cpu.set_reg(Reg::A0, 0x100000);
+    cpu.set_reg(Reg::A2, n);
+    cpu
+}
+
+fn main() {
+    let mut cfg = RunConfig::scaled(Mode::Baseline);
+    cfg.max_mt_insts = 400_000;
+    cfg.epoch_len = 50_000;
+
+    let base = simulate(delinquent_loop(100_000), &cfg);
+    println!(
+        "baseline:  IPC {:.3}  MPKI {:>5.1}",
+        base.stats.ipc(),
+        base.stats.mpki()
+    );
+
+    cfg.mode = Mode::Phelps(PhelpsFeatures::full());
+    let ph = simulate(delinquent_loop(100_000), &cfg);
+    println!(
+        "phelps:    IPC {:.3}  MPKI {:>5.1}  (helper thread retired {} insts, {} triggers)",
+        ph.stats.ipc(),
+        ph.stats.mpki(),
+        ph.stats.ht_retired,
+        ph.stats.triggers
+    );
+
+    cfg.mode = Mode::PerfectBp;
+    let perf = simulate(delinquent_loop(100_000), &cfg);
+    println!("perfectBP: IPC {:.3}  MPKI   0.0", perf.stats.ipc());
+
+    println!(
+        "\nspeedup: Phelps {:+.1}%, perfect BP {:+.1}%",
+        (speedup(&base.stats, &ph.stats) - 1.0) * 100.0,
+        (speedup(&base.stats, &perf.stats) - 1.0) * 100.0
+    );
+}
