@@ -7,7 +7,7 @@
 //! 24.5 (b1→s1), and speedups of 47% (Phelps) vs 29% (BR-spec).
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{pct, print_table, run, run_br};
+use phelps_bench::{pct, print_table, run, run_br, ConfigSet};
 use phelps_runahead::BrVariant;
 use phelps_uarch::stats::speedup;
 use phelps_workloads::suite;
@@ -20,7 +20,7 @@ fn main() {
         base.stats.mpki()
     );
 
-    let configs: Vec<(&str, Box<dyn Fn() -> phelps::sim::SimResult>)> = vec![
+    let configs: ConfigSet = vec![
         (
             "BR-non-spec",
             Box::new(|| run_br(suite::astar().cpu, BrVariant::NonSpeculative)),

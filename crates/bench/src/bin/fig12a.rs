@@ -6,7 +6,7 @@
 //! astar; BR shows mostly slowdowns except astar; BR-12w turns things
 //! around; SPEC2017-like kernels see little activation.
 
-use phelps_bench::{pct, print_table, Config12a};
+use phelps_bench::{pct, print_table, Config12a, WorkloadSet};
 use phelps_uarch::stats::speedup;
 use phelps_workloads::{suite, Workload};
 
@@ -27,7 +27,7 @@ fn bench(make: &dyn Fn() -> Workload, rows: &mut Vec<Vec<String>>) {
 }
 
 fn main() {
-    let gap: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+    let gap: WorkloadSet = vec![
         ("bc", Box::new(suite::bc)),
         ("bfs", Box::new(suite::bfs)),
         ("pr", Box::new(suite::pr)),
@@ -42,7 +42,11 @@ fn main() {
         bench(make.as_ref(), &mut rows);
     }
     let headers = ["bench", "base IPC", "perfBP", "Phelps", "BR", "BR-12w"];
-    print_table("Fig. 12a (GAP + astar): speedups over baseline", &headers, &rows);
+    print_table(
+        "Fig. 12a (GAP + astar): speedups over baseline",
+        &headers,
+        &rows,
+    );
     phelps_bench::write_csv("fig12a_gap", &headers, &rows);
 
     let mut rows = Vec::new();

@@ -5,12 +5,12 @@
 //! loses a little accuracy without stores but gains timeliness.
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{pct, print_table, run};
+use phelps_bench::{pct, print_table, run, WorkloadSet};
 use phelps_uarch::stats::speedup;
-use phelps_workloads::{suite, Workload};
+use phelps_workloads::suite;
 
 fn main() {
-    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+    let benches: WorkloadSet = vec![
         ("bc", Box::new(suite::bc)),
         ("bfs", Box::new(suite::bfs)),
         ("pr", Box::new(suite::pr)),

@@ -7,12 +7,12 @@
 //! (c) partitioning alone costs 4.1% (pr) to 12.8% (bc).
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{print_table, run};
+use phelps_bench::{print_table, run, WorkloadSet};
 use phelps_uarch::stats::speedup;
-use phelps_workloads::{suite, Workload};
+use phelps_workloads::suite;
 
 fn main() {
-    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+    let benches: WorkloadSet = vec![
         ("bc", Box::new(suite::bc)),
         ("bfs", Box::new(suite::bfs)),
         ("pr", Box::new(suite::pr)),

@@ -12,11 +12,11 @@
 
 use phelps::classify::MispredictClass;
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{print_table, run};
-use phelps_workloads::{suite, Workload};
+use phelps_bench::{print_table, run, WorkloadSet};
+use phelps_workloads::suite;
 
 fn main() {
-    let mut benches: Vec<(&'static str, Box<dyn Fn() -> Workload>)> = vec![
+    let mut benches: WorkloadSet = vec![
         ("bc", Box::new(suite::bc)),
         ("bfs", Box::new(suite::bfs)),
         ("pr", Box::new(suite::pr)),

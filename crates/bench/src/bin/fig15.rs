@@ -8,14 +8,14 @@
 //! most; inputs with ineligible phases benefit less.
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{pct, print_table, run_with_core};
+use phelps_bench::{pct, print_table, run_with_core, WorkloadSet};
 use phelps_uarch::config::CoreConfig;
 use phelps_uarch::stats::speedup;
 use phelps_workloads::graph::GraphKind;
-use phelps_workloads::{suite, Workload};
+use phelps_workloads::suite;
 
 fn main() {
-    let benches: Vec<(&str, Box<dyn Fn() -> Workload>)> = vec![
+    let benches: WorkloadSet = vec![
         ("bc", Box::new(suite::bc)),
         ("bfs", Box::new(suite::bfs)),
         ("astar", Box::new(suite::astar)),

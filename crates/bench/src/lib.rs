@@ -11,30 +11,140 @@
 //! * `PHELPS_REGION` — retired main-thread instructions per run
 //!   (default 2,000,000; the paper uses 100M SimPoints);
 //! * `PHELPS_EPOCH` — epoch length (default 150,000; the paper uses 4M).
+//!
+//! ## Telemetry
+//!
+//! Setting `PHELPS_TRACE=<path>` makes every runner in this crate install
+//! a [`phelps_telemetry`] registry for each simulated run and write the
+//! harvested reports to `<path>` as one JSON document
+//! (`{"runs": [...]}`), plus the per-epoch series of every run as a
+//! sibling CSV. `PHELPS_TRACE_VERBOSE=1` additionally records
+//! high-frequency events (per-mispredict, per-DRAM-miss). See DESIGN.md's
+//! telemetry section for the schema.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig, SimResult};
-use phelps_isa::Cpu;
+use phelps_isa::{Cpu, EmuError};
 use phelps_runahead::{simulate_runahead, BrVariant};
+use phelps_telemetry as tlm;
 use phelps_uarch::config::CoreConfig;
+use std::sync::Mutex;
+
+/// Parses `name` as u64, warning (once per read) when the variable is
+/// set but unparsable instead of silently using the default.
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable {name}={v:?}; using default {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
 
 /// Retired-instruction budget for one run.
 pub fn region_len() -> u64 {
-    std::env::var("PHELPS_REGION")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000)
+    env_u64("PHELPS_REGION", 2_000_000)
 }
 
 /// Epoch length used by the delinquency/construction machinery.
 pub fn epoch_len() -> u64 {
-    std::env::var("PHELPS_EPOCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150_000)
+    env_u64("PHELPS_EPOCH", 150_000)
 }
+
+// ---------------------------------------------------------------------
+// Telemetry wiring (PHELPS_TRACE)
+// ---------------------------------------------------------------------
+
+/// Reports harvested so far in this process; the trace file is rewritten
+/// after every run so partial output survives a crash mid-experiment.
+static TRACE_RUNS: Mutex<Vec<tlm::Report>> = Mutex::new(Vec::new());
+
+fn trace_path() -> Option<String> {
+    std::env::var("PHELPS_TRACE").ok().filter(|p| !p.is_empty())
+}
+
+/// Installs a telemetry registry for the upcoming run when
+/// `PHELPS_TRACE` is set. Telemetry epochs follow `PHELPS_EPOCH` so the
+/// exported series aligns with the engine's epoch machinery.
+fn trace_install(label: &str) {
+    if trace_path().is_none() {
+        return;
+    }
+    tlm::install(tlm::Config {
+        epoch_len: epoch_len(),
+        verbose: std::env::var("PHELPS_TRACE_VERBOSE").is_ok_and(|v| v != "0"),
+        label: label.to_string(),
+        ..tlm::Config::default()
+    });
+}
+
+/// Collects the run's harvested report (carried on the [`SimResult`])
+/// and rewrites the trace JSON and CSV files.
+fn trace_finish(result: &SimResult) {
+    let Some(path) = trace_path() else { return };
+    let Some(rep) = result.telemetry.as_deref() else {
+        return;
+    };
+    let mut runs = TRACE_RUNS.lock().unwrap_or_else(|e| e.into_inner());
+    runs.push(rep.clone());
+
+    let mut json = String::from("{\"runs\":[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&r.to_json());
+    }
+    json.push_str("]}");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
+
+    // Sibling CSV: every run's epoch series, with a leading label column.
+    let csv_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.csv"),
+        None => format!("{path}.csv"),
+    };
+    let mut csv = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        let body = r.epochs_csv();
+        let mut lines = body.lines();
+        if let Some(header) = lines.next() {
+            if i == 0 {
+                csv.push_str(&format!("label,{header}\n"));
+            }
+            for line in lines {
+                csv.push_str(&format!("{},{line}\n", r.label));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&csv_path, csv) {
+        eprintln!("warning: cannot write {csv_path}: {e}");
+    }
+}
+
+/// Short run label for a mode, used in trace reports.
+fn mode_label(mode: &Mode) -> &'static str {
+    match mode {
+        Mode::Baseline => "baseline",
+        Mode::PerfectBp => "perfbp",
+        Mode::PartitionOnly => "partition-only",
+        Mode::Phelps(_) => "phelps",
+    }
+}
+
+/// A named list of workload constructors, the shape every figNN binary
+/// iterates over.
+pub type WorkloadSet = Vec<(&'static str, Box<dyn Fn() -> phelps_workloads::Workload>)>;
+
+/// A named list of simulation thunks (workload × mode already bound).
+pub type ConfigSet = Vec<(&'static str, Box<dyn Fn() -> SimResult>)>;
 
 /// The scaled run configuration shared by all experiments.
 pub fn exp_config(mode: Mode) -> RunConfig {
@@ -46,27 +156,39 @@ pub fn exp_config(mode: Mode) -> RunConfig {
 
 /// Runs one workload in one mode.
 pub fn run(cpu: Cpu, mode: Mode) -> SimResult {
-    simulate(cpu, &exp_config(mode))
+    trace_install(mode_label(&mode));
+    let r = simulate(cpu, &exp_config(mode));
+    trace_finish(&r);
+    r
 }
 
 /// Runs one workload with a custom core configuration.
 pub fn run_with_core(cpu: Cpu, mode: Mode, core: CoreConfig) -> SimResult {
+    trace_install(mode_label(&mode));
     let mut cfg = exp_config(mode);
     cfg.core = core;
-    simulate(cpu, &cfg)
+    let r = simulate(cpu, &cfg);
+    trace_finish(&r);
+    r
 }
 
 /// Runs one workload under a Branch Runahead variant.
 pub fn run_br(cpu: Cpu, variant: BrVariant) -> SimResult {
-    simulate_runahead(cpu, &exp_config(Mode::Baseline), variant)
+    trace_install(&format!("br-{variant:?}").to_lowercase());
+    let r = simulate_runahead(cpu, &exp_config(Mode::Baseline), variant);
+    trace_finish(&r);
+    r
 }
 
 /// Fast-forwards `skip` instructions functionally, then simulates a region
 /// of `region_len()` instructions in `mode` (the SimPoint methodology:
 /// timing starts at the representative region's offset).
-pub fn run_region(mut cpu: Cpu, skip: u64, mode: Mode) -> SimResult {
-    cpu.run(skip).expect("functional fast-forward");
-    run(cpu, mode)
+///
+/// Fails when the functional fast-forward itself faults (bad region
+/// offset, workload shorter than `skip`).
+pub fn run_region(mut cpu: Cpu, skip: u64, mode: Mode) -> Result<SimResult, EmuError> {
+    cpu.run(skip)?;
+    Ok(run(cpu, mode))
 }
 
 /// Full SimPoint evaluation of a workload factory: profiles one instance,
@@ -81,8 +203,13 @@ pub fn run_simpoints(
     let points = phelps_workloads::simpoints::select_simpoints(make(), profile_insts, spcfg);
     let mut results = Vec::new();
     for p in points {
-        let r = run_region(make(), p.start_inst, mode.clone());
-        results.push((p, r));
+        match run_region(make(), p.start_inst, mode.clone()) {
+            Ok(r) => results.push((p, r)),
+            Err(e) => eprintln!(
+                "warning: skipping simpoint at inst {} (weight {:.3}): fast-forward failed: {e}",
+                p.start_inst, p.weight
+            ),
+        }
     }
     let ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(
         &results

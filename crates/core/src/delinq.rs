@@ -239,7 +239,7 @@ pub fn build_loop_table(dbt: &Dbt, threshold: u64, capacity: usize) -> Vec<LtEnt
             });
         }
     }
-    table.sort_by(|a, b| b.misp.cmp(&a.misp));
+    table.sort_by_key(|e| std::cmp::Reverse(e.misp));
     table
 }
 

@@ -133,7 +133,7 @@ mod tests {
             cpu.mem.write_u64(0x100000 + i * 8, x >> 33);
         }
         cpu.set_reg(Reg::A0, 0x100000);
-        cpu.set_reg(Reg::A2, n as u64);
+        cpu.set_reg(Reg::A2, n);
         cpu
     }
 

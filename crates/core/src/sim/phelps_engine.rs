@@ -19,6 +19,7 @@ use crate::sim::types::{
 };
 use crate::visitq::{Visit, VisitQueue, DEFAULT_VISITS};
 use phelps_isa::{AluOp, ExecRecord, Inst, Reg, NUM_REGS};
+use phelps_telemetry as tlm;
 use phelps_uarch::config::ActiveThreads;
 use std::collections::{HashMap, HashSet};
 
@@ -213,7 +214,7 @@ impl PhelpsEngine {
     // ------------------------------------------------------------------
 
     fn end_epoch(&mut self, cycle: u64) {
-        let _ = cycle;
+        tlm::count(tlm::Counter::EpochsEnded);
         let dbg = std::env::var("PHELPS_DBG").is_ok();
         // Finalize any in-flight construction.
         if let Some(c) = self.constructor.take() {
@@ -231,6 +232,13 @@ impl PhelpsEngine {
                         );
                     }
                     let entry = self.apply_features(entry);
+                    tlm::count(tlm::Counter::HtcInstalls);
+                    tlm::event(
+                        tlm::EventKind::HtcInstall,
+                        cycle,
+                        bounds.target_pc,
+                        self.epoch,
+                    );
                     self.htc.install(entry);
                     self.detected_not_chosen.remove(&bounds);
                 }
@@ -664,9 +672,7 @@ impl PreExecEngine for PhelpsEngine {
                 }
             }
         }
-        let Some(run) = self.active.as_mut() else {
-            return None;
-        };
+        let run = self.active.as_mut()?;
         let nested = run.entry.is_nested();
         let (seqr, q) = match tid {
             HT_A => (&mut run.seq_a, &run.qa),
@@ -695,6 +701,7 @@ impl PreExecEngine for PhelpsEngine {
                     // Inner-thread: wait for a visit.
                     match run.visitq.dequeue() {
                         Some(v) => {
+                            tlm::count(tlm::Counter::VisitDequeues);
                             let mvs: Vec<SideInst> = v
                                 .live_ins
                                 .iter()
@@ -809,10 +816,12 @@ impl PreExecEngine for PhelpsEngine {
         match inst.kind {
             SideKind::PredProducer { .. } => {
                 q.deposit(inst.pc, info.taken);
+                tlm::count(tlm::Counter::PredDeposits);
             }
             SideKind::HeaderBranch => {
                 self.dbg_headers_retired += 1;
                 q.deposit(inst.pc, info.taken);
+                tlm::count(tlm::Counter::PredDeposits);
                 if !info.taken {
                     // Inner loop will be visited: queue it with the
                     // outer-thread's current values for IT's OT live-ins.
@@ -824,11 +833,18 @@ impl PreExecEngine for PhelpsEngine {
                         .map(|&r| (r, self.side_regs[HT_A - 1][r.index()]))
                         .collect();
                     run.visitq.enqueue(Visit { live_ins });
+                    tlm::count(tlm::Counter::VisitEnqueues);
+                    tlm::gauge(tlm::Gauge::VisitQueueDepth, run.visitq.len() as u64);
                 }
             }
             SideKind::LoopBranch => {
                 q.deposit(inst.pc, info.taken);
+                tlm::count(tlm::Counter::PredDeposits);
                 q.advance_tail();
+                tlm::gauge(
+                    tlm::Gauge::PredQueueDepth,
+                    q.tail().saturating_sub(q.head()),
+                );
             }
             _ => {}
         }

@@ -22,6 +22,7 @@ use crate::sim::types::{
 };
 use crate::storecache::StoreCache;
 use phelps_isa::{Cpu, EmuError, ExecRecord, Inst, MemWidth, Memory, Reg, NUM_REGS};
+use phelps_telemetry as tlm;
 use phelps_uarch::bpred::{DirectionPredictor, HistoryCheckpoint, TageScL};
 use phelps_uarch::config::{ActiveThreads, CoreConfig, PartitionPlan};
 use phelps_uarch::mem::MemoryHierarchy;
@@ -216,6 +217,9 @@ pub struct SimResult {
     pub stats: SimStats,
     /// Fig. 14 misprediction classification.
     pub breakdown: MispredictBreakdown,
+    /// Harvested telemetry, when a [`phelps_telemetry`] registry was
+    /// installed on this thread before the run (see `PHELPS_TRACE`).
+    pub telemetry: Option<Box<tlm::Report>>,
 }
 
 /// Explicit per-thread resource quotas, overriding the Table I fractional
@@ -258,6 +262,8 @@ pub struct Pipeline<E: PreExecEngine> {
     cycle: u64,
     /// Engine-triggered state.
     preexec_active: bool,
+    /// Cycle of the most recent trigger (telemetry: trigger-span hist).
+    trigger_cycle: u64,
     /// Outstanding `mt_release` move.
     mt_release_pending: bool,
     max_mt_insts: u64,
@@ -313,6 +319,7 @@ impl<E: PreExecEngine> Pipeline<E> {
             next_seq: 0,
             cycle: 0,
             preexec_active: false,
+            trigger_cycle: 0,
             mt_release_pending: false,
             max_mt_insts,
             stats: SimStats::new(),
@@ -437,11 +444,18 @@ impl<E: PreExecEngine> Pipeline<E> {
         SimResult {
             stats: self.stats,
             breakdown: self.breakdown,
+            telemetry: tlm::harvest(),
         }
     }
 
     fn step_cycle(&mut self) {
         self.cycle += 1;
+        if tlm::enabled() {
+            tlm::tick(self.cycle);
+            let t = &self.threads[MT];
+            tlm::gauge(tlm::Gauge::RobOccupancy, t.rob.len() as u64);
+            tlm::gauge(tlm::Gauge::LsqOccupancy, u64::from(t.lq_used + t.sq_used));
+        }
         self.retire();
         if self.finished {
             return;
@@ -572,6 +586,7 @@ impl<E: PreExecEngine> Pipeline<E> {
                 match engine.queue_lookup(pc) {
                     QueueLookup::Hit(p) => {
                         self.stats.preds_from_queue += 1;
+                        tlm::count(tlm::Counter::PredConsumeHits);
                         if p != actual && std::env::var("PHELPS_DBG").is_ok() {
                             eprintln!(
                                 "[dbg] cycle={} pc={pc:#x} queue={} actual={} ckpt={:?}",
@@ -585,6 +600,7 @@ impl<E: PreExecEngine> Pipeline<E> {
                     }
                     QueueLookup::Untimely => {
                         self.stats.queue_untimely += 1;
+                        tlm::count(tlm::Counter::PredConsumeUntimely);
                         return (default_pred, PredFrom::Default, default_pred);
                     }
                     QueueLookup::NoRow => {}
@@ -927,6 +943,7 @@ impl<E: PreExecEngine> Pipeline<E> {
         };
         if let Some(load_seq) = victim {
             self.stats.load_violations += 1;
+            tlm::count(tlm::Counter::LoadViolations);
             if let Some(load) = self.insts.get(&load_seq) {
                 self.violating_loads.insert(load.pc);
             }
@@ -1119,7 +1136,7 @@ impl<E: PreExecEngine> Pipeline<E> {
         match action {
             SideAction::Continue => {}
             SideAction::SquashYounger => self.squash_side_from(tid, seq + 1, false),
-            SideAction::Terminate => self.terminate_preexec(),
+            SideAction::Terminate => self.terminate_preexec(0),
         }
     }
 
@@ -1182,6 +1199,7 @@ impl<E: PreExecEngine> Pipeline<E> {
     fn finish_mt_retire(&mut self, di: DynInst) {
         let rec = di.rec;
         self.stats.mt_retired += 1;
+        tlm::count(tlm::Counter::MtRetired);
 
         // Timing-architectural state.
         if let Some(dst) = rec.inst.dst() {
@@ -1197,6 +1215,7 @@ impl<E: PreExecEngine> Pipeline<E> {
         let mut default_wrong = false;
         if di.is_cond_branch() {
             self.stats.mt_cond_branches += 1;
+            tlm::count(tlm::Counter::MtCondBranches);
             let predicted = di.predicted.unwrap_or(rec.taken);
             self.bpred.update(rec.pc, rec.taken, predicted);
             default_wrong = di.default_pred.unwrap_or(rec.taken) != rec.taken;
@@ -1209,6 +1228,8 @@ impl<E: PreExecEngine> Pipeline<E> {
             }
             if di.mispredicted {
                 self.stats.mt_mispredicts += 1;
+                tlm::count(tlm::Counter::MtMispredicts);
+                tlm::event(tlm::EventKind::Mispredict, self.cycle, rec.pc, 0);
                 if di.pred_from == PredFrom::Queue {
                     self.stats.mispredicts_from_queue += 1;
                 }
@@ -1240,8 +1261,8 @@ impl<E: PreExecEngine> Pipeline<E> {
         }
         match cmd {
             EngineCmd::None => {}
-            EngineCmd::Trigger(active) => self.trigger_preexec(active),
-            EngineCmd::Terminate => self.terminate_preexec(),
+            EngineCmd::Trigger(active) => self.trigger_preexec(active, rec.pc),
+            EngineCmd::Terminate => self.terminate_preexec(rec.pc),
         }
 
         if matches!(rec.inst, Inst::Halt) || self.stats.mt_retired >= self.max_mt_insts {
@@ -1389,6 +1410,7 @@ impl<E: PreExecEngine> Pipeline<E> {
         if squashed.is_empty() {
             return;
         }
+        tlm::count(tlm::Counter::MtSquashes);
         // Roll back engine consumption to the youngest surviving branch's
         // checkpoint (or to head).
         if let Some(engine) = self.engine.as_mut() {
@@ -1469,11 +1491,16 @@ impl<E: PreExecEngine> Pipeline<E> {
     // Trigger / terminate
     // ------------------------------------------------------------------
 
-    fn trigger_preexec(&mut self, active: ActiveThreads) {
+    /// `pc` is the retiring instruction that carried the engine command
+    /// (telemetry only; 0 when unknown).
+    fn trigger_preexec(&mut self, active: ActiveThreads, pc: u64) {
         if self.preexec_active {
             return;
         }
         self.stats.triggers += 1;
+        tlm::count(tlm::Counter::Triggers);
+        tlm::event(tlm::EventKind::Trigger, self.cycle, pc, 0);
+        self.trigger_cycle = self.cycle;
         self.preexec_active = true;
         // Squash MT in-flight (paper §V-F step 1) and repartition.
         let from = self.threads[MT].rob.front().copied();
@@ -1492,11 +1519,17 @@ impl<E: PreExecEngine> Pipeline<E> {
         }
     }
 
-    fn terminate_preexec(&mut self) {
+    fn terminate_preexec(&mut self, pc: u64) {
         if !self.preexec_active {
             return;
         }
         self.stats.terminations += 1;
+        tlm::count(tlm::Counter::Terminations);
+        tlm::event(tlm::EventKind::Terminate, self.cycle, pc, 0);
+        tlm::hist(
+            tlm::Hist::TriggerSpanCycles,
+            self.cycle.saturating_sub(self.trigger_cycle),
+        );
         self.preexec_active = false;
         for tid in [HT_A, HT_B] {
             let all: Vec<u64> = self.threads[tid].rob.iter().copied().collect();

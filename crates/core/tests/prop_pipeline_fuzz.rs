@@ -11,10 +11,10 @@ use proptest::prelude::*;
 /// One random instruction of the loop body.
 #[derive(Clone, Copy, Debug)]
 enum BodyOp {
-    Alu(u8, u8, u8, u8),    // op selector, rd, rs1, rs2
+    Alu(u8, u8, u8, u8), // op selector, rd, rs1, rs2
     AluImm(u8, u8, u8, i32),
-    Load(u8, u8),  // rd, index-reg selector
-    Store(u8, u8), // src, index-reg selector
+    Load(u8, u8),       // rd, index-reg selector
+    Store(u8, u8),      // src, index-reg selector
     Branch(u8, u8, u8), // cond selector, rs1, rs2 (skips one instruction)
 }
 

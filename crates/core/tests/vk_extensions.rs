@@ -82,9 +82,10 @@ fn or_guarded_store_gets_two_sources() {
     assert_eq!(store.kind, HtKind::Store);
     match store.pred_src {
         PredSource::GuardedOr { a, b } => {
-            // Guard a enables on taken, guard b on not-taken... wait: the
-            // store executes when b1 taken OR b2 taken.
-            assert!(a.1 || b.1 || !(a.1 && b.1), "directions recorded");
+            // The store executes when b1 is taken OR b2 is not-taken
+            // (b2 taken jumps to "skip"), so the recorded enable
+            // directions must be taken for guard a and not-taken for b.
+            assert!(a.1 && !b.1, "guard directions: {a:?} {b:?}");
             assert_ne!(a.0, b.0, "two distinct predicate registers");
         }
         other => panic!("expected an OR-guard, got {other:?}"),

@@ -104,13 +104,7 @@ impl AluOp {
                     (a as i64).wrapping_div(b as i64) as u64
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a
@@ -118,13 +112,7 @@ impl AluOp {
                     (a as i64).wrapping_rem(b as i64) as u64
                 }
             }
-            AluOp::Remu => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            AluOp::Remu => a.checked_rem(b).unwrap_or(a),
             AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
             AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
             AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,

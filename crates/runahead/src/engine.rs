@@ -28,6 +28,7 @@ use phelps::sim::{
     HT_A,
 };
 use phelps_isa::{ExecRecord, Inst, Reg, NUM_REGS};
+use phelps_telemetry as tlm;
 use phelps_uarch::bpred::{Bimodal, DirectionPredictor};
 use phelps_uarch::config::ActiveThreads;
 use std::collections::HashMap;
@@ -279,6 +280,7 @@ impl BrEngine {
     /// the replay after recovery falls back to the default predictor
     /// instead of re-consuming the same wrong value.
     fn rollback_group(&mut self, pc: u64) {
+        tlm::count(tlm::Counter::ChainRollbacks);
         let Some(run) = self.active.as_mut() else {
             return;
         };
@@ -527,9 +529,7 @@ impl PreExecEngine for BrEngine {
         let speculative = self.cfg.speculative;
         // Bimodal speculation needs `&mut self.bimodal` alongside the run;
         // split the borrow.
-        let Some(run) = self.active.as_mut() else {
-            return None;
-        };
+        let run = self.active.as_mut()?;
         if run.stopped {
             return None;
         }
@@ -546,13 +546,7 @@ impl PreExecEngine for BrEngine {
             pc: ht.pc,
             inst: ht.inst,
             kind: match ht.kind {
-                HtKind::PredicateProducer { dest } => {
-                    if speculative {
-                        SideKind::PredProducer { dest }
-                    } else {
-                        SideKind::PredProducer { dest }
-                    }
-                }
+                HtKind::PredicateProducer { dest } => SideKind::PredProducer { dest },
                 other => other.into(),
             },
             pred_src: if speculative {
@@ -640,6 +634,7 @@ impl PreExecEngine for BrEngine {
                     if should_deposit {
                         if let Some((_, q)) = run.queues.iter_mut().find(|(p, _)| *p == pc) {
                             q.deposit(iter, info.taken);
+                            tlm::count(tlm::Counter::ChainDeposits);
                         }
                     }
                     let _ = was_speculated;
@@ -675,6 +670,7 @@ impl PreExecEngine for BrEngine {
                                         run.queues.iter_mut().find(|(p, _)| *p == child_pc)
                                     {
                                         q.deposit(iter, outcome);
+                                        tlm::count(tlm::Counter::ChainDeposits);
                                     }
                                     if let Some(r) = run.iter_recs.get_mut(&(iter, child_pc)) {
                                         r.deposited = true;
@@ -691,6 +687,7 @@ impl PreExecEngine for BrEngine {
                     if !guarded || info.enabled {
                         if let Some((_, q)) = run.queues.iter_mut().find(|(p, _)| *p == pc) {
                             q.deposit(iter, info.taken);
+                            tlm::count(tlm::Counter::ChainDeposits);
                         }
                     }
                 }

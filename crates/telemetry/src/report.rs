@@ -1,0 +1,340 @@
+//! Finalized telemetry reports and their JSON/CSV serializations.
+
+use crate::json::JsonWriter;
+use crate::{Counter, EventKind, Gauge, Hist};
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// Cycle it happened at.
+    pub cycle: u64,
+    /// Program counter involved (0 when not applicable).
+    pub pc: u64,
+    /// Kind-specific payload (cause code, latency, epoch index, ...).
+    pub info: u64,
+}
+
+/// Per-epoch time-series sample; epochs close every
+/// [`crate::Config::epoch_len`] retired main-thread instructions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSample {
+    /// Epoch index, from 0.
+    pub epoch: u64,
+    /// Cycle at which the epoch closed.
+    pub end_cycle: u64,
+    /// Cycles spanned by the epoch.
+    pub cycles: u64,
+    /// Main-thread instructions retired in the epoch.
+    pub retired: u64,
+    /// Instructions per cycle over the epoch.
+    pub ipc: f64,
+    /// Conditional mispredicts in the epoch.
+    pub mispredicts: u64,
+    /// Mispredicts per kilo-instruction over the epoch.
+    pub mpki: f64,
+    /// Pre-execution triggers in the epoch.
+    pub triggers: u64,
+    /// Timely prediction-queue hits in the epoch.
+    pub pred_hits: u64,
+    /// DRAM accesses in the epoch.
+    pub dram_accesses: u64,
+    /// Mean ROB occupancy over the epoch's cycles.
+    pub avg_rob: f64,
+    /// Mean prediction-queue depth over the epoch's cycles.
+    pub avg_pred_queue: f64,
+}
+
+/// Summary of one gauge over the whole run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeSummary {
+    /// Mean of all samples.
+    pub avg: f64,
+    /// Largest sample.
+    pub max: u64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// Summary of one log2 histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Bucket `i` counts values whose bit length is `i` (bucket 0 is the
+    /// value 0).
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u128,
+}
+
+/// An immutable, finished telemetry report for one simulated run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Run label from the installed config.
+    pub label: String,
+    /// Epoch length (retired instructions) the series was sampled at.
+    pub epoch_len: u64,
+    /// Whether verbose event kinds were recorded.
+    pub verbose: bool,
+    /// Last cycle observed via `tick`.
+    pub final_cycle: u64,
+    /// Counter totals, indexed by [`Counter`] discriminant.
+    pub counters: [u64; Counter::COUNT],
+    /// Gauge summaries, indexed by [`Gauge`] discriminant.
+    pub gauges: [GaugeSummary; Gauge::COUNT],
+    /// Histogram summaries, indexed by [`Hist`] discriminant.
+    pub hists: [HistSummary; Hist::COUNT],
+    /// Per-epoch series, oldest first.
+    pub epochs: Vec<EpochSample>,
+    /// Recorded events, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Events discarded after the ring filled.
+    pub events_dropped: u64,
+}
+
+impl Report {
+    /// Total for one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Number of recorded events of `kind`.
+    pub fn event_count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Serializes the whole report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("label");
+        w.string(&self.label);
+        w.key("epoch_len");
+        w.uint(self.epoch_len);
+        w.key("verbose");
+        w.bool(self.verbose);
+        w.key("final_cycle");
+        w.uint(self.final_cycle);
+
+        w.key("counters");
+        w.begin_object();
+        for c in Counter::ALL {
+            w.key(c.name());
+            w.uint(self.counter(c));
+        }
+        w.end_object();
+
+        w.key("gauges");
+        w.begin_object();
+        for g in Gauge::ALL {
+            let s = &self.gauges[g as usize];
+            w.key(g.name());
+            w.begin_object();
+            w.key("avg");
+            w.float(s.avg);
+            w.key("max");
+            w.uint(s.max);
+            w.key("samples");
+            w.uint(s.samples);
+            w.end_object();
+        }
+        w.end_object();
+
+        w.key("hists");
+        w.begin_object();
+        for h in Hist::ALL {
+            let s = &self.hists[h as usize];
+            w.key(h.name());
+            w.begin_object();
+            w.key("count");
+            w.uint(s.count);
+            w.key("mean");
+            w.float(if s.count == 0 {
+                0.0
+            } else {
+                s.sum as f64 / s.count as f64
+            });
+            w.key("buckets");
+            w.begin_array();
+            // Trailing zero buckets are elided to keep files small; the
+            // reader treats missing buckets as zero.
+            let last = s.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+            for &b in &s.buckets[..last] {
+                w.uint(b);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+
+        w.key("epochs");
+        w.begin_array();
+        for e in &self.epochs {
+            w.begin_object();
+            w.key("epoch");
+            w.uint(e.epoch);
+            w.key("end_cycle");
+            w.uint(e.end_cycle);
+            w.key("cycles");
+            w.uint(e.cycles);
+            w.key("retired");
+            w.uint(e.retired);
+            w.key("ipc");
+            w.float(e.ipc);
+            w.key("mispredicts");
+            w.uint(e.mispredicts);
+            w.key("mpki");
+            w.float(e.mpki);
+            w.key("triggers");
+            w.uint(e.triggers);
+            w.key("pred_hits");
+            w.uint(e.pred_hits);
+            w.key("dram_accesses");
+            w.uint(e.dram_accesses);
+            w.key("avg_rob");
+            w.float(e.avg_rob);
+            w.key("avg_pred_queue");
+            w.float(e.avg_pred_queue);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.key("events");
+        w.begin_array();
+        for e in &self.events {
+            w.begin_object();
+            w.key("kind");
+            w.string(e.kind.name());
+            w.key("cycle");
+            w.uint(e.cycle);
+            w.key("pc");
+            w.uint(e.pc);
+            w.key("info");
+            w.uint(e.info);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("events_dropped");
+        w.uint(self.events_dropped);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Serializes the per-epoch series as CSV with a header row.
+    pub fn epochs_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,end_cycle,cycles,retired,ipc,mispredicts,mpki,\
+             triggers,pred_hits,dram_accesses,avg_rob,avg_pred_queue\n",
+        );
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{},{:.6},{},{},{},{:.3},{:.3}\n",
+                e.epoch,
+                e.end_cycle,
+                e.cycles,
+                e.retired,
+                e.ipc,
+                e.mispredicts,
+                e.mpki,
+                e.triggers,
+                e.pred_hits,
+                e.dram_accesses,
+                e.avg_rob,
+                e.avg_pred_queue,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_json, Config, JsonValue, Registry};
+
+    fn sample_report() -> Report {
+        let mut reg = Registry::new(Config {
+            epoch_len: 4,
+            label: "unit \"quoted\" label".to_string(),
+            ..Config::default()
+        });
+        let reg_ref = &mut reg;
+        // Drive the registry directly (not via thread-local) so this
+        // test is independent of install/harvest state.
+        for cycle in 0..10u64 {
+            reg_ref.tick(cycle);
+            reg_ref.gauge(Gauge::RobOccupancy, cycle);
+            reg_ref.add(Counter::MtRetired, 1);
+        }
+        reg_ref.hist(Hist::MissLatency, 200);
+        reg_ref.event(EventKind::Trigger, 3, 0x4000_0000, 0);
+        reg.into_report()
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let rep = sample_report();
+        let text = rep.to_json();
+        let v = parse_json(&text).expect("report JSON must parse");
+        let obj = match v {
+            JsonValue::Object(o) => o,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let get = |k: &str| {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {k}"))
+        };
+        assert_eq!(
+            get("label"),
+            &JsonValue::String("unit \"quoted\" label".into())
+        );
+        assert_eq!(get("epoch_len"), &JsonValue::Number(4.0));
+        match get("counters") {
+            JsonValue::Object(counters) => {
+                assert!(counters
+                    .iter()
+                    .any(|(k, v)| k == "mt_retired" && *v == JsonValue::Number(10.0)));
+                assert_eq!(counters.len(), Counter::COUNT);
+            }
+            other => panic!("counters not an object: {other:?}"),
+        }
+        match get("epochs") {
+            // 2 full epochs of 4 plus a flushed partial of 2.
+            JsonValue::Array(epochs) => assert_eq!(epochs.len(), 3),
+            other => panic!("epochs not an array: {other:?}"),
+        }
+        match get("events") {
+            JsonValue::Array(events) => {
+                // Trigger + 3 epoch-end events.
+                assert_eq!(events.len(), 4);
+            }
+            other => panic!("events not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_epoch() {
+        let rep = sample_report();
+        let csv = rep.epochs_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + rep.epochs.len());
+        assert!(lines[0].starts_with("epoch,end_cycle,"));
+        assert!(lines[1].starts_with("0,"));
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn event_count_filters_by_kind() {
+        let rep = sample_report();
+        assert_eq!(rep.event_count(EventKind::Trigger), 1);
+        assert_eq!(rep.event_count(EventKind::EpochEnd), 3);
+        assert_eq!(rep.event_count(EventKind::Mispredict), 0);
+    }
+}

@@ -111,7 +111,7 @@ mod tests {
             p.update(0x0, true, false);
         }
         // 16 entries, pc>>2 indexing: pc = 16*4 aliases to index 0.
-        assert!(p.predict(64 * 1));
+        assert!(p.predict(64));
     }
 
     #[test]

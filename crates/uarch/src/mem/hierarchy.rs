@@ -8,6 +8,7 @@
 
 use crate::config::CoreConfig;
 use crate::mem::{Cache, IpcpPrefetcher, Probe, VldpPrefetcher};
+use phelps_telemetry as tlm;
 
 /// Outcome of a demand access, for statistics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,6 +103,7 @@ impl MemoryHierarchy {
         // probe to charge the merged access the true fill latency.
         if let Some(fill) = self.l1d.mshr_pending(addr, cycle) {
             self.l1d.accesses += 1;
+            tlm::count(tlm::Counter::MshrMerges);
             return AccessResult {
                 done_cycle: fill.max(cycle + self.l1d.latency() as u64),
                 level: AccessLevel::L2,
@@ -123,8 +125,21 @@ impl MemoryHierarchy {
                 if !self.l1d.mshr_allocate(addr, cycle, done) {
                     // All MSHRs busy: retry after a fixed backoff.
                     done += 4;
+                    tlm::count(tlm::Counter::MshrFullRetries);
+                    tlm::event(tlm::EventKind::MshrFull, cycle, pc, addr);
                 }
                 self.l1d.fill(addr, false, done);
+                if tlm::enabled() {
+                    tlm::count(tlm::Counter::L1dMisses);
+                    tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(cycle));
+                    tlm::gauge(
+                        tlm::Gauge::MshrOccupancy,
+                        self.l1d.mshrs_in_use(cycle) as u64,
+                    );
+                    if level == AccessLevel::Dram {
+                        tlm::event(tlm::EventKind::DramMiss, cycle, pc, done - cycle);
+                    }
+                }
             }
         }
 
@@ -156,9 +171,12 @@ impl MemoryHierarchy {
         let result = match self.l2.probe(addr, cycle) {
             Probe::Hit { .. } => (cycle + l2_lat, AccessLevel::L2),
             Probe::Miss => {
+                tlm::count(tlm::Counter::L2Misses);
                 let (done, level) = match self.l3.probe(addr, cycle) {
                     Probe::Hit { .. } => (cycle + self.l3.latency() as u64, AccessLevel::L3),
                     Probe::Miss => {
+                        tlm::count(tlm::Counter::L3Misses);
+                        tlm::count(tlm::Counter::DramAccesses);
                         let done = cycle + self.l3.latency() as u64 + self.dram_latency as u64;
                         self.l3.fill(addr, false, done);
                         (done, AccessLevel::Dram)
@@ -189,6 +207,7 @@ impl MemoryHierarchy {
     /// A store's write at retire: touches the hierarchy for inclusion but
     /// charges no latency to the retire stage (write-buffer semantics).
     pub fn store_retired(&mut self, addr: u64, cycle: u64) {
+        tlm::count(tlm::Counter::StoresRetired);
         if let Probe::Miss = self.l1d.probe(addr, cycle) {
             let (done, _) = self.access_l2(addr, cycle, false);
             self.l1d.fill(addr, false, done);

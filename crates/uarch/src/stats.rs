@@ -203,6 +203,75 @@ mod tests {
     }
 
     #[test]
+    fn speedup_of_identical_stats_is_one() {
+        let s = SimStats {
+            cycles: 777,
+            mt_retired: 1234,
+            ..SimStats::default()
+        };
+        assert!((speedup(&s, &s.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_against_stalled_baseline_is_zero() {
+        // Zero-IPC baseline (no retired instructions): the ratio is
+        // undefined; the guard reports 0 rather than inf/NaN.
+        let base = SimStats {
+            cycles: 1000,
+            ..SimStats::default()
+        };
+        let fast = SimStats {
+            cycles: 500,
+            mt_retired: 1000,
+            ..SimStats::default()
+        };
+        assert_eq!(speedup(&base, &fast), 0.0);
+    }
+
+    #[test]
+    fn ipc_with_retired_but_no_cycles_is_zero() {
+        // Degenerate bundle (filled mid-run before cycles were set).
+        let s = SimStats {
+            mt_retired: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn mpki_with_mispredicts_but_no_retired_is_zero() {
+        let s = SimStats {
+            mt_mispredicts: 5,
+            ..SimStats::default()
+        };
+        assert_eq!(s.mpki(), 0.0);
+    }
+
+    #[test]
+    fn branch_accuracy_fully_wrong_is_zero() {
+        let s = SimStats {
+            mt_cond_branches: 8,
+            mt_mispredicts: 8,
+            ..SimStats::default()
+        };
+        assert!(s.branch_accuracy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_zero_weights_is_zero() {
+        assert_eq!(weighted_harmonic_mean_ipc(&[(0.0, 2.0), (0.0, 4.0)]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_skips_zero_ipc_points() {
+        // A zero-IPC point cannot contribute 1/0; it is excluded from the
+        // denominator rather than poisoning the mean.
+        let m = weighted_harmonic_mean_ipc(&[(0.5, 0.0), (0.5, 2.0)]);
+        assert!(m.is_finite());
+        assert!(m > 0.0);
+    }
+
+    #[test]
     fn ht_overhead_matches_fig13b_units() {
         let s = SimStats {
             mt_retired: 100_000_000,

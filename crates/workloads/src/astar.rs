@@ -264,7 +264,7 @@ mod tests {
                 marked += 1;
             }
         }
-        assert!(marked as u64 >= accepted, "marks cover acceptances");
+        assert!(marked >= accepted, "marks cover acceptances");
     }
 
     #[test]

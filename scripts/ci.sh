@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, and the full test suite.
+#
+# Usage: ./scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> ci.sh: all green"

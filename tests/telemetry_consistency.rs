@@ -1,0 +1,139 @@
+//! Cross-checks the telemetry subsystem against the simulator's own
+//! statistics: every counter the pipeline reports through `SimStats` must
+//! agree with the independently-traced telemetry stream for the same run.
+
+use phelps_repro::prelude::*;
+use phelps_telemetry as tlm;
+
+/// Small-but-representative run configuration (mirrors `end_to_end.rs`).
+fn quick(mode: Mode) -> RunConfig {
+    let mut cfg = RunConfig::scaled(mode);
+    cfg.max_mt_insts = 200_000;
+    cfg.epoch_len = 80_000;
+    cfg
+}
+
+/// Installs a verbose sink big enough that nothing is dropped.
+fn install_trace(label: &str) {
+    tlm::install(tlm::Config {
+        epoch_len: 25_000,
+        verbose: true,
+        ring_capacity: 1 << 20,
+        label: label.to_string(),
+    });
+}
+
+#[test]
+fn baseline_trace_matches_sim_stats() {
+    install_trace("consistency/baseline");
+    let r = simulate(suite::astar_small().cpu, &quick(Mode::Baseline));
+    let rep = r
+        .telemetry
+        .as_ref()
+        .expect("telemetry installed before the run must be harvested");
+    assert!(r.stats.mt_retired > 0, "run must make progress");
+
+    // Counters traced at retire agree exactly with SimStats.
+    assert_eq!(rep.counter(tlm::Counter::MtRetired), r.stats.mt_retired);
+    assert_eq!(
+        rep.counter(tlm::Counter::MtCondBranches),
+        r.stats.mt_cond_branches
+    );
+    assert_eq!(
+        rep.counter(tlm::Counter::MtMispredicts),
+        r.stats.mt_mispredicts
+    );
+
+    // Verbose mode records one event per misprediction; the ring was sized
+    // so none were dropped, making the event stream exhaustive.
+    assert_eq!(rep.events_dropped, 0, "ring must not overflow in this test");
+    assert_eq!(
+        rep.event_count(tlm::EventKind::Mispredict) as u64,
+        r.stats.mt_mispredicts
+    );
+
+    // The default predictor is consulted once per retired conditional
+    // branch in a baseline run, so its own update counters line up too.
+    assert_eq!(
+        rep.counter(tlm::Counter::BpredUpdates),
+        r.stats.mt_cond_branches
+    );
+    assert_eq!(
+        rep.counter(tlm::Counter::BpredWrong),
+        r.stats.mt_mispredicts
+    );
+
+    // Epoch samples partition the run: per-epoch retired counts must sum
+    // back to the total, and end cycles must be monotone.
+    let epoch_retired: u64 = rep.epochs.iter().map(|e| e.retired).sum();
+    assert_eq!(epoch_retired, r.stats.mt_retired);
+    for w in rep.epochs.windows(2) {
+        assert!(w[0].end_cycle < w[1].end_cycle, "epoch cycles monotone");
+    }
+    assert_eq!(rep.final_cycle, r.stats.cycles);
+}
+
+#[test]
+fn phelps_trace_matches_trigger_and_queue_stats() {
+    install_trace("consistency/phelps");
+    let r = simulate(
+        suite::astar_small().cpu,
+        &quick(Mode::Phelps(PhelpsFeatures::full())),
+    );
+    let rep = r.telemetry.as_ref().expect("telemetry must be harvested");
+
+    assert_eq!(rep.counter(tlm::Counter::Triggers), r.stats.triggers);
+    assert_eq!(
+        rep.counter(tlm::Counter::Terminations),
+        r.stats.terminations
+    );
+    assert_eq!(
+        rep.event_count(tlm::EventKind::Trigger) as u64,
+        r.stats.triggers
+    );
+    assert_eq!(
+        rep.event_count(tlm::EventKind::Terminate) as u64,
+        r.stats.terminations
+    );
+    assert_eq!(
+        rep.counter(tlm::Counter::PredConsumeHits),
+        r.stats.preds_from_queue
+    );
+    assert_eq!(
+        rep.counter(tlm::Counter::PredConsumeUntimely),
+        r.stats.queue_untimely
+    );
+}
+
+#[test]
+fn report_serializes_to_valid_json() {
+    install_trace("consistency/json");
+    let r = simulate(suite::astar_small().cpu, &quick(Mode::Baseline));
+    let rep = r.telemetry.as_ref().expect("telemetry must be harvested");
+
+    let json = rep.to_json();
+    let v = tlm::parse_json(&json).expect("report JSON must parse");
+    assert_eq!(
+        v.get("label").and_then(|l| l.as_str()),
+        Some("consistency/json")
+    );
+    assert_eq!(
+        v.get("final_cycle").and_then(|c| c.as_u64()),
+        Some(r.stats.cycles)
+    );
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("mt_retired").and_then(|c| c.as_u64()),
+        Some(r.stats.mt_retired)
+    );
+    let epochs = v.get("epochs").and_then(|e| e.as_array()).expect("epochs");
+    assert_eq!(epochs.len(), rep.epochs.len());
+}
+
+#[test]
+fn no_install_means_no_telemetry_and_no_overhead_path() {
+    // Without an installed sink, the run must not fabricate a report.
+    let r = simulate(suite::astar_small().cpu, &quick(Mode::Baseline));
+    assert!(r.telemetry.is_none());
+    assert!(!tlm::enabled());
+}
