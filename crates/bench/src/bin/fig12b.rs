@@ -5,26 +5,44 @@
 //! loses a little accuracy without stores but gains timeliness.
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{pct, print_table, run, WorkloadSet};
+use phelps_bench::runner::{parse_cli, Experiment};
+use phelps_bench::{pct, print_table};
 use phelps_uarch::stats::speedup;
 use phelps_workloads::suite;
 
 fn main() {
-    let benches: WorkloadSet = vec![
-        ("bc", Box::new(suite::bc)),
-        ("bfs", Box::new(suite::bfs)),
-        ("pr", Box::new(suite::pr)),
-        ("cc", Box::new(suite::cc)),
-        ("cc_sv", Box::new(suite::cc_sv)),
-        ("sssp", Box::new(suite::sssp)),
-        ("tc", Box::new(suite::tc)),
-        ("astar", Box::new(suite::astar)),
-    ];
+    let opts = parse_cli();
+    let mut exp = Experiment::new("fig12b").with_cli(&opts);
+    for name in suite::gap_names() {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
+        exp.sim_cell(name, "baseline", Mode::Baseline, make);
+        exp.sim_cell(
+            name,
+            "with-stores",
+            Mode::Phelps(PhelpsFeatures::full()),
+            make,
+        );
+        exp.sim_cell(
+            name,
+            "no-stores",
+            Mode::Phelps(PhelpsFeatures::no_stores()),
+            make,
+        );
+    }
+    let res = exp.run();
+    if opts.list {
+        return;
+    }
+
     let mut rows = Vec::new();
-    for (name, make) in &benches {
-        let base = run(make().cpu, Mode::Baseline);
-        let with = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
-        let without = run(make().cpu, Mode::Phelps(PhelpsFeatures::no_stores()));
+    for name in suite::gap_names() {
+        let (Some(base), Some(with), Some(without)) = (
+            res.get(name, "baseline"),
+            res.get(name, "with-stores"),
+            res.get(name, "no-stores"),
+        ) else {
+            continue;
+        };
         rows.push(vec![
             name.to_string(),
             pct(speedup(&base.stats, &with.stats)),

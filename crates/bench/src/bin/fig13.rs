@@ -7,30 +7,43 @@
 //! (c) partitioning alone costs 4.1% (pr) to 12.8% (bc).
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{print_table, run, WorkloadSet};
+use phelps_bench::print_table;
+use phelps_bench::runner::{parse_cli, Experiment};
 use phelps_uarch::stats::speedup;
 use phelps_workloads::suite;
 
 fn main() {
-    let benches: WorkloadSet = vec![
-        ("bc", Box::new(suite::bc)),
-        ("bfs", Box::new(suite::bfs)),
-        ("pr", Box::new(suite::pr)),
-        ("cc", Box::new(suite::cc)),
-        ("cc_sv", Box::new(suite::cc_sv)),
-        ("sssp", Box::new(suite::sssp)),
-        ("tc", Box::new(suite::tc)),
-        ("astar", Box::new(suite::astar)),
-    ];
+    let opts = parse_cli();
+    let mut exp = Experiment::new("fig13").with_cli(&opts);
+    for name in suite::gap_names() {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
+        exp.sim_cell(name, "baseline", Mode::Baseline, make);
+        exp.sim_cell(name, "phelps", Mode::Phelps(PhelpsFeatures::full()), make);
+        exp.sim_cell(
+            name,
+            "no-stores",
+            Mode::Phelps(PhelpsFeatures::no_stores()),
+            make,
+        );
+        exp.sim_cell(name, "partition", Mode::PartitionOnly, make);
+    }
+    let res = exp.run();
+    if opts.list {
+        return;
+    }
 
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
     let mut rows_c = Vec::new();
-    for (name, make) in &benches {
-        let base = run(make().cpu, Mode::Baseline);
-        let ph = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
-        let ph_ns = run(make().cpu, Mode::Phelps(PhelpsFeatures::no_stores()));
-        let part = run(make().cpu, Mode::PartitionOnly);
+    for name in suite::gap_names() {
+        let (Some(base), Some(ph), Some(ph_ns), Some(part)) = (
+            res.get(name, "baseline"),
+            res.get(name, "phelps"),
+            res.get(name, "no-stores"),
+            res.get(name, "partition"),
+        ) else {
+            continue;
+        };
 
         let red = |r: &phelps::sim::SimResult| {
             if base.stats.mpki() > 0.0 {
@@ -43,9 +56,9 @@ fn main() {
             name.to_string(),
             format!("{:.1}", base.stats.mpki()),
             format!("{:.1}", ph.stats.mpki()),
-            red(&ph),
+            red(ph),
             format!("{:.1}", ph_ns.stats.mpki()),
-            red(&ph_ns),
+            red(ph_ns),
         ]);
         // Fig. 13b units: helper instructions per 100M main-thread retired.
         rows_b.push(vec![

@@ -12,37 +12,34 @@
 
 use phelps::classify::MispredictClass;
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{print_table, run, WorkloadSet};
+use phelps_bench::print_table;
+use phelps_bench::runner::{parse_cli, Experiment};
 use phelps_workloads::suite;
 
 fn main() {
-    let mut benches: WorkloadSet = vec![
-        ("bc", Box::new(suite::bc)),
-        ("bfs", Box::new(suite::bfs)),
-        ("pr", Box::new(suite::pr)),
-        ("cc", Box::new(suite::cc)),
-        ("cc_sv", Box::new(suite::cc_sv)),
-        ("sssp", Box::new(suite::sssp)),
-        ("tc", Box::new(suite::tc)),
-        ("astar", Box::new(suite::astar)),
-    ];
-    for w in suite::spec_suite() {
-        let name = w.name;
-        benches.push((
-            name,
-            Box::new(move || {
-                suite::spec_suite()
-                    .into_iter()
-                    .find(|x| x.name == name)
-                    .expect("known workload")
-            }),
-        ));
+    let opts = parse_cli();
+    let mut exp = Experiment::new("fig14").with_cli(&opts);
+    // One cell per benchmark; per-cell factories build only their own
+    // workload (the GAP and SPEC suites are never rebuilt per config).
+    for name in suite::gap_names() {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
+        exp.sim_cell(name, "phelps", Mode::Phelps(PhelpsFeatures::full()), make);
+    }
+    for name in suite::spec_names() {
+        let make = move || suite::spec_workload(name).expect("known workload").cpu;
+        exp.sim_cell(name, "phelps", Mode::Phelps(PhelpsFeatures::full()), make);
+    }
+    let res = exp.run();
+    if opts.list {
+        return;
     }
 
     let classes = MispredictClass::all();
     let mut rows = Vec::new();
-    for (name, make) in &benches {
-        let r = run(make().cpu, Mode::Phelps(PhelpsFeatures::full()));
+    for name in suite::gap_names().iter().chain(suite::spec_names()) {
+        let Some(r) = res.get(name, "phelps") else {
+            continue;
+        };
         let mut row = vec![name.to_string()];
         for c in classes {
             row.push(format!("{:.2}", r.breakdown.mpki(c)));

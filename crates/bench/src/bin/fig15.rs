@@ -8,54 +8,78 @@
 //! most; inputs with ineligible phases benefit less.
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{pct, print_table, run_with_core, WorkloadSet};
+use phelps_bench::runner::{parse_cli, Experiment, MatrixResults};
+use phelps_bench::{pct, print_table};
 use phelps_uarch::config::CoreConfig;
 use phelps_uarch::stats::speedup;
 use phelps_workloads::graph::GraphKind;
 use phelps_workloads::suite;
 
-fn main() {
-    let benches: WorkloadSet = vec![
-        ("bc", Box::new(suite::bc)),
-        ("bfs", Box::new(suite::bfs)),
-        ("astar", Box::new(suite::astar)),
-    ];
+const BENCHES: [&str; 3] = ["bc", "bfs", "astar"];
 
-    // (a1) Window-size sweep.
+fn sweep_rows(res: &MatrixResults, tags: &[String]) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
-    for (name, make) in &benches {
+    for name in BENCHES {
         let mut row = vec![name.to_string()];
+        let mut any = false;
+        for tag in tags {
+            let base = res.get(name, &format!("base@{tag}"));
+            let ph = res.get(name, &format!("phelps@{tag}"));
+            any |= base.is_some() || ph.is_some();
+            row.push(match (base, ph) {
+                (Some(b), Some(p)) => pct(speedup(&b.stats, &p.stats)),
+                _ => "n/a".into(),
+            });
+        }
+        if any {
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn main() {
+    let opts = parse_cli();
+    let mut exp = Experiment::new("fig15").with_cli(&opts);
+
+    // (a1) Window-size sweep; (a2) pipeline-depth sweep.
+    for name in BENCHES {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
         for rob in [316u32, 632, 1024] {
             let core = CoreConfig::paper_default().with_window(rob);
-            let base = run_with_core(make().cpu, Mode::Baseline, core.clone());
-            let ph = run_with_core(make().cpu, Mode::Phelps(PhelpsFeatures::full()), core);
-            row.push(pct(speedup(&base.stats, &ph.stats)));
+            exp.core_cell(
+                name,
+                &format!("base@rob{rob}"),
+                Mode::Baseline,
+                core.clone(),
+                make,
+            );
+            exp.core_cell(
+                name,
+                &format!("phelps@rob{rob}"),
+                Mode::Phelps(PhelpsFeatures::full()),
+                core,
+                make,
+            );
         }
-        rows.push(row);
-    }
-    print_table(
-        "Fig. 15a (window): Phelps speedup at ROB 316 / 632 / 1024",
-        &["bench", "ROB=316", "ROB=632", "ROB=1024"],
-        &rows,
-    );
-
-    // (a2) Pipeline-depth sweep.
-    let mut rows = Vec::new();
-    for (name, make) in &benches {
-        let mut row = vec![name.to_string()];
         for depth in [11u32, 15, 19] {
             let core = CoreConfig::paper_default().with_pipeline_stages(depth);
-            let base = run_with_core(make().cpu, Mode::Baseline, core.clone());
-            let ph = run_with_core(make().cpu, Mode::Phelps(PhelpsFeatures::full()), core);
-            row.push(pct(speedup(&base.stats, &ph.stats)));
+            exp.core_cell(
+                name,
+                &format!("base@depth{depth}"),
+                Mode::Baseline,
+                core.clone(),
+                make,
+            );
+            exp.core_cell(
+                name,
+                &format!("phelps@depth{depth}"),
+                Mode::Phelps(PhelpsFeatures::full()),
+                core,
+                make,
+            );
         }
-        rows.push(row);
     }
-    print_table(
-        "Fig. 15a (depth): Phelps speedup at 11 / 15 / 19 stages",
-        &["bench", "depth=11", "depth=15", "depth=19"],
-        &rows,
-    );
 
     // (b) bfs inputs.
     let inputs = [
@@ -63,17 +87,46 @@ fn main() {
         ("power-law", GraphKind::PowerLaw),
         ("uniform", GraphKind::Uniform),
     ];
+    for (label, kind) in inputs {
+        let make = move || suite::bfs_on(kind, suite::GAP_VERTICES).cpu;
+        let wl = format!("bfs:{label}");
+        exp.sim_cell(&wl, "baseline", Mode::Baseline, make);
+        exp.sim_cell(&wl, "phelps", Mode::Phelps(PhelpsFeatures::full()), make);
+    }
+
+    let res = exp.run();
+    if opts.list {
+        return;
+    }
+
+    let tags: Vec<String> = [316u32, 632, 1024]
+        .iter()
+        .map(|r| format!("rob{r}"))
+        .collect();
+    print_table(
+        "Fig. 15a (window): Phelps speedup at ROB 316 / 632 / 1024",
+        &["bench", "ROB=316", "ROB=632", "ROB=1024"],
+        &sweep_rows(&res, &tags),
+    );
+
+    let tags: Vec<String> = [11u32, 15, 19]
+        .iter()
+        .map(|d| format!("depth{d}"))
+        .collect();
+    print_table(
+        "Fig. 15a (depth): Phelps speedup at 11 / 15 / 19 stages",
+        &["bench", "depth=11", "depth=15", "depth=19"],
+        &sweep_rows(&res, &tags),
+    );
+
     let mut rows = Vec::new();
-    for (name, kind) in inputs {
-        let make = || suite::bfs_on(kind, suite::GAP_VERTICES);
-        let base = run_with_core(make().cpu, Mode::Baseline, CoreConfig::paper_default());
-        let ph = run_with_core(
-            make().cpu,
-            Mode::Phelps(PhelpsFeatures::full()),
-            CoreConfig::paper_default(),
-        );
+    for (label, _) in inputs {
+        let wl = format!("bfs:{label}");
+        let (Some(base), Some(ph)) = (res.get(&wl, "baseline"), res.get(&wl, "phelps")) else {
+            continue;
+        };
         rows.push(vec![
-            name.to_string(),
+            label.to_string(),
             format!("{:.1}", base.stats.mpki()),
             pct(speedup(&base.stats, &ph.stats)),
         ]);

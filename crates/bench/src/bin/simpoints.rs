@@ -2,13 +2,49 @@
 //! to five representative regions, simulate each under baseline and
 //! Phelps, and aggregate with the weighted harmonic mean of IPCs — the
 //! paper's per-benchmark reporting method.
+//!
+//! Profiling (functional emulation + clustering) runs sequentially up
+//! front; the per-region timing simulations then fan out as runner cells.
 
 use phelps::sim::{Mode, PhelpsFeatures};
-use phelps_bench::{print_table, run_simpoints};
-use phelps_workloads::simpoints::SimPointConfig;
+use phelps_bench::runner::{parse_cli, Experiment};
+use phelps_bench::{exp_config, print_table, run_region};
+use phelps_workloads::simpoints::{select_simpoints, SimPoint, SimPointConfig};
 use phelps_workloads::suite;
 
+fn region_cell(
+    exp: &mut Experiment,
+    workload: &'static str,
+    prefix: &str,
+    index: usize,
+    p: SimPoint,
+    mode: Mode,
+) {
+    let cfg = exp_config(mode.clone());
+    let make = move || match workload {
+        "astar" => suite::astar().cpu,
+        _ => suite::bfs().cpu,
+    };
+    exp.cell(
+        workload,
+        &format!("{prefix}@p{index}"),
+        format!("{cfg:?}|skip={}", p.start_inst),
+        move || match run_region(make(), p.start_inst, mode) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!(
+                    "warning: skipping simpoint at inst {} (weight {:.3}): \
+                     fast-forward failed: {e}",
+                    p.start_inst, p.weight
+                );
+                None
+            }
+        },
+    );
+}
+
 fn main() {
+    let opts = parse_cli();
     let spcfg = SimPointConfig {
         interval_len: 200_000,
         max_points: 5,
@@ -16,36 +52,64 @@ fn main() {
     };
     let profile = 4_000_000;
 
-    for (name, make) in [
-        (
-            "astar",
-            Box::new(|| suite::astar().cpu) as Box<dyn Fn() -> phelps_isa::Cpu>,
-        ),
-        ("bfs", Box::new(|| suite::bfs().cpu)),
-    ] {
-        let (base_ipc, base_pts) = run_simpoints(make.as_ref(), Mode::Baseline, profile, &spcfg);
-        let (ph_ipc, _) = run_simpoints(
-            make.as_ref(),
-            Mode::Phelps(PhelpsFeatures::full()),
-            profile,
-            &spcfg,
-        );
-        let rows: Vec<Vec<String>> = base_pts
-            .iter()
-            .map(|(p, r)| {
-                vec![
+    // Sequential profiling pass: pick each workload's regions.
+    let mut points: Vec<(&'static str, Vec<SimPoint>)> = Vec::new();
+    for name in ["astar", "bfs"] {
+        let cpu = match name {
+            "astar" => suite::astar().cpu,
+            _ => suite::bfs().cpu,
+        };
+        points.push((name, select_simpoints(cpu, profile, &spcfg)));
+    }
+
+    // Parallel timing pass: one cell per (workload, region, mode).
+    let mut exp = Experiment::new("simpoints").with_cli(&opts);
+    for (name, pts) in &points {
+        for (i, p) in pts.iter().enumerate() {
+            region_cell(&mut exp, name, "baseline", i, *p, Mode::Baseline);
+            region_cell(
+                &mut exp,
+                name,
+                "phelps",
+                i,
+                *p,
+                Mode::Phelps(PhelpsFeatures::full()),
+            );
+        }
+    }
+    let res = exp.run();
+    if opts.list {
+        return;
+    }
+
+    for (name, pts) in &points {
+        let mut rows = Vec::new();
+        let mut base_ipcs = Vec::new();
+        let mut ph_ipcs = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            if let Some(r) = res.get(name, &format!("baseline@p{i}")) {
+                base_ipcs.push((p.weight, r.stats.ipc()));
+                rows.push(vec![
                     format!("{}", p.phase),
                     format!("{}", p.start_inst),
                     format!("{:.3}", p.weight),
                     format!("{:.3}", r.stats.ipc()),
-                ]
-            })
-            .collect();
+                ]);
+            }
+            if let Some(r) = res.get(name, &format!("phelps@p{i}")) {
+                ph_ipcs.push((p.weight, r.stats.ipc()));
+            }
+        }
+        if rows.is_empty() && ph_ipcs.is_empty() {
+            continue;
+        }
         print_table(
             &format!("{name}: SimPoints (baseline)"),
             &["phase", "start", "weight", "IPC"],
             &rows,
         );
+        let base_ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(&base_ipcs);
+        let ph_ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(&ph_ipcs);
         println!(
             "{name}: weighted-hmean IPC baseline {:.3}, Phelps {:.3} ({:+.1}%)",
             base_ipc,

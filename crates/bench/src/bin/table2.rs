@@ -1,12 +1,23 @@
 //! Table II — storage costs of Phelps' new components.
 //!
 //! Regenerates the paper's cost table from the component parameters; the
-//! paper's total is 10.82 KB.
+//! paper's total is 10.82 KB. The table is purely analytic (no
+//! simulation), so the experiment matrix is empty — the binary still
+//! accepts the standard runner flags (`--list`, `--only`) for interface
+//! uniformity with the other figure binaries.
 
 use phelps::budget::{cost_breakdown, total_cost_bytes, ComponentParams};
 use phelps_bench::print_table;
+use phelps_bench::runner::{parse_cli, Experiment};
 
 fn main() {
+    let opts = parse_cli();
+    let exp = Experiment::new("table2").with_cli(&opts).quiet(true);
+    let _ = exp.run();
+    if opts.list {
+        return;
+    }
+
     let params = ComponentParams::paper_default();
     let rows: Vec<Vec<String>> = cost_breakdown(&params)
         .into_iter()

@@ -12,18 +12,32 @@
 //!   (default 2,000,000; the paper uses 100M SimPoints);
 //! * `PHELPS_EPOCH` — epoch length (default 150,000; the paper uses 4M).
 //!
+//! ## Parallel execution and caching
+//!
+//! The [`runner`] module executes a figure's whole (workload ×
+//! configuration) matrix on a work queue of `PHELPS_JOBS` threads,
+//! serving unchanged cells from the on-disk cache (`results/cache/`,
+//! bypassed with `PHELPS_NO_CACHE=1`) and filtering cells with
+//! `--only=<substr>` / `PHELPS_ONLY`. All nine figure binaries go
+//! through it.
+//!
 //! ## Telemetry
 //!
-//! Setting `PHELPS_TRACE=<path>` makes every runner in this crate install
-//! a [`phelps_telemetry`] registry for each simulated run and write the
-//! harvested reports to `<path>` as one JSON document
-//! (`{"runs": [...]}`), plus the per-epoch series of every run as a
-//! sibling CSV. `PHELPS_TRACE_VERBOSE=1` additionally records
-//! high-frequency events (per-mispredict, per-DRAM-miss). See DESIGN.md's
-//! telemetry section for the schema.
+//! Setting `PHELPS_TRACE=<path>` makes the [`runner`] install a
+//! [`phelps_telemetry`] registry for each simulated cell (thread-local,
+//! so parallel workers never mix counters) and write the harvested
+//! reports to `<path>` as one JSON document (`{"runs": [...]}`), plus
+//! the per-epoch series of every run as a sibling CSV, in cell
+//! submission order regardless of the worker count.
+//! `PHELPS_TRACE_VERBOSE=1` additionally records high-frequency events
+//! (per-mispredict, per-DRAM-miss). See DESIGN.md's telemetry section
+//! for the schema. Tracing forces every cell to simulate (telemetry is
+//! never served from the cache).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod runner;
 
 use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig, SimResult};
 use phelps_isa::{Cpu, EmuError};
@@ -69,23 +83,10 @@ fn trace_path() -> Option<String> {
     std::env::var("PHELPS_TRACE").ok().filter(|p| !p.is_empty())
 }
 
-/// Installs a telemetry registry for the upcoming run when
-/// `PHELPS_TRACE` is set. Telemetry epochs follow `PHELPS_EPOCH` so the
-/// exported series aligns with the engine's epoch machinery.
-fn trace_install(label: &str) {
-    if trace_path().is_none() {
-        return;
-    }
-    tlm::install(tlm::Config {
-        epoch_len: epoch_len(),
-        verbose: std::env::var("PHELPS_TRACE_VERBOSE").is_ok_and(|v| v != "0"),
-        label: label.to_string(),
-        ..tlm::Config::default()
-    });
-}
-
-/// Collects the run's harvested report (carried on the [`SimResult`])
-/// and rewrites the trace JSON and CSV files.
+/// Collects a run's harvested report (carried on the [`SimResult`]) and
+/// rewrites the trace JSON and CSV files. Called by the [`runner`] in
+/// cell submission order so the files are deterministic under any
+/// `PHELPS_JOBS`.
 fn trace_finish(result: &SimResult) {
     let Some(path) = trace_path() else { return };
     let Some(rep) = result.telemetry.as_deref() else {
@@ -129,16 +130,6 @@ fn trace_finish(result: &SimResult) {
     }
 }
 
-/// Short run label for a mode, used in trace reports.
-fn mode_label(mode: &Mode) -> &'static str {
-    match mode {
-        Mode::Baseline => "baseline",
-        Mode::PerfectBp => "perfbp",
-        Mode::PartitionOnly => "partition-only",
-        Mode::Phelps(_) => "phelps",
-    }
-}
-
 /// A named list of workload constructors, the shape every figNN binary
 /// iterates over.
 pub type WorkloadSet = Vec<(&'static str, Box<dyn Fn() -> phelps_workloads::Workload>)>;
@@ -154,30 +145,23 @@ pub fn exp_config(mode: Mode) -> RunConfig {
     cfg
 }
 
-/// Runs one workload in one mode.
+/// Runs one workload in one mode. Telemetry installation and trace
+/// output are owned by the [`runner`]; calling this directly simulates
+/// under whatever registry (if any) the caller installed.
 pub fn run(cpu: Cpu, mode: Mode) -> SimResult {
-    trace_install(mode_label(&mode));
-    let r = simulate(cpu, &exp_config(mode));
-    trace_finish(&r);
-    r
+    simulate(cpu, &exp_config(mode))
 }
 
 /// Runs one workload with a custom core configuration.
 pub fn run_with_core(cpu: Cpu, mode: Mode, core: CoreConfig) -> SimResult {
-    trace_install(mode_label(&mode));
     let mut cfg = exp_config(mode);
     cfg.core = core;
-    let r = simulate(cpu, &cfg);
-    trace_finish(&r);
-    r
+    simulate(cpu, &cfg)
 }
 
 /// Runs one workload under a Branch Runahead variant.
 pub fn run_br(cpu: Cpu, variant: BrVariant) -> SimResult {
-    trace_install(&format!("br-{variant:?}").to_lowercase());
-    let r = simulate_runahead(cpu, &exp_config(Mode::Baseline), variant);
-    trace_finish(&r);
-    r
+    simulate_runahead(cpu, &exp_config(Mode::Baseline), variant)
 }
 
 /// Fast-forwards `skip` instructions functionally, then simulates a region
@@ -255,6 +239,27 @@ impl Config12a {
             Config12a::Phelps => run(cpu, Mode::Phelps(PhelpsFeatures::full())),
             Config12a::Br => run_br(cpu, BrVariant::Speculative),
             Config12a::Br12w => run_br(cpu, BrVariant::TwelveWide),
+        }
+    }
+
+    /// Declares this configuration as one runner cell for `workload`.
+    pub fn add_cell(
+        self,
+        exp: &mut runner::Experiment,
+        workload: &str,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        match self {
+            Config12a::Baseline => exp.sim_cell(workload, self.label(), Mode::Baseline, make),
+            Config12a::PerfBp => exp.sim_cell(workload, self.label(), Mode::PerfectBp, make),
+            Config12a::Phelps => exp.sim_cell(
+                workload,
+                self.label(),
+                Mode::Phelps(PhelpsFeatures::full()),
+                make,
+            ),
+            Config12a::Br => exp.br_cell(workload, self.label(), BrVariant::Speculative, make),
+            Config12a::Br12w => exp.br_cell(workload, self.label(), BrVariant::TwelveWide, make),
         }
     }
 }

@@ -1,0 +1,239 @@
+//! On-disk result cache for experiment cells.
+//!
+//! Each cell is fingerprinted by its experiment name, workload name,
+//! configuration label, the `Debug` rendering of its full [`RunConfig`]
+//! (which folds in `PHELPS_REGION`/`PHELPS_EPOCH` and every core
+//! parameter), and the crate version. The FNV-1a hash of that string
+//! names a JSON file under the cache directory holding the run's
+//! [`SimStats`] and misprediction breakdown. On load the embedded
+//! fingerprint is compared against the full expected string, so a hash
+//! collision or a stale schema degrades to a miss, never a wrong result.
+//!
+//! Telemetry reports are *not* cached: they are large and only wanted
+//! under `PHELPS_TRACE`, which disables cache reads entirely.
+
+use phelps::classify::{MispredictBreakdown, MispredictClass};
+use phelps::sim::SimResult;
+use phelps_telemetry::{parse_json, JsonValue};
+use phelps_uarch::stats::SimStats;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a; stable across platforms and good enough to name files
+/// (correctness never depends on it thanks to the embedded fingerprint).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache file path for a fingerprint string.
+pub(super) fn cell_path(dir: &Path, fingerprint: &str) -> PathBuf {
+    dir.join(format!("{:016x}.json", fnv1a(fingerprint)))
+}
+
+/// Every (name, value) stat pair, in declaration order.
+fn stat_fields(s: &SimStats) -> [(&'static str, u64); 19] {
+    [
+        ("cycles", s.cycles),
+        ("mt_retired", s.mt_retired),
+        ("ht_retired", s.ht_retired),
+        ("mt_cond_branches", s.mt_cond_branches),
+        ("mt_mispredicts", s.mt_mispredicts),
+        ("mispredicts_from_queue", s.mispredicts_from_queue),
+        ("preds_from_queue", s.preds_from_queue),
+        ("queue_untimely", s.queue_untimely),
+        ("load_violations", s.load_violations),
+        ("triggers", s.triggers),
+        ("terminations", s.terminations),
+        ("l1d_accesses", s.l1d_accesses),
+        ("l1d_misses", s.l1d_misses),
+        ("l2_misses", s.l2_misses),
+        ("l3_misses", s.l3_misses),
+        ("prefetches_issued", s.prefetches_issued),
+        ("prefetch_hits", s.prefetch_hits),
+        ("mt_fetch_stall_mispredict", s.mt_fetch_stall_mispredict),
+        ("mt_fetch_stall_trigger", s.mt_fetch_stall_trigger),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one cell result (stats + breakdown, no telemetry).
+pub(super) fn to_json(fingerprint: &str, r: &SimResult) -> String {
+    let mut j = String::from("{");
+    j.push_str(&format!(
+        "\"fingerprint\":\"{}\",\"stats\":{{",
+        json_escape(fingerprint)
+    ));
+    for (i, (k, v)) in stat_fields(&r.stats).iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        j.push_str(&format!("\"{k}\":{v}"));
+    }
+    j.push_str(&format!(
+        "}},\"breakdown\":{{\"retired\":{},\"counts\":{{",
+        r.breakdown.retired
+    ));
+    let mut first = true;
+    for class in MispredictClass::all() {
+        let n = r.breakdown.count(class);
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            j.push(',');
+        }
+        first = false;
+        j.push_str(&format!("\"{}\":{n}", json_escape(class.label())));
+    }
+    j.push_str("}}}");
+    j
+}
+
+fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
+    let mut s = SimStats::default();
+    let mut defaults = stat_fields(&s);
+    for (k, slot) in defaults.iter_mut() {
+        *slot = v.get(k)?.as_u64()?;
+    }
+    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1d_accesses, l1d_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger] =
+        defaults.map(|(_, v)| v);
+    s = SimStats {
+        cycles,
+        mt_retired,
+        ht_retired,
+        mt_cond_branches,
+        mt_mispredicts,
+        mispredicts_from_queue,
+        preds_from_queue,
+        queue_untimely,
+        load_violations,
+        triggers,
+        terminations,
+        l1d_accesses,
+        l1d_misses,
+        l2_misses,
+        l3_misses,
+        prefetches_issued,
+        prefetch_hits,
+        mt_fetch_stall_mispredict,
+        mt_fetch_stall_trigger,
+    };
+    Some(s)
+}
+
+fn parse_cell(text: &str, fingerprint: &str) -> Option<SimResult> {
+    let v = parse_json(text).ok()?;
+    if v.get("fingerprint")?.as_str()? != fingerprint {
+        return None; // hash collision or stale schema
+    }
+    let stats = stats_from_json(v.get("stats")?)?;
+    let bd = v.get("breakdown")?;
+    let mut breakdown = MispredictBreakdown::new();
+    breakdown.retired = bd.get("retired")?.as_u64()?;
+    let counts = bd.get("counts")?;
+    for class in MispredictClass::all() {
+        if let Some(n) = counts.get(class.label()).and_then(JsonValue::as_u64) {
+            breakdown.add(class, n);
+        }
+    }
+    Some(SimResult {
+        stats,
+        breakdown,
+        telemetry: None,
+    })
+}
+
+/// Attempts to load a cached result. Any failure — missing file, corrupt
+/// JSON, fingerprint mismatch — is a miss; corruption additionally warns
+/// so silent staleness can't hide.
+pub(super) fn load(dir: &Path, fingerprint: &str) -> Option<SimResult> {
+    let path = cell_path(dir, fingerprint);
+    let text = std::fs::read_to_string(&path).ok()?;
+    let r = parse_cell(&text, fingerprint);
+    if r.is_none() {
+        eprintln!(
+            "warning: ignoring corrupt or stale cache file {} (treated as a miss)",
+            path.display()
+        );
+    }
+    r
+}
+
+/// Persists one cell result; errors are reported but non-fatal (the
+/// in-memory result is still used).
+pub(super) fn store(dir: &Path, fingerprint: &str, r: &SimResult) {
+    let path = cell_path(dir, fingerprint);
+    if let Err(e) = std::fs::write(&path, to_json(fingerprint, r)) {
+        eprintln!("warning: cannot write cache file {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        let mut r = SimResult {
+            stats: SimStats::default(),
+            breakdown: MispredictBreakdown::new(),
+            telemetry: None,
+        };
+        r.stats.cycles = 12_345;
+        r.stats.mt_retired = 1_000_000;
+        r.stats.l3_misses = 7;
+        r.breakdown.retired = 1_000_000;
+        r.breakdown.add(MispredictClass::Eliminated, 42);
+        r.breakdown.add(MispredictClass::NotDelinquent, 3);
+        r
+    }
+
+    #[test]
+    fn roundtrip_preserves_stats_and_breakdown() {
+        let r = sample();
+        let text = to_json("fp", &r);
+        let back = parse_cell(&text, "fp").expect("parses");
+        assert_eq!(back.stats.cycles, 12_345);
+        assert_eq!(back.stats.mt_retired, 1_000_000);
+        assert_eq!(back.stats.l3_misses, 7);
+        assert_eq!(back.breakdown.retired, 1_000_000);
+        assert_eq!(back.breakdown.count(MispredictClass::Eliminated), 42);
+        assert_eq!(back.breakdown.count(MispredictClass::NotDelinquent), 3);
+        assert!(back.telemetry.is_none());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_miss() {
+        let text = to_json("fp-a", &sample());
+        assert!(parse_cell(&text, "fp-b").is_none());
+    }
+
+    #[test]
+    fn corrupt_text_is_a_miss() {
+        assert!(parse_cell("{not json", "fp").is_none());
+        assert!(parse_cell("{\"fingerprint\":\"fp\"}", "fp").is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: cache file names must not change across builds.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

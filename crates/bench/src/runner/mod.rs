@@ -1,0 +1,459 @@
+//! Declarative experiment matrix with a parallel, cached executor.
+//!
+//! Every figure binary declares its experiment as a set of *cells* —
+//! (workload, configuration) pairs bound to a simulation thunk — and
+//! hands them to [`Experiment::run`]. The runner then:
+//!
+//! * filters cells against `--only=<substr>` / `PHELPS_ONLY` (and lists
+//!   them under `--list`),
+//! * skips cells whose result is already in the on-disk cache
+//!   (`results/cache/` or `PHELPS_CACHE_DIR`, keyed by a content
+//!   fingerprint of the workload name, configuration label and full
+//!   `RunConfig`; `PHELPS_NO_CACHE=1` bypasses it),
+//! * executes the remaining cells on a scoped-thread work queue
+//!   (`PHELPS_JOBS` workers, default = available parallelism), and
+//! * collects results in submission order, so output tables and
+//!   `PHELPS_TRACE` telemetry files are byte-identical regardless of the
+//!   worker count.
+//!
+//! Telemetry registries are installed per worker *thread-locally*, so
+//! parallel cells never mix their counters; the harvested reports ride
+//! back on each [`SimResult`] and are appended to the trace output in
+//! submission order.
+
+mod cache;
+
+use crate::exp_config;
+use phelps::sim::{simulate, Mode, RunConfig, SimResult};
+use phelps_isa::Cpu;
+use phelps_runahead::{simulate_runahead, BrVariant};
+use phelps_telemetry as tlm;
+use phelps_uarch::config::CoreConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options every figure binary accepts.
+#[derive(Clone, Debug, Default)]
+pub struct CliOptions {
+    /// Case-insensitive substring filter over `workload/config` cell
+    /// names (`--only=<substr>`, falling back to `PHELPS_ONLY`).
+    pub only: Option<String>,
+    /// Print the cell names and exit without simulating (`--list`).
+    pub list: bool,
+}
+
+/// Parses the process arguments (ignoring unknown ones, so binaries can
+/// layer their own flags) and the `PHELPS_ONLY` fallback.
+pub fn parse_cli() -> CliOptions {
+    let mut opts = CliOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--list" {
+            opts.list = true;
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            opts.only = Some(v.to_string());
+        } else if a == "--only" {
+            opts.only = args.next();
+        }
+    }
+    if opts.only.is_none() {
+        opts.only = std::env::var("PHELPS_ONLY").ok().filter(|s| !s.is_empty());
+    }
+    opts
+}
+
+/// One unit of work: a (workload, configuration) pair bound to a
+/// simulation thunk and a content fingerprint for caching.
+struct Cell {
+    workload: String,
+    config: String,
+    key: String,
+    job: Box<dyn FnOnce() -> Option<SimResult> + Send>,
+}
+
+/// The outcome of one cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Row (workload) label.
+    pub workload: String,
+    /// Column (configuration) label.
+    pub config: String,
+    /// The simulation result; `None` when the thunk failed (it has
+    /// already warned) or the user filtered the cell away mid-run.
+    pub result: Option<SimResult>,
+    /// Whether the result was served from the on-disk cache.
+    pub from_cache: bool,
+}
+
+/// All cell outcomes of one experiment, in submission order.
+#[derive(Debug)]
+pub struct MatrixResults {
+    /// Per-cell outcomes, in the order the cells were declared.
+    pub cells: Vec<CellResult>,
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells actually simulated.
+    pub simulated: usize,
+    /// Cells removed by the `--only` filter.
+    pub filtered: usize,
+}
+
+impl MatrixResults {
+    /// The result for one (workload, configuration) cell, if it ran.
+    pub fn get(&self, workload: &str, config: &str) -> Option<&SimResult> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.config == config)
+            .and_then(|c| c.result.as_ref())
+    }
+
+    /// All distinct workload labels that produced at least one result,
+    /// in submission order (the row set after filtering).
+    pub fn workloads(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if c.result.is_some() && !out.contains(&c.workload.as_str()) {
+                out.push(&c.workload);
+            }
+        }
+        out
+    }
+}
+
+/// A declarative experiment: named cells plus execution policy.
+///
+/// Policy defaults come from the environment (`PHELPS_JOBS`,
+/// `PHELPS_ONLY`, `PHELPS_NO_CACHE`, `PHELPS_CACHE_DIR`,
+/// `PHELPS_TRACE`); the builder
+/// methods override them explicitly, which the tests use to avoid
+/// process-global env-var races.
+pub struct Experiment {
+    name: String,
+    cells: Vec<Cell>,
+    jobs: Option<usize>,
+    filter: Option<String>,
+    list: bool,
+    cache_dir: Option<PathBuf>,
+    use_cache: bool,
+    force_telemetry: bool,
+    quiet: bool,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("cells", &self.cells.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Experiment {
+    /// An empty experiment named after its figure/table.
+    pub fn new(name: &str) -> Experiment {
+        Experiment {
+            name: name.to_string(),
+            cells: Vec::new(),
+            jobs: None,
+            filter: None,
+            list: false,
+            cache_dir: Some(
+                std::env::var("PHELPS_CACHE_DIR")
+                    .ok()
+                    .filter(|s| !s.is_empty())
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("results/cache")),
+            ),
+            use_cache: !std::env::var("PHELPS_NO_CACHE").is_ok_and(|v| v != "0"),
+            force_telemetry: false,
+            quiet: false,
+        }
+    }
+
+    /// Applies parsed command-line options (filter + list mode).
+    pub fn with_cli(mut self, opts: &CliOptions) -> Experiment {
+        self.filter = opts.only.clone();
+        self.list = opts.list;
+        self
+    }
+
+    /// Overrides the worker count (tests; normally `PHELPS_JOBS`).
+    pub fn jobs(mut self, n: usize) -> Experiment {
+        self.jobs = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the cell filter.
+    pub fn filter(mut self, f: Option<&str>) -> Experiment {
+        self.filter = f.map(str::to_string);
+        self
+    }
+
+    /// Overrides the cache directory; `None` disables caching. A
+    /// `PHELPS_NO_CACHE=1` environment keeps the cache disabled even
+    /// when a directory is supplied.
+    pub fn cache_dir(mut self, dir: Option<PathBuf>) -> Experiment {
+        if dir.is_none() {
+            self.use_cache = false;
+        }
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Forces per-cell telemetry registries even without `PHELPS_TRACE`
+    /// (the reports ride on the results; no trace file is written).
+    pub fn telemetry(mut self, on: bool) -> Experiment {
+        self.force_telemetry = on;
+        self
+    }
+
+    /// Suppresses the `[runner]` summary line (tests).
+    pub fn quiet(mut self, q: bool) -> Experiment {
+        self.quiet = q;
+        self
+    }
+
+    /// Adds a fully custom cell. `key` must capture everything that
+    /// determines the result beyond the workload and config labels
+    /// (typically `format!("{run_config:?}")` plus any extras).
+    pub fn cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        key: String,
+        job: impl FnOnce() -> Option<SimResult> + Send + 'static,
+    ) {
+        self.cells.push(Cell {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            key,
+            job: Box::new(job),
+        });
+    }
+
+    /// Adds a plain simulation cell: `make()` under `mode` with the
+    /// standard scaled [`RunConfig`].
+    pub fn sim_cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        mode: Mode,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        let cfg = exp_config(mode);
+        self.cfg_cell(workload, config, cfg, make);
+    }
+
+    /// Adds a simulation cell with a custom core configuration.
+    pub fn core_cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        mode: Mode,
+        core: CoreConfig,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        let mut cfg = exp_config(mode);
+        cfg.core = core;
+        self.cfg_cell(workload, config, cfg, make);
+    }
+
+    /// Adds a simulation cell with an explicit, fully-formed [`RunConfig`].
+    pub fn cfg_cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        cfg: RunConfig,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        self.cell(workload, config, format!("{cfg:?}"), move || {
+            Some(simulate(make(), &cfg))
+        });
+    }
+
+    /// Adds a Branch Runahead cell.
+    pub fn br_cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        variant: BrVariant,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        let cfg = exp_config(Mode::Baseline);
+        self.cell(
+            workload,
+            config,
+            format!("{cfg:?}|{variant:?}"),
+            move || Some(simulate_runahead(make(), &cfg, variant)),
+        );
+    }
+
+    fn resolved_jobs(&self) -> usize {
+        if let Some(n) = self.jobs {
+            return n;
+        }
+        match std::env::var("PHELPS_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) if n >= 1 => n,
+            Some(_) => {
+                eprintln!("warning: PHELPS_JOBS must be >= 1; using 1");
+                1
+            }
+            None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Executes the matrix and collects results in submission order.
+    pub fn run(mut self) -> MatrixResults {
+        let total = self.cells.len();
+        let all_cells = std::mem::take(&mut self.cells);
+        if self.list {
+            for c in &all_cells {
+                println!("{}/{}", c.workload, c.config);
+            }
+            return MatrixResults {
+                cells: Vec::new(),
+                hits: 0,
+                simulated: 0,
+                filtered: total,
+            };
+        }
+
+        // Filter.
+        let needle = self.filter.as_deref().map(str::to_lowercase);
+        let (kept, dropped): (Vec<Cell>, Vec<Cell>) =
+            all_cells.into_iter().partition(|c| match &needle {
+                Some(n) => format!("{}/{}", c.workload, c.config)
+                    .to_lowercase()
+                    .contains(n),
+                None => true,
+            });
+        let filtered = dropped.len();
+        if let Some(f) = &self.filter {
+            if kept.is_empty() && total > 0 {
+                eprintln!(
+                    "warning: --only={f:?} matched none of the {total} cells \
+                     (run with --list to see their names)"
+                );
+            }
+        }
+
+        let want_telemetry = self.force_telemetry || crate::trace_path().is_some();
+        // Telemetry reports are never cached, so a traced run must
+        // simulate every cell; it still refreshes the cache on the way.
+        let read_cache = self.use_cache && !want_telemetry;
+        let write_cache = self.use_cache;
+        let cache_dir = self.cache_dir.as_deref().filter(|_| write_cache);
+        if let Some(dir) = cache_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+            }
+        }
+
+        let n = kept.len();
+        let jobs = self.resolved_jobs().min(n.max(1));
+        let slots: Vec<Mutex<Option<Cell>>> =
+            kept.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let out: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let epoch_len = crate::epoch_len();
+        let verbose = std::env::var("PHELPS_TRACE_VERBOSE").is_ok_and(|v| v != "0");
+
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = slots[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("each cell is taken exactly once");
+                    let fingerprint = format!(
+                        "{}|{}|{}|{}|v{}",
+                        self.name,
+                        cell.workload,
+                        cell.config,
+                        cell.key,
+                        env!("CARGO_PKG_VERSION")
+                    );
+                    let mut from_cache = false;
+                    let mut result = None;
+                    if read_cache {
+                        if let Some(dir) = cache_dir {
+                            result = cache::load(dir, &fingerprint);
+                            from_cache = result.is_some();
+                        }
+                    }
+                    if result.is_none() {
+                        if want_telemetry {
+                            tlm::install(tlm::Config {
+                                epoch_len,
+                                verbose,
+                                label: format!("{}/{}", cell.workload, cell.config),
+                                ..tlm::Config::default()
+                            });
+                        }
+                        result = (cell.job)();
+                        if let (Some(dir), Some(r)) = (cache_dir, result.as_ref()) {
+                            cache::store(dir, &fingerprint, r);
+                        }
+                    }
+                    *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(CellResult {
+                        workload: cell.workload,
+                        config: cell.config,
+                        result,
+                        from_cache,
+                    });
+                });
+            }
+        });
+
+        let cells: Vec<CellResult> = out
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("worker filled every slot")
+            })
+            .collect();
+        // Submission-ordered trace output: identical files for any
+        // PHELPS_JOBS value.
+        for c in &cells {
+            if let Some(r) = &c.result {
+                if !c.from_cache {
+                    crate::trace_finish(r);
+                }
+            }
+        }
+        let hits = cells.iter().filter(|c| c.from_cache).count();
+        let simulated = cells
+            .iter()
+            .filter(|c| !c.from_cache && c.result.is_some())
+            .count();
+        if !self.quiet {
+            println!(
+                "[runner] {}: cells={} hits={} simulated={} filtered={} jobs={}",
+                self.name,
+                cells.len(),
+                hits,
+                simulated,
+                filtered,
+                jobs
+            );
+        }
+        MatrixResults {
+            cells,
+            hits,
+            simulated,
+            filtered,
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `PHELPS_NO_CACHE` environment handling, isolated in its own test
+//! binary (= its own process) because it mutates the environment, which
+//! must not race the builder-driven tests in `runner.rs`.
+
+use phelps::sim::{Mode, RunConfig};
+use phelps_bench::runner::Experiment;
+use phelps_workloads::suite;
+use std::path::PathBuf;
+
+fn run_one(dir: PathBuf) -> phelps_bench::runner::MatrixResults {
+    let mut cfg = RunConfig::scaled(Mode::Baseline);
+    cfg.max_mt_insts = 20_000;
+    cfg.epoch_len = 10_000;
+    let mut exp = Experiment::new("runner-env-test")
+        .jobs(1)
+        .cache_dir(Some(dir))
+        .quiet(true);
+    exp.cfg_cell("astar", "baseline", cfg, || suite::astar().cpu);
+    exp.run()
+}
+
+#[test]
+fn no_cache_env_bypasses_reads_and_writes() {
+    let dir = std::env::temp_dir().join(format!("phelps-runner-env-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Warm the cache with the env unset.
+    std::env::remove_var("PHELPS_NO_CACHE");
+    let cold = run_one(dir.clone());
+    assert_eq!((cold.hits, cold.simulated), (0, 1));
+    let warm = run_one(dir.clone());
+    assert_eq!((warm.hits, warm.simulated), (1, 0));
+
+    // PHELPS_NO_CACHE=1 bypasses the warm cache entirely.
+    std::env::set_var("PHELPS_NO_CACHE", "1");
+    let bypass = run_one(dir.clone());
+    assert_eq!(
+        (bypass.hits, bypass.simulated),
+        (0, 1),
+        "env bypass re-simulates despite a warm cache"
+    );
+    assert!(!bypass.cells[0].from_cache);
+
+    // PHELPS_NO_CACHE=0 is explicitly "off": the cache works again.
+    std::env::set_var("PHELPS_NO_CACHE", "0");
+    let back = run_one(dir.clone());
+    assert_eq!((back.hits, back.simulated), (1, 0));
+
+    std::env::remove_var("PHELPS_NO_CACHE");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -94,6 +94,14 @@ impl MispredictBreakdown {
         *self.counts.entry(class).or_insert(0) += 1;
     }
 
+    /// Adds `n` events in one class at once (bulk reconstruction, e.g.
+    /// when a cached breakdown is reloaded from disk).
+    pub fn add(&mut self, class: MispredictClass, n: u64) {
+        if n > 0 {
+            *self.counts.entry(class).or_insert(0) += n;
+        }
+    }
+
     /// Count in one class.
     pub fn count(&self, class: MispredictClass) -> u64 {
         self.counts.get(&class).copied().unwrap_or(0)

@@ -1,0 +1,206 @@
+//! Fetch stage: main-thread trace fetch (with branch prediction and
+//! prediction-queue consumption) and engine-driven side-thread fetch.
+
+use super::{lane_of, DynInst, Pipeline, PredFrom, SimContext, Stage};
+use crate::sim::types::{PreExecEngine, QueueLookup, HT_A, HT_B, MT};
+use phelps_isa::{ExecRecord, Inst};
+use phelps_telemetry as tlm;
+use phelps_uarch::bpred::DirectionPredictor;
+
+impl<E: PreExecEngine> Pipeline<E> {
+    pub(super) fn fetch(&mut self) {
+        self.fetch_mt();
+        if self.ctx.preexec_active {
+            for tid in [HT_A, HT_B] {
+                if self.ctx.threads[tid].active {
+                    self.fetch_side(tid);
+                }
+            }
+        }
+    }
+
+    fn fetch_mt(&mut self) {
+        let now = self.ctx.cycle;
+        {
+            let t = &self.ctx.threads[MT];
+            if !t.active
+                || t.fetch_stall_until > now
+                || t.blocking_branch.is_some()
+                || t.waiting_mt_release
+            {
+                if t.blocking_branch.is_some() {
+                    self.ctx.stats.mt_fetch_stall_mispredict += 1;
+                }
+                if t.waiting_mt_release {
+                    self.ctx.stats.mt_fetch_stall_trigger += 1;
+                }
+                return;
+            }
+        }
+        let width = self.ctx.threads[MT].width;
+        // Frontend pipe occupancy backpressure: bounded by ROB partition.
+        for _ in 0..width {
+            if self.ctx.threads[MT].rob.len() as u32 >= self.ctx.threads[MT].rob_cap {
+                break;
+            }
+            let Some(rec) = self.ctx.trace.next() else {
+                if self.ctx.threads[MT].rob.is_empty() {
+                    self.ctx.finished = true;
+                }
+                return;
+            };
+            let seq = self.ctx.alloc_seq();
+            let mut di = DynInst {
+                seq,
+                tid: MT,
+                pc: rec.pc,
+                inst: rec.inst,
+                stage: Stage::Frontend,
+                lane: lane_of(&rec.inst),
+                deps: Vec::new(),
+                pred_deps: [None; 2],
+                rec,
+                predicted: None,
+                default_pred: None,
+                pred_from: PredFrom::None,
+                mispredicted: false,
+                bp_ckpt: None,
+                engine_ckpt: None,
+                side: None,
+                result: rec.rd_value,
+                taken: rec.taken,
+                mem_addr: rec.mem_addr,
+                enabled: true,
+                mem_done: 0,
+                dead: false,
+            };
+
+            let mut stop_after = rec.inst.is_control() && rec.next_pc != rec.pc + 4;
+            if di.is_cond_branch() {
+                let (pred, from, default_pred) = self.predict_branch(rec.pc, rec.taken);
+                di.predicted = Some(pred);
+                di.default_pred = Some(default_pred);
+                di.pred_from = from;
+                di.bp_ckpt = Some(self.ctx.bpred.checkpoint());
+                self.ctx.bpred.speculate(rec.pc, pred);
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.on_mt_branch_fetched(rec.pc, pred);
+                    di.engine_ckpt = Some(engine.checkpoint());
+                }
+                if pred != rec.taken {
+                    di.mispredicted = true;
+                    self.ctx.threads[MT].blocking_branch = Some(seq);
+                    stop_after = true;
+                } else {
+                    stop_after = pred; // taken branches end the fetch group
+                }
+            }
+
+            self.ctx.push_fetched(MT, di);
+            if stop_after {
+                break;
+            }
+            if matches!(rec.inst, Inst::Halt) {
+                break;
+            }
+        }
+    }
+
+    /// Returns (consumed prediction, source, default-predictor prediction).
+    fn predict_branch(&mut self, pc: u64, actual: bool) -> (bool, PredFrom, bool) {
+        if self.ctx.mode_oracle {
+            return (actual, PredFrom::Oracle, actual);
+        }
+        let default_pred = self.ctx.bpred.predict(pc);
+        if self.ctx.preexec_active {
+            if let Some(engine) = self.engine.as_mut() {
+                match engine.queue_lookup(pc) {
+                    QueueLookup::Hit(p) => {
+                        self.ctx.stats.preds_from_queue += 1;
+                        tlm::count(tlm::Counter::PredConsumeHits);
+                        if p != actual && std::env::var("PHELPS_DBG").is_ok() {
+                            eprintln!(
+                                "[dbg] cycle={} pc={pc:#x} queue={} actual={} ckpt={:?}",
+                                self.ctx.cycle,
+                                p,
+                                actual,
+                                engine.checkpoint()
+                            );
+                        }
+                        return (p, PredFrom::Queue, default_pred);
+                    }
+                    QueueLookup::Untimely => {
+                        self.ctx.stats.queue_untimely += 1;
+                        tlm::count(tlm::Counter::PredConsumeUntimely);
+                        return (default_pred, PredFrom::Default, default_pred);
+                    }
+                    QueueLookup::NoRow => {}
+                }
+            }
+        }
+        (default_pred, PredFrom::Default, default_pred)
+    }
+
+    fn fetch_side(&mut self, tid: usize) {
+        let width = self.ctx.threads[tid].width;
+        for _ in 0..width {
+            if self.ctx.threads[tid].rob.len() as u32 >= self.ctx.threads[tid].rob_cap {
+                break;
+            }
+            let Some(engine) = self.engine.as_mut() else {
+                return;
+            };
+            let Some(side) = engine.side_fetch(tid, self.ctx.cycle) else {
+                return;
+            };
+            let seq = self.ctx.alloc_seq();
+            let di = DynInst {
+                seq,
+                tid,
+                pc: side.pc,
+                inst: side.inst,
+                stage: Stage::Frontend,
+                lane: lane_of(&side.inst),
+                deps: Vec::new(),
+                pred_deps: [None; 2],
+                rec: ExecRecord {
+                    pc: side.pc,
+                    inst: side.inst,
+                    next_pc: side.pc + 4,
+                    taken: false,
+                    rd_value: 0,
+                    mem_addr: 0,
+                    store_data: 0,
+                },
+                predicted: None,
+                default_pred: None,
+                pred_from: PredFrom::None,
+                mispredicted: false,
+                bp_ckpt: None,
+                engine_ckpt: None,
+                side: Some(side),
+                result: 0,
+                taken: false,
+                mem_addr: 0,
+                enabled: true,
+                mem_done: 0,
+                dead: false,
+            };
+            self.ctx.push_fetched(tid, di);
+        }
+    }
+}
+
+impl SimContext {
+    pub(super) fn push_fetched(&mut self, tid: usize, mut di: DynInst) {
+        di.stage = Stage::Frontend;
+        let ready = self.cycle + self.cfg.frontend_stages() as u64;
+        // Encode dispatch-ready cycle in mem_done temporarily? No: keep a
+        // side map — simpler: reuse `mem_done` field before execute.
+        di.mem_done = ready;
+        let seq = di.seq;
+        self.threads[tid].rob.push_back(seq);
+        self.threads[tid].frontend += 1;
+        self.insts.insert(seq, di);
+    }
+}

@@ -1,0 +1,321 @@
+//! Issue/execute stage: oldest-first wakeup/select over the shared issue
+//! queue under per-lane budgets, trace-fed main-thread execution (with
+//! branch resolution), and real-value side-thread execution (predicate
+//! evaluation, store-cache-backed loads, engine steering).
+
+use super::{exec_latency, Lane, Pipeline, SimContext, Stage};
+use crate::sim::types::{ExecInfo, PreExecEngine, SideAction, SideKind, MT, NUM_THREADS};
+use phelps_isa::{Inst, MemWidth, Reg};
+use phelps_uarch::bpred::DirectionPredictor;
+
+impl SimContext {
+    pub(super) fn dep_ready(&self, dep: Option<u64>) -> bool {
+        match dep {
+            None => true,
+            Some(p) => match self.insts.get(&p) {
+                None => true, // producer retired
+                Some(di) => matches!(di.stage, Stage::Done),
+            },
+        }
+    }
+
+    pub(super) fn dep_value(&self, tid: usize, reg: Reg, dep: Option<u64>) -> u64 {
+        if reg.is_zero() {
+            return 0;
+        }
+        match dep {
+            Some(p) => match self.insts.get(&p) {
+                Some(di) => di.result,
+                None => self.threads[tid].regs[reg.index()],
+            },
+            None => self.threads[tid].regs[reg.index()],
+        }
+    }
+
+    pub(super) fn complete_execution(&mut self) {
+        let now = self.cycle;
+        for di in self.insts.values_mut() {
+            if let Stage::Exec { done } = di.stage {
+                if done <= now {
+                    di.stage = Stage::Done;
+                }
+            }
+        }
+    }
+
+    /// A side load's value when served by the memory image (store cache
+    /// missed).
+    fn side_load_value(&mut self, addr: u64, width: MemWidth, signed: bool) -> u64 {
+        self.timing_mem.read(addr, width, signed)
+    }
+}
+
+impl<E: PreExecEngine> Pipeline<E> {
+    pub(super) fn issue(&mut self) {
+        let mut budget = [
+            self.ctx.cfg.lanes_alu as i32,
+            self.ctx.cfg.lanes_mem as i32,
+            self.ctx.cfg.lanes_complex as i32,
+        ];
+        // Oldest-first selection.
+        let mut candidates: Vec<u64> = self.ctx.iq.clone();
+        candidates.sort_unstable();
+        let mut issued: Vec<u64> = Vec::new();
+        for seq in candidates {
+            if budget.iter().all(|b| *b <= 0) {
+                break;
+            }
+            let Some(di) = self.ctx.insts.get(&seq) else {
+                issued.push(seq);
+                continue;
+            };
+            let lane_idx = match di.lane {
+                Lane::Alu => 0,
+                Lane::Mem => 1,
+                Lane::Complex => 2,
+            };
+            if budget[lane_idx] <= 0 {
+                continue;
+            }
+            if !di.deps.iter().all(|d| self.ctx.dep_ready(*d)) {
+                continue;
+            }
+            if !di.pred_deps.iter().all(|d| self.ctx.dep_ready(*d)) {
+                continue;
+            }
+            if di.inst.is_load()
+                && di.tid == MT
+                && self.ctx.violating_loads.contains(&di.pc)
+                && !self.ctx.older_stores_resolved(di.tid, seq)
+            {
+                // MT store-set-style predictor: loads that violated before
+                // wait for older stores' addresses. Side-thread loads issue
+                // freely: a side ordering race merely reads slightly stale
+                // data (the helper thread is speculative anyway), and never
+                // squashes — a side squash would desynchronize the engine's
+                // iteration sequencing.
+                continue;
+            }
+            budget[lane_idx] -= 1;
+            issued.push(seq);
+            self.execute(seq);
+        }
+        self.ctx.iq.retain(|s| !issued.contains(s));
+        self.ctx.thread_priority = (self.ctx.thread_priority + 1) % NUM_THREADS;
+    }
+
+    fn execute(&mut self, seq: u64) {
+        let di = self.ctx.insts.get(&seq).expect("issuing");
+        let tid = di.tid;
+        if di.dead {
+            let di = self.ctx.insts.get_mut(&seq).expect("present");
+            di.stage = Stage::Done;
+            return;
+        }
+        if tid == MT {
+            self.execute_mt(seq);
+        } else {
+            self.execute_side(seq);
+        }
+    }
+
+    fn execute_mt(&mut self, seq: u64) {
+        let now = self.ctx.cycle;
+        let (inst, pc, addr) = {
+            let di = &self.ctx.insts[&seq];
+            (di.inst, di.pc, di.rec.mem_addr)
+        };
+        let done = if inst.is_load() {
+            // Store-to-load forwarding within the thread.
+            if self.ctx.forwarding_store(MT, seq, addr).is_some() {
+                now + 2
+            } else {
+                let r = self.ctx.hierarchy.access(pc, addr, now);
+                r.done_cycle
+            }
+        } else {
+            now + exec_latency(&inst) as u64
+        };
+        {
+            let di = self.ctx.insts.get_mut(&seq).expect("present");
+            di.stage = Stage::Exec { done };
+        }
+        if inst.is_store() {
+            self.check_load_violation(MT, seq, addr);
+        }
+        if inst.is_cond_branch() {
+            // Resolution happens at completion; model it here with the
+            // completion time (the branch redirects fetch at `done`).
+            self.resolve_mt_branch(seq, done);
+        }
+    }
+
+    fn resolve_mt_branch(&mut self, seq: u64, done: u64) {
+        let (mispredicted, taken, bp_ckpt, engine_ckpt, pc) = {
+            let di = &self.ctx.insts[&seq];
+            (
+                di.mispredicted,
+                di.rec.taken,
+                di.bp_ckpt.clone(),
+                di.engine_ckpt.clone(),
+                di.pc,
+            )
+        };
+        if !mispredicted {
+            return;
+        }
+        // Repair speculative predictor history: rewind past the wrong
+        // speculation, then insert the actual outcome.
+        if let Some(ckpt) = bp_ckpt {
+            self.ctx.bpred.recover(&ckpt);
+            self.ctx.bpred.speculate(pc, taken);
+        }
+        if let (Some(engine), Some(ckpt)) = (self.engine.as_mut(), engine_ckpt.as_ref()) {
+            engine.restore(ckpt);
+        }
+        // Fetch resumes after resolution; the refill delay is inherent in
+        // the frontend-pipe depth of newly fetched instructions.
+        if self.ctx.threads[MT].blocking_branch == Some(seq) {
+            self.ctx.threads[MT].blocking_branch = None;
+            self.ctx.threads[MT].fetch_stall_until = done + 1;
+        }
+    }
+
+    fn execute_side(&mut self, seq: u64) {
+        let now = self.ctx.cycle;
+        let (inst, tid, side) = {
+            let di = &self.ctx.insts[&seq];
+            (di.inst, di.tid, di.side.expect("side inst"))
+        };
+
+        // Evaluate the predicate source against the bound producers
+        // (pred-RMT binding happened at dispatch). An OR-guard (§V-K)
+        // enables when either of its two sources does.
+        let enabled = {
+            let regs = side.pred_src.regs();
+            if regs[0].is_none() {
+                true // PredSource::Always
+            } else {
+                let deps = self.ctx.insts[&seq].pred_deps;
+                let eval_one = |slot: usize| -> Option<bool> {
+                    let (reg, direction) = regs[slot]?;
+                    Some(match deps[slot].and_then(|p| self.ctx.insts.get(&p)) {
+                        Some(prod) => prod.enabled && prod.taken == direction,
+                        None => {
+                            // Producer already retired: read the committed
+                            // predicate file (in-order retire guarantees it
+                            // holds the same iteration's value).
+                            let (en, taken) = self.ctx.threads[tid].pred_vals[reg as usize];
+                            en && taken == direction
+                        }
+                    })
+                };
+                eval_one(0).unwrap_or(false) || eval_one(1).unwrap_or(false)
+            }
+        };
+
+        // Gather source values.
+        let srcs: Vec<Reg> = inst.srcs().into_iter().collect();
+        let deps = self.ctx.insts[&seq].deps.clone();
+        let vals: Vec<u64> = srcs
+            .iter()
+            .zip(deps.iter())
+            .map(|(r, d)| self.ctx.dep_value(tid, *r, *d))
+            .collect();
+
+        let mut result: u64 = 0;
+        let mut taken = false;
+        let mut mem_addr: u64 = 0;
+        let mut done = now + exec_latency(&inst) as u64;
+
+        match inst {
+            Inst::Alu { op, .. } => result = op.eval(vals[0], vals[1]),
+            Inst::AluImm { op, imm, .. } => {
+                if side.kind == SideKind::LiveInMove {
+                    result = side.live_in_value;
+                } else {
+                    result = op.eval(vals[0], imm as i64 as u64);
+                }
+            }
+            Inst::Li { imm, .. } => {
+                result = if side.kind == SideKind::LiveInMove {
+                    side.live_in_value
+                } else {
+                    imm as u64
+                };
+            }
+            Inst::Load {
+                width,
+                signed,
+                offset,
+                ..
+            } => {
+                mem_addr = vals[0].wrapping_add(offset as i64 as u64);
+                // Value: in-flight forwarding > store cache > memory image.
+                let fwd = self.ctx.forwarding_store(tid, seq, mem_addr);
+                if let Some(fseq) = fwd {
+                    let f = &self.ctx.insts[&fseq];
+                    // Forward only enabled stores; a disabled store is a
+                    // no-op, so fall through to older state.
+                    if f.enabled {
+                        result = super::lsq::extract(f.result, mem_addr, width, signed);
+                        done = now + 2;
+                    } else {
+                        result = self.ctx.side_load_value(mem_addr, width, signed);
+                        done = now + self.ctx.cfg.l1d.latency as u64;
+                    }
+                } else if let Some(dw) = self.ctx.store_cache.read(mem_addr) {
+                    result = super::lsq::extract(dw, mem_addr, width, signed);
+                    done = now + self.ctx.cfg.l1d.latency as u64;
+                } else {
+                    result = self.ctx.timing_mem.read(mem_addr, width, signed);
+                    let r = self.ctx.hierarchy.access(side.pc, mem_addr, now);
+                    done = r.done_cycle;
+                }
+            }
+            Inst::Store { offset, .. } => {
+                mem_addr = vals[0].wrapping_add(offset as i64 as u64);
+                result = vals[1]; // data
+            }
+            Inst::Branch { cond, .. } => {
+                taken = cond.eval(vals[0], vals[1]);
+            }
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Halt => {}
+        }
+
+        if inst.is_store() {
+            self.check_load_violation(tid, seq, mem_addr);
+        }
+
+        {
+            let di = self.ctx.insts.get_mut(&seq).expect("present");
+            di.result = result;
+            di.taken = taken;
+            di.mem_addr = mem_addr;
+            di.enabled = enabled;
+            di.stage = Stage::Exec { done };
+        }
+
+        let info = ExecInfo {
+            value: result,
+            taken,
+            addr: mem_addr,
+            enabled,
+        };
+        let mut action = SideAction::Continue;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.side_executed(tid, &side, &info, now);
+            if matches!(
+                side.kind,
+                SideKind::LoopBranch | SideKind::TerminalBranch | SideKind::HeaderBranch
+            ) {
+                action = engine.side_branch_resolved(tid, &side, taken);
+            }
+        }
+        match action {
+            SideAction::Continue => {}
+            SideAction::SquashYounger => self.ctx.squash_side_from(tid, seq + 1),
+            SideAction::Terminate => self.terminate_preexec(0),
+        }
+    }
+}

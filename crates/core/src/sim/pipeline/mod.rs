@@ -1,0 +1,546 @@
+//! The multi-thread out-of-order pipeline.
+//!
+//! One [`Pipeline`] simulates up to three hardware thread contexts:
+//!
+//! * the **main thread** (MT), trace-driven from the functional emulator —
+//!   branch outcomes, values and addresses come from the correct-path
+//!   [`ExecRecord`] stream; the timing model decides *when* things happen;
+//! * up to two **side threads** (HT_A/HT_B), supplied and steered by a
+//!   [`PreExecEngine`], executed with *real values* against the retire-time
+//!   memory image plus the side store cache.
+//!
+//! Frontend width, ROB, LQ, SQ and PRF are partitioned per Table I while
+//! side threads run; the issue queue and execution lanes are flexibly
+//! shared. Mispredicted MT branches stall fetch until they resolve (no
+//! wrong-path execution; documented in DESIGN.md); load-store ordering
+//! violations squash and replay.
+//!
+//! # Module layout
+//!
+//! The pipeline is decomposed per stage, one file per stage, all
+//! operating on the shared [`SimContext`] (every piece of simulator state
+//! except the pre-execution engine):
+//!
+//! * [`fetch`] — MT trace fetch, side-thread fetch, branch prediction;
+//! * [`rename_dispatch`] — rename, resource allocation, IQ insertion;
+//! * [`issue_execute`] — wakeup/select, MT and side execution;
+//! * [`lsq`] — store-to-load forwarding, ordering-violation detection,
+//!   doubleword extract/merge;
+//! * [`retire`] — in-order (and loose side) retirement, stat accounting;
+//! * [`squash`] — squash machinery plus pre-execution trigger/terminate.
+//!
+//! Stage methods that never touch the engine live on `SimContext`; the
+//! rest live on `Pipeline<E>` and borrow `ctx` and `engine` disjointly.
+//! `SimContext` (and therefore every run input: [`crate::sim::RunConfig`],
+//! a prepared [`Cpu`]) is `Send`, so whole simulations can move to worker
+//! threads — the experiment runner in `phelps-bench` relies on this.
+
+mod fetch;
+mod issue_execute;
+mod lsq;
+mod rename_dispatch;
+mod retire;
+mod squash;
+
+use crate::classify::MispredictBreakdown;
+use crate::sim::types::{Mode, PreExecEngine, SideInst, HT_A, HT_B, MT};
+use crate::storecache::StoreCache;
+use phelps_isa::{Cpu, EmuError, ExecRecord, Inst, Memory, NUM_REGS};
+use phelps_telemetry as tlm;
+use phelps_uarch::bpred::{HistoryCheckpoint, TageScL};
+use phelps_uarch::config::{ActiveThreads, CoreConfig, PartitionPlan};
+use phelps_uarch::mem::MemoryHierarchy;
+use phelps_uarch::stats::SimStats;
+use std::collections::{HashMap, VecDeque};
+
+use crate::sim::types::EngineCkpt;
+
+/// Lane class an instruction issues to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Lane {
+    Alu,
+    Mem,
+    Complex,
+}
+
+fn lane_of(inst: &Inst) -> Lane {
+    match inst {
+        Inst::Load { .. } | Inst::Store { .. } => Lane::Mem,
+        Inst::Alu { op, .. } | Inst::AluImm { op, .. } if op.is_complex() => Lane::Complex,
+        _ => Lane::Alu,
+    }
+}
+
+fn exec_latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Alu { op, .. } | Inst::AluImm { op, .. } => op.latency(),
+        _ => 1,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// In the frontend pipe; dispatches at the stored cycle.
+    Frontend,
+    /// Waiting in the issue queue.
+    InIq,
+    /// Executing; completes at `done`.
+    Exec { done: u64 },
+    /// Result available.
+    Done,
+}
+
+/// Where a fetched MT prediction came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PredFrom {
+    Default,
+    Queue,
+    Oracle,
+    None,
+}
+
+#[derive(Clone, Debug)]
+struct DynInst {
+    seq: u64,
+    tid: usize,
+    pc: u64,
+    inst: Inst,
+    stage: Stage,
+    lane: Lane,
+    /// Producer seqs for register sources (parallel to `inst.srcs()`).
+    deps: Vec<Option<u64>>,
+    /// Producer seqs of the predicate source's registers (side threads;
+    /// two slots for OR-guards, paper §V-K).
+    pred_deps: [Option<u64>; 2],
+    /// MT: the trace record. Side: stub filled at execute.
+    rec: ExecRecord,
+    /// MT conditional branches: prediction consumed at fetch.
+    predicted: Option<bool>,
+    /// What the default predictor said (computed even when a queue
+    /// supplied the prediction — the DBT measures the core predictor's
+    /// delinquency regardless of the consumed source, paper §V-B).
+    default_pred: Option<bool>,
+    pred_from: PredFrom,
+    mispredicted: bool,
+    /// Checkpoints for recovery (MT conditional branches).
+    bp_ckpt: Option<HistoryCheckpoint>,
+    engine_ckpt: Option<EngineCkpt>,
+    /// Side-thread payload.
+    side: Option<SideInst>,
+    /// Execute-time results (side threads; MT copies from rec).
+    result: u64,
+    taken: bool,
+    mem_addr: u64,
+    /// Predicate evaluation result.
+    enabled: bool,
+    /// Load completed its memory access at this cycle.
+    mem_done: u64,
+    /// Squashed (dead) — drains without effects.
+    dead: bool,
+}
+
+impl DynInst {
+    fn is_cond_branch(&self) -> bool {
+        self.inst.is_cond_branch()
+    }
+}
+
+/// The correct-path instruction source for the main thread, with a replay
+/// buffer for squash recovery.
+#[derive(Debug)]
+struct TraceSource {
+    cpu: Cpu,
+    replay: VecDeque<ExecRecord>,
+    exhausted: bool,
+}
+
+impl TraceSource {
+    fn next(&mut self) -> Option<ExecRecord> {
+        if let Some(r) = self.replay.pop_front() {
+            return Some(r);
+        }
+        if self.exhausted || self.cpu.is_halted() {
+            return None;
+        }
+        match self.cpu.step() {
+            Ok(rec) => Some(rec),
+            Err(EmuError::Halted) => None,
+            Err(e) => panic!("guest program fault: {e}"),
+        }
+    }
+
+    fn push_replay_front(&mut self, recs: impl DoubleEndedIterator<Item = ExecRecord>) {
+        for r in recs.rev() {
+            self.replay.push_front(r);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ThreadCtx {
+    /// In-flight seqs in program order (frontend + ROB).
+    rob: VecDeque<u64>,
+    /// Seqs in the frontend pipe (prefix of `rob`).
+    frontend: usize,
+    /// Rename map: logical reg -> producing seq.
+    rmt: [Option<u64>; NUM_REGS],
+    /// Predicate rename: logical pred reg -> producing seq.
+    pred_rmt: [Option<u64>; 17],
+    /// Committed predicate values (enabled, taken), written at predicate
+    /// producer retire; read by consumers whose producer already retired.
+    pred_vals: [(bool, bool); 17],
+    /// Committed (retire-time) register values. MT: the timing-architectural
+    /// file used for live-in capture; side threads: their value state.
+    regs: [u64; NUM_REGS],
+    // Partition limits.
+    width: u32,
+    rob_cap: u32,
+    lq_cap: u32,
+    sq_cap: u32,
+    prf_cap: u32,
+    // Usage.
+    lq_used: u32,
+    sq_used: u32,
+    prf_used: u32,
+    /// MT fetch blocked until this cycle (mispredict resolution, trigger).
+    fetch_stall_until: u64,
+    /// Seq of the unresolved mispredicted branch blocking fetch.
+    blocking_branch: Option<u64>,
+    /// MT fetch blocked until the flagged live-in move retires.
+    waiting_mt_release: bool,
+    active: bool,
+}
+
+impl ThreadCtx {
+    fn new() -> ThreadCtx {
+        ThreadCtx {
+            rob: VecDeque::new(),
+            frontend: 0,
+            rmt: [None; NUM_REGS],
+            pred_rmt: [None; 17],
+            pred_vals: [(true, false); 17],
+            regs: [0; NUM_REGS],
+            width: 0,
+            rob_cap: 0,
+            lq_cap: 0,
+            sq_cap: 0,
+            prf_cap: 0,
+            lq_used: 0,
+            sq_used: 0,
+            prf_used: 0,
+            fetch_stall_until: 0,
+            blocking_branch: None,
+            waiting_mt_release: false,
+            active: false,
+        }
+    }
+}
+
+/// Simulation result bundle.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Counter bundle.
+    pub stats: SimStats,
+    /// Fig. 14 misprediction classification.
+    pub breakdown: MispredictBreakdown,
+    /// Harvested telemetry, when a [`phelps_telemetry`] registry was
+    /// installed on this thread before the run (see `PHELPS_TRACE`).
+    pub telemetry: Option<Box<tlm::Report>>,
+}
+
+/// Explicit per-thread resource quotas, overriding the Table I fractional
+/// partitioning. Used by the Branch Runahead baseline, whose main thread
+/// keeps the whole ROB and SQ (and, in the 12-wide configuration, full
+/// baseline resources).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadQuota {
+    /// Frontend (fetch/dispatch/retire) width.
+    pub width: u32,
+    /// In-flight instruction budget (ROB share or usage-counter budget).
+    pub rob: u32,
+    /// Load-queue share.
+    pub lq: u32,
+    /// Store-queue share.
+    pub sq: u32,
+    /// Physical-register share.
+    pub prf: u32,
+}
+
+/// Everything the stages share: the whole simulator state *except* the
+/// pre-execution engine. Stage methods that never consult the engine are
+/// implemented directly on this type (see the module docs); methods on
+/// [`Pipeline`] borrow `ctx` and `engine` as disjoint fields.
+#[derive(Debug)]
+struct SimContext {
+    cfg: CoreConfig,
+    mode_oracle: bool,
+    partition_only: bool,
+    trace: TraceSource,
+    bpred: TageScL,
+    hierarchy: MemoryHierarchy,
+    /// Retire-time memory image: MT stores applied at retire; side loads
+    /// read it (plus the store cache).
+    timing_mem: Memory,
+    store_cache: StoreCache,
+    threads: Vec<ThreadCtx>,
+    insts: HashMap<u64, DynInst>,
+    /// Shared issue queue: seqs.
+    iq: Vec<u64>,
+    next_seq: u64,
+    cycle: u64,
+    /// Engine-triggered state.
+    preexec_active: bool,
+    /// Cycle of the most recent trigger (telemetry: trigger-span hist).
+    trigger_cycle: u64,
+    /// Outstanding `mt_release` move.
+    mt_release_pending: bool,
+    max_mt_insts: u64,
+    stats: SimStats,
+    breakdown: MispredictBreakdown,
+    thread_priority: usize,
+    /// Explicit quota override: (main thread, side thread).
+    quotas: Option<(ThreadQuota, ThreadQuota)>,
+    /// Per-branch-PC queue accuracy: (consumed, wrong). Debug aid dumped
+    /// under PHELPS_DBG at the end of a run.
+    queue_acc: HashMap<u64, (u64, u64)>,
+    /// Debug: (enabled, suppressed) side-store commits, and MT stores.
+    dbg_stores: (u64, u64, u64),
+    /// Load PCs that previously caused an ordering violation: they wait
+    /// for older stores' addresses before issuing (a store-set-style
+    /// memory-dependence predictor — without it, every loop-carried
+    /// store→load pair would violate every iteration).
+    violating_loads: std::collections::HashSet<u64>,
+    /// Stop when the MT trace is fully retired.
+    finished: bool,
+}
+
+/// The pipeline. Construct via [`Pipeline::new`], then [`Pipeline::run`].
+#[derive(Debug)]
+pub struct Pipeline<E: PreExecEngine> {
+    ctx: SimContext,
+    engine: Option<E>,
+}
+
+// Whole simulations must be movable to worker threads: the experiment
+// runner in `phelps-bench` schedules `simulate` calls across a scoped
+// thread pool. Keep this statically checked so a stray `Rc`/raw pointer
+// in any simulator structure fails the build here, with a clear culprit,
+// rather than at the runner's spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SimContext>();
+    assert_send::<SimResult>();
+    assert_send::<crate::sim::types::RunConfig>();
+    assert_send::<Cpu>();
+    assert_send::<SimStats>();
+};
+
+impl<E: PreExecEngine> Pipeline<E> {
+    /// Creates a pipeline over a prepared guest CPU (program + initialized
+    /// memory + entry registers).
+    pub fn new(
+        cpu: Cpu,
+        cfg: CoreConfig,
+        mode: &Mode,
+        engine: Option<E>,
+        max_mt_insts: u64,
+    ) -> Pipeline<E> {
+        let timing_mem = cpu.mem.clone();
+        let mut threads = vec![ThreadCtx::new(), ThreadCtx::new(), ThreadCtx::new()];
+        threads[MT].active = true;
+        let hierarchy = MemoryHierarchy::new(&cfg);
+        let partition_only = matches!(mode, Mode::PartitionOnly);
+        let mut ctx = SimContext {
+            mode_oracle: matches!(mode, Mode::PerfectBp),
+            partition_only,
+            trace: TraceSource {
+                cpu,
+                replay: VecDeque::new(),
+                exhausted: false,
+            },
+            bpred: TageScL::large(),
+            hierarchy,
+            timing_mem,
+            store_cache: StoreCache::paper_default(),
+            threads,
+            insts: HashMap::new(),
+            iq: Vec::new(),
+            next_seq: 0,
+            cycle: 0,
+            preexec_active: false,
+            trigger_cycle: 0,
+            mt_release_pending: false,
+            max_mt_insts,
+            stats: SimStats::new(),
+            breakdown: MispredictBreakdown::new(),
+            thread_priority: 0,
+            quotas: None,
+            queue_acc: HashMap::new(),
+            dbg_stores: (0, 0, 0),
+            violating_loads: std::collections::HashSet::new(),
+            finished: false,
+            cfg,
+        };
+        ctx.apply_partition(if partition_only {
+            ActiveThreads::MainPartitioned
+        } else {
+            ActiveThreads::MainOnly
+        });
+        Pipeline { ctx, engine }
+    }
+
+    /// Immutable view of the statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.ctx.stats
+    }
+
+    /// Overrides the helper-thread store-cache geometry (sets of 2 ways;
+    /// paper: 16). For the design-choice ablation harness; call before
+    /// [`Pipeline::run`].
+    pub fn set_store_cache_sets(&mut self, sets: usize) {
+        self.ctx.store_cache = StoreCache::new(sets.next_power_of_two().max(1));
+    }
+
+    /// Overrides Table I partitioning with explicit quotas: the main
+    /// thread always gets `mt`; the side thread gets `side` while
+    /// pre-execution is active. Call before [`Pipeline::run`].
+    pub fn set_quotas(&mut self, mt: ThreadQuota, side: ThreadQuota) {
+        self.ctx.quotas = Some((mt, side));
+        self.ctx.apply_partition(ActiveThreads::MainOnly);
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs to completion (trace exhausted or `max_mt_insts` retired) and
+    /// returns the result bundle.
+    pub fn run(mut self) -> SimResult {
+        // Hard bound to catch livelocks in debugging scenarios.
+        let cycle_bound = self.ctx.max_mt_insts.saturating_mul(64).max(1_000_000);
+        while !self.ctx.finished && self.ctx.cycle < cycle_bound {
+            self.step_cycle();
+        }
+        assert!(
+            self.ctx.finished,
+            "simulation did not converge within {cycle_bound} cycles (deadlock?)"
+        );
+        self.flush_mem_stats();
+        if std::env::var("PHELPS_DBG").is_ok() {
+            let mut rows: Vec<(u64, (u64, u64))> =
+                self.ctx.queue_acc.iter().map(|(k, v)| (*k, *v)).collect();
+            rows.sort_unstable();
+            for (pc, (n, w)) in rows {
+                eprintln!("[dbg] queue pc={pc:#x} consumed={n} wrong={w}");
+            }
+            eprintln!(
+                "[dbg] stores: side enabled={} suppressed={} mt={}",
+                self.ctx.dbg_stores.0, self.ctx.dbg_stores.1, self.ctx.dbg_stores.2
+            );
+        }
+        self.ctx.stats.cycles = self.ctx.cycle;
+        self.ctx.breakdown.retired = self.ctx.stats.mt_retired;
+        SimResult {
+            stats: self.ctx.stats,
+            breakdown: self.ctx.breakdown,
+            telemetry: tlm::harvest(),
+        }
+    }
+
+    fn step_cycle(&mut self) {
+        self.ctx.cycle += 1;
+        if tlm::enabled() {
+            tlm::tick(self.ctx.cycle);
+            let t = &self.ctx.threads[MT];
+            tlm::gauge(tlm::Gauge::RobOccupancy, t.rob.len() as u64);
+            tlm::gauge(tlm::Gauge::LsqOccupancy, u64::from(t.lq_used + t.sq_used));
+        }
+        self.retire();
+        if self.ctx.finished {
+            return;
+        }
+        self.ctx.complete_execution();
+        self.issue();
+        self.ctx.dispatch();
+        self.fetch();
+        // Selective squash requested by the engine (BR chain rollback).
+        if let Some(engine) = self.engine.as_mut() {
+            let tags = engine.take_squash_tags();
+            if !tags.is_empty() {
+                self.ctx.kill_tagged(&tags);
+            }
+        }
+    }
+
+    /// Memory hierarchy statistics flush into the stat bundle.
+    pub fn flush_mem_stats(&mut self) {
+        self.ctx.flush_mem_stats();
+    }
+}
+
+impl SimContext {
+    fn apply_partition(&mut self, active: ActiveThreads) {
+        if let Some((mt, side)) = self.quotas {
+            let set = |t: &mut ThreadCtx, q: ThreadQuota, on: bool| {
+                t.width = q.width;
+                t.rob_cap = q.rob;
+                t.lq_cap = q.lq;
+                t.sq_cap = q.sq;
+                t.prf_cap = q.prf;
+                t.active = on && q.width > 0;
+            };
+            set(&mut self.threads[MT], mt, true);
+            let side_on =
+                active != ActiveThreads::MainOnly && active != ActiveThreads::MainPartitioned;
+            set(&mut self.threads[HT_A], side, side_on);
+            set(
+                &mut self.threads[HT_B],
+                ThreadQuota {
+                    width: 0,
+                    rob: 0,
+                    lq: 0,
+                    sq: 0,
+                    prf: 0,
+                },
+                false,
+            );
+            self.threads[MT].active = true;
+            return;
+        }
+        let plan = PartitionPlan::for_threads(active);
+        let cfg = &self.cfg;
+        let set = |t: &mut ThreadCtx, eighths: u32| {
+            t.width = PartitionPlan::scale(cfg.width, eighths);
+            t.rob_cap = PartitionPlan::scale(cfg.rob, eighths);
+            t.lq_cap = PartitionPlan::scale(cfg.lq, eighths);
+            t.sq_cap = PartitionPlan::scale(cfg.sq, eighths);
+            t.prf_cap = PartitionPlan::scale(cfg.prf, eighths);
+            t.active = eighths > 0;
+        };
+        set(&mut self.threads[MT], plan.mt_eighths);
+        // For MT+ITO, the single helper runs in slot HT_A with the IT share.
+        if active == ActiveThreads::MainPlusIto {
+            set(&mut self.threads[HT_A], plan.it_eighths);
+            set(&mut self.threads[HT_B], 0);
+        } else {
+            set(&mut self.threads[HT_A], plan.ot_eighths);
+            set(&mut self.threads[HT_B], plan.it_eighths);
+        }
+        self.threads[MT].active = true;
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn flush_mem_stats(&mut self) {
+        let (acc, miss, pf_hits) = self.hierarchy.l1d_stats();
+        self.stats.l1d_accesses = acc;
+        self.stats.l1d_misses = miss;
+        self.stats.prefetch_hits = pf_hits;
+        self.stats.l2_misses = self.hierarchy.l2_misses();
+        self.stats.l3_misses = self.hierarchy.l3_misses();
+        self.stats.prefetches_issued = self.hierarchy.prefetches_issued;
+    }
+}

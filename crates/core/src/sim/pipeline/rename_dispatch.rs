@@ -1,0 +1,100 @@
+//! Rename/dispatch stage: drains the frontend pipe in program order,
+//! renames sources against the per-thread RMTs, allocates LQ/SQ/PRF
+//! shares, and inserts into the shared issue queue.
+//!
+//! Dispatch never consults the pre-execution engine, so the whole stage
+//! lives on [`SimContext`].
+
+use super::{SimContext, Stage};
+use crate::sim::types::{SideKind, NUM_THREADS};
+use phelps_isa::Reg;
+
+impl SimContext {
+    pub(super) fn dispatch(&mut self) {
+        for off in 0..NUM_THREADS {
+            let tid = (self.thread_priority + off) % NUM_THREADS;
+            if !self.threads[tid].active {
+                continue;
+            }
+            let width = self.threads[tid].width;
+            let mut dispatched = 0;
+            while dispatched < width && self.threads[tid].frontend > 0 {
+                let idx = self.threads[tid].rob.len() - self.threads[tid].frontend;
+                let seq = self.threads[tid].rob[idx];
+                let Some(di) = self.insts.get(&seq) else {
+                    break;
+                };
+                if di.mem_done > self.cycle {
+                    break; // still in the frontend pipe
+                }
+                // Resource checks.
+                if self.iq.len() as u32 >= self.cfg.iq {
+                    break;
+                }
+                let t = &self.threads[tid];
+                let is_load = di.inst.is_load();
+                let is_store = di.inst.is_store();
+                let has_dst = di.inst.dst().is_some();
+                if is_load && t.lq_used >= t.lq_cap {
+                    break;
+                }
+                if is_store && t.sq_used >= t.sq_cap {
+                    break;
+                }
+                if has_dst && t.prf_used >= t.prf_cap {
+                    break;
+                }
+                // Rename.
+                let srcs: Vec<Reg> = self.insts[&seq].inst.srcs().into_iter().collect();
+                let deps: Vec<Option<u64>> = srcs
+                    .iter()
+                    .map(|r| {
+                        if r.is_zero() {
+                            None
+                        } else {
+                            self.threads[tid].rmt[r.index()]
+                        }
+                    })
+                    .collect();
+                let mut pred_deps = [None; 2];
+                if let Some(src) = self.insts[&seq].side.as_ref().map(|s| s.pred_src) {
+                    for (slot, r) in pred_deps.iter_mut().zip(src.regs()) {
+                        if let Some((reg, _)) = r {
+                            *slot = self.threads[tid].pred_rmt[reg as usize];
+                        }
+                    }
+                }
+                {
+                    let t = &mut self.threads[tid];
+                    if is_load {
+                        t.lq_used += 1;
+                    }
+                    if is_store {
+                        t.sq_used += 1;
+                    }
+                    if has_dst {
+                        t.prf_used += 1;
+                    }
+                }
+                if let Some(dst) = self.insts[&seq].inst.dst() {
+                    self.threads[tid].rmt[dst.index()] = Some(seq);
+                }
+                if let Some(SideKind::PredProducer { dest }) =
+                    self.insts[&seq].side.as_ref().map(|s| s.kind)
+                {
+                    self.threads[tid].pred_rmt[dest as usize] = Some(seq);
+                }
+                {
+                    let di = self.insts.get_mut(&seq).expect("present");
+                    di.deps = deps;
+                    di.pred_deps = pred_deps;
+                    di.stage = Stage::InIq;
+                    di.mem_done = 0;
+                }
+                self.iq.push(seq);
+                self.threads[tid].frontend -= 1;
+                dispatched += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Retire stage: in-order main-thread retirement (architectural commit,
+//! predictor training, engine control commands), side-thread retirement
+//! (strict or loose order, predicated store-cache commit), and resource
+//! reclamation.
+
+use super::{DynInst, Pipeline, PredFrom, SimContext};
+use crate::classify::MispredictClass;
+use crate::sim::types::{EngineCmd, ExecInfo, PreExecEngine, SideKind, HT_A, HT_B, MT};
+use phelps_isa::Inst;
+use phelps_telemetry as tlm;
+use phelps_uarch::bpred::DirectionPredictor;
+
+use super::Stage;
+
+impl<E: PreExecEngine> Pipeline<E> {
+    pub(super) fn retire(&mut self) {
+        self.retire_mt();
+        if self.ctx.preexec_active {
+            for tid in [HT_A, HT_B] {
+                if self.ctx.threads[tid].active {
+                    self.retire_side(tid);
+                }
+            }
+        }
+        // Prune: nothing needed; insts removed at retire/squash.
+    }
+
+    fn retire_mt(&mut self) {
+        let width = self.ctx.threads[MT].width;
+        for _ in 0..width {
+            let Some(&seq) = self.ctx.threads[MT].rob.front() else {
+                return;
+            };
+            let Some(di) = self.ctx.insts.get(&seq) else {
+                self.ctx.threads[MT].rob.pop_front();
+                continue;
+            };
+            if !matches!(di.stage, Stage::Done) {
+                return;
+            }
+            let di = self.ctx.insts.remove(&seq).expect("present");
+            self.ctx.threads[MT].rob.pop_front();
+            self.ctx.release_resources(MT, &di);
+            self.finish_mt_retire(di);
+            if self.ctx.finished {
+                return;
+            }
+        }
+    }
+
+    fn finish_mt_retire(&mut self, di: DynInst) {
+        let rec = di.rec;
+        self.ctx.stats.mt_retired += 1;
+        tlm::count(tlm::Counter::MtRetired);
+
+        // Timing-architectural state.
+        if let Some(dst) = rec.inst.dst() {
+            self.ctx.threads[MT].regs[dst.index()] = rec.rd_value;
+        }
+        if let Inst::Store { width, .. } = rec.inst {
+            self.ctx.dbg_stores.2 += 1;
+            self.ctx
+                .timing_mem
+                .write(rec.mem_addr, width, rec.store_data);
+            self.ctx
+                .hierarchy
+                .store_retired(rec.mem_addr, self.ctx.cycle);
+        }
+
+        // Branch predictor training and statistics.
+        let mut default_wrong = false;
+        if di.is_cond_branch() {
+            self.ctx.stats.mt_cond_branches += 1;
+            tlm::count(tlm::Counter::MtCondBranches);
+            let predicted = di.predicted.unwrap_or(rec.taken);
+            self.ctx.bpred.update(rec.pc, rec.taken, predicted);
+            default_wrong = di.default_pred.unwrap_or(rec.taken) != rec.taken;
+            if di.pred_from == PredFrom::Queue {
+                let e = self.ctx.queue_acc.entry(rec.pc).or_insert((0, 0));
+                e.0 += 1;
+                if di.mispredicted {
+                    e.1 += 1;
+                }
+            }
+            if di.mispredicted {
+                self.ctx.stats.mt_mispredicts += 1;
+                tlm::count(tlm::Counter::MtMispredicts);
+                tlm::event(tlm::EventKind::Mispredict, self.ctx.cycle, rec.pc, 0);
+                if di.pred_from == PredFrom::Queue {
+                    self.ctx.stats.mispredicts_from_queue += 1;
+                }
+            }
+            let class = match self.engine.as_mut() {
+                Some(engine) => Some(engine.classify(
+                    rec.pc,
+                    di.pred_from == PredFrom::Queue,
+                    di.mispredicted,
+                    default_wrong,
+                )),
+                None if di.mispredicted => Some(MispredictClass::NotDelinquent),
+                None => None,
+            };
+            match class {
+                Some(MispredictClass::Eliminated) if !di.mispredicted => {
+                    self.ctx.breakdown.record(MispredictClass::Eliminated);
+                }
+                Some(c) if di.mispredicted => self.ctx.breakdown.record(c),
+                _ => {}
+            }
+        }
+
+        // Engine training / control. The DBT measures the *default
+        // predictor's* delinquency regardless of the consumed source.
+        let mut cmd = EngineCmd::None;
+        if let Some(engine) = self.engine.as_mut() {
+            cmd = engine.on_mt_retire(&rec, default_wrong, self.ctx.cycle);
+        }
+        match cmd {
+            EngineCmd::None => {}
+            EngineCmd::Trigger(active) => self.trigger_preexec(active, rec.pc),
+            EngineCmd::Terminate => self.terminate_preexec(rec.pc),
+        }
+
+        if matches!(rec.inst, Inst::Halt) || self.ctx.stats.mt_retired >= self.ctx.max_mt_insts {
+            self.ctx.finished = true;
+        }
+    }
+
+    fn retire_side(&mut self, tid: usize) {
+        let loose = self.engine.as_ref().is_some_and(|e| e.loose_retire());
+        let width = self.ctx.threads[tid].width.max(1);
+        let mut n = 0;
+        loop {
+            if n >= width {
+                return;
+            }
+            let Some(&seq) = self.ctx.threads[tid].rob.front() else {
+                return;
+            };
+            let Some(di) = self.ctx.insts.get(&seq) else {
+                self.ctx.threads[tid].rob.pop_front();
+                continue;
+            };
+            if !matches!(di.stage, Stage::Done) {
+                if loose {
+                    // Loose mode: skip stalled head, retire any Done insts
+                    // behind it (chains have no program-order semantics).
+                    let done_seqs: Vec<u64> = self.ctx.threads[tid]
+                        .rob
+                        .iter()
+                        .copied()
+                        .filter(|s| {
+                            self.ctx
+                                .insts
+                                .get(s)
+                                .is_some_and(|d| matches!(d.stage, Stage::Done))
+                        })
+                        .take(width.saturating_sub(n) as usize)
+                        .collect();
+                    if done_seqs.is_empty() {
+                        return;
+                    }
+                    for s in done_seqs {
+                        self.ctx.threads[tid].rob.retain(|&x| x != s);
+                        let d = self.ctx.insts.remove(&s).expect("present");
+                        self.ctx.release_resources(tid, &d);
+                        self.finish_side_retire(tid, d);
+                    }
+                    return;
+                }
+                return;
+            }
+            let di = self.ctx.insts.remove(&seq).expect("present");
+            self.ctx.threads[tid].rob.pop_front();
+            self.ctx.release_resources(tid, &di);
+            self.finish_side_retire(tid, di);
+            n += 1;
+        }
+    }
+
+    fn finish_side_retire(&mut self, tid: usize, di: DynInst) {
+        if di.dead {
+            return;
+        }
+        self.ctx.stats.ht_retired += 1;
+        let Some(side) = di.side else { return };
+
+        // Commit value state.
+        if let Some(dst) = di.inst.dst() {
+            self.ctx.threads[tid].regs[dst.index()] = di.result;
+        }
+        // Commit predicate values for late consumers.
+        if let Some(SideKind::PredProducer { dest }) = side_kind_of(&di) {
+            self.ctx.threads[tid].pred_vals[dest as usize] = (di.enabled, di.taken);
+        }
+        if di.inst.is_store() {
+            if di.enabled {
+                self.ctx.dbg_stores.0 += 1;
+            } else {
+                self.ctx.dbg_stores.1 += 1;
+            }
+        }
+        // Stores commit to the private cache only when predicated-true.
+        if di.inst.is_store() && di.enabled {
+            // Merge into the containing doubleword.
+            if let Inst::Store { width, .. } = di.inst {
+                let dw_addr = di.mem_addr & !7;
+                let base = self
+                    .ctx
+                    .store_cache
+                    .read(dw_addr)
+                    .unwrap_or_else(|| self.ctx.timing_mem.read_u64(dw_addr));
+                let merged = super::lsq::merge(base, di.mem_addr, width, di.result);
+                self.ctx.store_cache.write(dw_addr, merged);
+            }
+        }
+        if side.mt_release && self.ctx.mt_release_pending {
+            self.ctx.mt_release_pending = false;
+            self.ctx.threads[MT].waiting_mt_release = false;
+        }
+        let info = ExecInfo {
+            value: di.result,
+            taken: di.taken,
+            addr: di.mem_addr,
+            enabled: di.enabled,
+        };
+        if let Some(engine) = self.engine.as_mut() {
+            engine.side_retired(tid, &side, &info, self.ctx.cycle);
+        }
+    }
+}
+
+impl SimContext {
+    pub(super) fn release_resources(&mut self, tid: usize, di: &DynInst) {
+        let t = &mut self.threads[tid];
+        if di.inst.is_load() {
+            t.lq_used = t.lq_used.saturating_sub(1);
+        }
+        if di.inst.is_store() {
+            t.sq_used = t.sq_used.saturating_sub(1);
+        }
+        if di.inst.dst().is_some() {
+            t.prf_used = t.prf_used.saturating_sub(1);
+        }
+        // Repair RMT entries that point at this seq.
+        for slot in t.rmt.iter_mut() {
+            if *slot == Some(di.seq) {
+                *slot = None;
+            }
+        }
+        for slot in t.pred_rmt.iter_mut() {
+            if *slot == Some(di.seq) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+fn side_kind_of(di: &DynInst) -> Option<SideKind> {
+    di.side.as_ref().map(|s| s.kind)
+}

@@ -1,0 +1,179 @@
+//! Squash machinery (main-thread replay squash, side-thread partial
+//! squash, engine-tagged selective kill) and the pre-execution
+//! trigger/terminate transitions that repartition the core.
+
+use super::{Pipeline, SimContext, Stage};
+use crate::sim::types::{PreExecEngine, HT_A, HT_B, MT};
+use phelps_isa::{ExecRecord, NUM_REGS};
+use phelps_telemetry as tlm;
+use phelps_uarch::bpred::DirectionPredictor;
+use phelps_uarch::config::ActiveThreads;
+
+impl<E: PreExecEngine> Pipeline<E> {
+    /// Squashes MT instructions with seq >= `from`, replaying their records.
+    pub(super) fn squash_mt_from(&mut self, from: u64) {
+        let squashed: Vec<u64> = self.ctx.threads[MT]
+            .rob
+            .iter()
+            .copied()
+            .filter(|&s| s >= from)
+            .collect();
+        if squashed.is_empty() {
+            return;
+        }
+        tlm::count(tlm::Counter::MtSquashes);
+        // Roll back engine consumption to the youngest surviving branch's
+        // checkpoint (or to head).
+        if let Some(engine) = self.engine.as_mut() {
+            let ckpt = self.ctx.threads[MT]
+                .rob
+                .iter()
+                .copied()
+                .filter(|&s| s < from)
+                .rev()
+                .find_map(|s| self.ctx.insts.get(&s).and_then(|d| d.engine_ckpt.clone()))
+                .unwrap_or_default();
+            engine.restore(&ckpt);
+        }
+        // Also rewind predictor history to the oldest squashed branch's
+        // checkpoint.
+        if let Some(ckpt) = squashed
+            .iter()
+            .find_map(|s| self.ctx.insts.get(s).and_then(|d| d.bp_ckpt.clone()))
+        {
+            self.ctx.bpred.recover(&ckpt);
+        }
+        let mut recs: Vec<ExecRecord> = Vec::with_capacity(squashed.len());
+        for s in &squashed {
+            if let Some(di) = self.ctx.insts.remove(s) {
+                self.ctx.release_resources(MT, &di);
+                recs.push(di.rec);
+            }
+        }
+        self.ctx.threads[MT].rob.retain(|s| *s < from);
+        self.ctx.threads[MT].frontend = 0;
+        let insts = &self.ctx.insts;
+        self.ctx.iq.retain(|s| insts.contains_key(s));
+        self.ctx.trace.push_replay_front(recs.into_iter());
+        self.ctx.threads[MT].blocking_branch = None;
+        self.ctx.threads[MT].fetch_stall_until = self.ctx.cycle + 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Trigger / terminate
+    // ------------------------------------------------------------------
+
+    /// `pc` is the retiring instruction that carried the engine command
+    /// (telemetry only; 0 when unknown).
+    pub(super) fn trigger_preexec(&mut self, active: ActiveThreads, pc: u64) {
+        if self.ctx.preexec_active {
+            return;
+        }
+        self.ctx.stats.triggers += 1;
+        tlm::count(tlm::Counter::Triggers);
+        tlm::event(tlm::EventKind::Trigger, self.ctx.cycle, pc, 0);
+        self.ctx.trigger_cycle = self.ctx.cycle;
+        self.ctx.preexec_active = true;
+        // Squash MT in-flight (paper §V-F step 1) and repartition.
+        let from = self.ctx.threads[MT].rob.front().copied();
+        if let Some(f) = from {
+            self.squash_mt_from(f);
+        }
+        self.ctx.apply_partition(active);
+        self.ctx.threads[MT].waiting_mt_release = true;
+        self.ctx.mt_release_pending = true;
+        // Reconfiguration squash penalty.
+        self.ctx.threads[MT].fetch_stall_until =
+            self.ctx.cycle + self.ctx.cfg.redirect_penalty() as u64;
+        for tid in [HT_A, HT_B] {
+            self.ctx.threads[tid].rmt = [None; NUM_REGS];
+            self.ctx.threads[tid].pred_rmt = [None; 17];
+            self.ctx.threads[tid].regs = [0; NUM_REGS];
+        }
+    }
+
+    pub(super) fn terminate_preexec(&mut self, pc: u64) {
+        if !self.ctx.preexec_active {
+            return;
+        }
+        self.ctx.stats.terminations += 1;
+        tlm::count(tlm::Counter::Terminations);
+        tlm::event(tlm::EventKind::Terminate, self.ctx.cycle, pc, 0);
+        tlm::hist(
+            tlm::Hist::TriggerSpanCycles,
+            self.ctx.cycle.saturating_sub(self.ctx.trigger_cycle),
+        );
+        self.ctx.preexec_active = false;
+        for tid in [HT_A, HT_B] {
+            let all: Vec<u64> = self.ctx.threads[tid].rob.iter().copied().collect();
+            for s in all {
+                if let Some(di) = self.ctx.insts.remove(&s) {
+                    self.ctx.release_resources(tid, &di);
+                }
+            }
+            self.ctx.threads[tid].rob.clear();
+            self.ctx.threads[tid].frontend = 0;
+        }
+        let insts = &self.ctx.insts;
+        self.ctx.iq.retain(|s| insts.contains_key(s));
+        self.ctx.store_cache.clear();
+        self.ctx.apply_partition(if self.ctx.partition_only {
+            ActiveThreads::MainPartitioned
+        } else {
+            ActiveThreads::MainOnly
+        });
+        self.ctx.threads[MT].waiting_mt_release = false;
+        self.ctx.mt_release_pending = false;
+        // Reconfiguration squash penalty.
+        self.ctx.threads[MT].fetch_stall_until =
+            self.ctx.cycle + self.ctx.cfg.redirect_penalty() as u64;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.on_terminated();
+        }
+        // Prediction-source state is gone; MT continues with the default
+        // predictor.
+    }
+}
+
+impl SimContext {
+    /// Squashes side-thread instructions with seq >= `from`. Only ever
+    /// requested by the engine itself (inner-thread visit boundaries), so
+    /// the engine has already adjusted its sequencer — no notification.
+    pub(super) fn squash_side_from(&mut self, tid: usize, from: u64) {
+        let squashed: Vec<u64> = self.threads[tid]
+            .rob
+            .iter()
+            .copied()
+            .filter(|&s| s >= from)
+            .collect();
+        for s in &squashed {
+            if let Some(di) = self.insts.remove(s) {
+                self.release_resources(tid, &di);
+            }
+        }
+        self.threads[tid].rob.retain(|s| *s < from);
+        let remaining_frontend = self.threads[tid]
+            .rob
+            .iter()
+            .filter(|s| {
+                self.insts
+                    .get(s)
+                    .is_some_and(|d| matches!(d.stage, Stage::Frontend))
+            })
+            .count();
+        self.threads[tid].frontend = remaining_frontend;
+        let insts = &self.insts;
+        self.iq.retain(|s| insts.contains_key(s));
+    }
+
+    /// Marks engine-tagged instructions dead (they drain without effects).
+    pub(super) fn kill_tagged(&mut self, tags: &[u64]) {
+        for di in self.insts.values_mut() {
+            if let Some(side) = &di.side {
+                if tags.contains(&side.tag) {
+                    di.dead = true;
+                }
+            }
+        }
+    }
+}

@@ -111,6 +111,10 @@ struct PageEntry {
     last_block: u64,
     deltas: [i64; VLDP_HISTORY],
     n_deltas: usize,
+    /// Train-order stamp of the last access, for deterministic LRU
+    /// eviction (hash-map iteration order varies per process and must
+    /// never influence simulated timing).
+    last_use: u64,
 }
 
 /// VLDP-style variable-length delta prefetcher for the L2 cache.
@@ -127,6 +131,8 @@ pub struct VldpPrefetcher {
     dpt2: HashMap<(i64, i64), (i64, u8)>,
     block_bytes: u64,
     max_pages: usize,
+    /// Monotonic train counter backing the LRU stamps.
+    train_tick: u64,
 }
 
 impl VldpPrefetcher {
@@ -138,6 +144,7 @@ impl VldpPrefetcher {
             dpt2: HashMap::new(),
             block_bytes,
             max_pages: 64,
+            train_tick: 0,
         }
     }
 
@@ -158,18 +165,29 @@ impl VldpPrefetcher {
         let mut out = Vec::new();
 
         if self.pages.len() > self.max_pages && !self.pages.contains_key(&page) {
-            // Evict an arbitrary old page to bound state (hardware keeps a
-            // small page table too).
-            if let Some(&victim) = self.pages.keys().next() {
+            // Evict the least-recently-trained page to bound state
+            // (hardware keeps a small page table too). The victim must be
+            // chosen deterministically — picking an arbitrary hash-map key
+            // would make timing depend on the process's hash seed.
+            if let Some(&victim) = self
+                .pages
+                .iter()
+                .min_by_key(|(p, e)| (e.last_use, **p))
+                .map(|(p, _)| p)
+            {
                 self.pages.remove(&victim);
             }
         }
 
+        self.train_tick += 1;
+        let tick = self.train_tick;
         let e = self.pages.entry(page).or_insert(PageEntry {
             last_block: block,
             deltas: [0; VLDP_HISTORY],
             n_deltas: 0,
+            last_use: tick,
         });
+        e.last_use = tick;
 
         let delta = block as i64 - e.last_block as i64;
         if delta != 0 {

@@ -143,55 +143,79 @@ pub mod suite {
         }
     }
 
+    /// Names of the GAP + astar benchmarks of Figs. 12/13, in figure order.
+    pub fn gap_names() -> &'static [&'static str] {
+        &["bc", "bfs", "pr", "cc", "cc_sv", "sssp", "tc", "astar"]
+    }
+
+    /// Builds a single GAP-suite workload by name, without constructing the
+    /// rest of the suite.
+    pub fn gap_workload(name: &str) -> Option<Workload> {
+        Some(match name {
+            "bc" => bc(),
+            "bfs" => bfs(),
+            "pr" => pr(),
+            "cc" => cc(),
+            "cc_sv" => cc_sv(),
+            "sssp" => sssp(),
+            "tc" => tc(),
+            "astar" => astar(),
+            _ => return None,
+        })
+    }
+
     /// The GAP + astar benchmarks of Figs. 12/13.
     pub fn gap_suite() -> Vec<Workload> {
-        vec![bc(), bfs(), pr(), cc(), cc_sv(), sssp(), tc(), astar()]
+        gap_names()
+            .iter()
+            .map(|n| gap_workload(n).expect("known name"))
+            .collect()
+    }
+
+    /// Names of the SPEC2017-like idiom kernels of Figs. 12a/14, in figure
+    /// order.
+    pub fn spec_names() -> &'static [&'static str] {
+        &[
+            "mcf",
+            "leela",
+            "omnetpp",
+            "exchange2",
+            "xz",
+            "gcc",
+            "x264",
+            "deepsjeng",
+            "perlbench",
+            "xalanc",
+        ]
+    }
+
+    /// Builds a single SPEC-suite workload by name, without constructing the
+    /// other nine (each build runs the functional emulator, so rebuilding
+    /// the whole suite per lookup is quadratic work).
+    pub fn spec_workload(name: &str) -> Option<Workload> {
+        let cpu = match name {
+            "mcf" => spec::mcf_like(400_000, SEED),
+            "leela" => spec::leela_like(60_000, 24, SEED),
+            "omnetpp" => spec::omnetpp_like(15_000, 30, SEED),
+            "exchange2" => spec::exchange2_like(6_000),
+            "xz" => spec::xz_like(120_000, 3, SEED),
+            "gcc" => spec::gcc_like(600, 80, SEED),
+            "x264" => spec::x264_like(150_000),
+            "deepsjeng" => spec::deepsjeng_like(30_000, SEED),
+            "perlbench" => spec::perlbench_like(300_000, SEED),
+            "xalanc" => spec::xalanc_like(4_096, 60_000, SEED),
+            _ => return None,
+        };
+        let name = spec_names().iter().find(|n| **n == name)?;
+        Some(Workload { name, cpu })
     }
 
     /// The SPEC2017-like idiom kernels of Figs. 12a/14.
     pub fn spec_suite() -> Vec<Workload> {
-        vec![
-            Workload {
-                name: "mcf",
-                cpu: spec::mcf_like(400_000, SEED),
-            },
-            Workload {
-                name: "leela",
-                cpu: spec::leela_like(60_000, 24, SEED),
-            },
-            Workload {
-                name: "omnetpp",
-                cpu: spec::omnetpp_like(15_000, 30, SEED),
-            },
-            Workload {
-                name: "exchange2",
-                cpu: spec::exchange2_like(6_000),
-            },
-            Workload {
-                name: "xz",
-                cpu: spec::xz_like(120_000, 3, SEED),
-            },
-            Workload {
-                name: "gcc",
-                cpu: spec::gcc_like(600, 80, SEED),
-            },
-            Workload {
-                name: "x264",
-                cpu: spec::x264_like(150_000),
-            },
-            Workload {
-                name: "deepsjeng",
-                cpu: spec::deepsjeng_like(30_000, SEED),
-            },
-            Workload {
-                name: "perlbench",
-                cpu: spec::perlbench_like(300_000, SEED),
-            },
-            Workload {
-                name: "xalanc",
-                cpu: spec::xalanc_like(4_096, 60_000, SEED),
-            },
-        ]
+        spec_names()
+            .iter()
+            .map(|n| spec_workload(n).expect("known name"))
+            .collect()
     }
 }
 
@@ -203,6 +227,20 @@ mod tests {
     fn suites_prepare_without_running() {
         assert_eq!(suite::gap_suite().len(), 8);
         assert_eq!(suite::spec_suite().len(), 10);
+    }
+
+    #[test]
+    fn per_name_factories_cover_both_suites() {
+        for n in suite::gap_names() {
+            let w = suite::gap_workload(n).expect("gap name resolves");
+            assert_eq!(w.name, *n);
+        }
+        for n in suite::spec_names() {
+            let w = suite::spec_workload(n).expect("spec name resolves");
+            assert_eq!(w.name, *n);
+        }
+        assert!(suite::gap_workload("nope").is_none());
+        assert!(suite::spec_workload("nope").is_none());
     }
 
     #[test]

@@ -16,4 +16,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> runner smoke test (2-cell matrix, 2 workers, then warm cache)"
+cargo build --release -q -p phelps-bench --bin fig11
+smoke_cache=$(mktemp -d)
+smoke_out=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$smoke_cache" \
+    ./target/release/fig11 --only=BR- | grep '^\[runner\]')
+echo "    $smoke_out"
+case $smoke_out in
+*"cells=2 hits=0 simulated=2"*) ;;
+*) echo "ci.sh: cold runner smoke run did not simulate" >&2; exit 1 ;;
+esac
+smoke_out=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$smoke_cache" \
+    ./target/release/fig11 --only=BR- | grep '^\[runner\]')
+echo "    $smoke_out"
+rm -rf "$smoke_cache"
+case $smoke_out in
+*"cells=2 hits=2 simulated=0"*) ;;
+*) echo "ci.sh: warm runner smoke run missed the cache" >&2; exit 1 ;;
+esac
+
 echo "==> ci.sh: all green"

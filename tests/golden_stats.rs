@@ -1,0 +1,39 @@
+//! Golden statistics pinning the simulator's cycle-level behavior.
+//!
+//! These exact values were captured on the astar_small kernel before the
+//! pipeline stage decomposition (`crates/core/src/sim/pipeline/`). Any
+//! refactor of the pipeline must keep them bit-identical: a drift here
+//! means the stage split changed timing behavior, not just code layout.
+
+use phelps_repro::prelude::*;
+
+fn cfg(mode: Mode) -> RunConfig {
+    let mut c = RunConfig::scaled(mode);
+    c.max_mt_insts = 200_000;
+    c.epoch_len = 80_000;
+    c
+}
+
+#[test]
+fn golden_baseline_astar_small() {
+    let r = simulate(suite::astar_small().cpu, &cfg(Mode::Baseline));
+    assert_eq!(r.stats.cycles, 152_783, "baseline cycles drifted");
+    assert_eq!(r.stats.mt_retired, 200_000);
+    assert_eq!(r.stats.mt_cond_branches, 24_837);
+    assert_eq!(r.stats.mt_mispredicts, 4_196);
+    assert_eq!(r.stats.l1d_misses, 971);
+}
+
+#[test]
+fn golden_phelps_full_astar_small() {
+    let r = simulate(
+        suite::astar_small().cpu,
+        &cfg(Mode::Phelps(PhelpsFeatures::full())),
+    );
+    assert_eq!(r.stats.cycles, 149_493, "phelps cycles drifted");
+    assert_eq!(r.stats.mt_mispredicts, 3_657);
+    assert_eq!(r.stats.ht_retired, 61_003);
+    assert_eq!(r.stats.triggers, 36);
+    assert_eq!(r.stats.preds_from_queue, 3_310);
+    assert_eq!(r.stats.l1d_misses, 994);
+}
