@@ -35,7 +35,7 @@ pub(super) fn cell_path(dir: &Path, fingerprint: &str) -> PathBuf {
 }
 
 /// Every (name, value) stat pair, in declaration order.
-fn stat_fields(s: &SimStats) -> [(&'static str, u64); 19] {
+fn stat_fields(s: &SimStats) -> [(&'static str, u64); 21] {
     [
         ("cycles", s.cycles),
         ("mt_retired", s.mt_retired),
@@ -50,6 +50,8 @@ fn stat_fields(s: &SimStats) -> [(&'static str, u64); 19] {
         ("terminations", s.terminations),
         ("l1d_accesses", s.l1d_accesses),
         ("l1d_misses", s.l1d_misses),
+        ("l1d_store_accesses", s.l1d_store_accesses),
+        ("l1d_store_misses", s.l1d_store_misses),
         ("l2_misses", s.l2_misses),
         ("l3_misses", s.l3_misses),
         ("prefetches_issued", s.prefetches_issued),
@@ -112,7 +114,7 @@ fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
     for (k, slot) in defaults.iter_mut() {
         *slot = v.get(k)?.as_u64()?;
     }
-    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1d_accesses, l1d_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger] =
+    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1d_accesses, l1d_misses, l1d_store_accesses, l1d_store_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger] =
         defaults.map(|(_, v)| v);
     s = SimStats {
         cycles,
@@ -128,6 +130,8 @@ fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
         terminations,
         l1d_accesses,
         l1d_misses,
+        l1d_store_accesses,
+        l1d_store_misses,
         l2_misses,
         l3_misses,
         prefetches_issued,
@@ -157,6 +161,8 @@ fn parse_cell(text: &str, fingerprint: &str) -> Option<SimResult> {
         stats,
         breakdown,
         telemetry: None,
+        retire_log: None,
+        final_state: None,
     })
 }
 
@@ -194,6 +200,8 @@ mod tests {
             stats: SimStats::default(),
             breakdown: MispredictBreakdown::new(),
             telemetry: None,
+            retire_log: None,
+            final_state: None,
         };
         r.stats.cycles = 12_345;
         r.stats.mt_retired = 1_000_000;

@@ -14,7 +14,7 @@ mod pipeline;
 mod types;
 
 pub use phelps_engine::PhelpsEngine;
-pub use pipeline::{Pipeline, SimResult, ThreadQuota};
+pub use pipeline::{FinalState, Pipeline, SimResult, ThreadQuota};
 pub use types::{
     EngineCkpt, EngineCmd, ExecInfo, Mode, PhelpsFeatures, PreExecEngine, QueueLookup, RunConfig,
     SideAction, SideInst, SideKind, HT_A, HT_B, MT, NUM_THREADS,
@@ -48,7 +48,22 @@ use phelps_isa::Cpu;
 /// # }
 /// ```
 pub fn simulate(cpu: Cpu, cfg: &RunConfig) -> SimResult {
-    match &cfg.mode {
+    build_pipeline(cpu, cfg).run()
+}
+
+/// Like [`simulate`], but with retire logging enabled: the result carries
+/// the full retired main-thread record stream and the final
+/// timing-architectural state ([`SimResult::retire_log`] /
+/// [`SimResult::final_state`]). Differential harnesses (`phelps-verify`)
+/// compare these against an independent functional-emulator run.
+pub fn simulate_observed(cpu: Cpu, cfg: &RunConfig) -> SimResult {
+    let mut p = build_pipeline(cpu, cfg);
+    p.record_retires();
+    p.run()
+}
+
+fn build_pipeline(cpu: Cpu, cfg: &RunConfig) -> Pipeline<PhelpsEngine> {
+    let engine = match &cfg.mode {
         Mode::Phelps(features) => {
             let mut engine = PhelpsEngine::new(
                 cfg.epoch_len,
@@ -61,21 +76,11 @@ pub fn simulate(cpu: Cpu, cfg: &RunConfig) -> SimResult {
                 regs[r.index()] = cpu.reg(r);
             }
             engine.seed_mt_regs(regs);
-            Pipeline::new(
-                cpu,
-                cfg.core.clone(),
-                &cfg.mode,
-                Some(engine),
-                cfg.max_mt_insts,
-            )
-            .run()
+            Some(engine)
         }
-        _ => {
-            let p: Pipeline<PhelpsEngine> =
-                Pipeline::new(cpu, cfg.core.clone(), &cfg.mode, None, cfg.max_mt_insts);
-            p.run()
-        }
-    }
+        _ => None,
+    };
+    Pipeline::new(cpu, cfg.core.clone(), &cfg.mode, engine, cfg.max_mt_insts)
 }
 
 /// Runs with a custom pre-execution engine (the Branch Runahead baseline).

@@ -202,5 +202,12 @@ impl SimContext {
         self.threads[tid].rob.push_back(seq);
         self.threads[tid].frontend += 1;
         self.insts.insert(seq, di);
+        #[cfg(feature = "debug-invariants")]
+        assert!(
+            self.threads[tid].rob.len() as u32 <= self.threads[tid].rob_cap,
+            "tid {tid}: fetch overfilled the ROB partition ({} > {})",
+            self.threads[tid].rob.len(),
+            self.threads[tid].rob_cap
+        );
     }
 }

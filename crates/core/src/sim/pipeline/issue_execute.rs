@@ -127,7 +127,12 @@ impl<E: PreExecEngine> Pipeline<E> {
         };
         let done = if inst.is_load() {
             // Store-to-load forwarding within the thread.
-            if self.ctx.forwarding_store(MT, seq, addr).is_some() {
+            if let Some(_fwd) = self.ctx.forwarding_store(MT, seq, addr) {
+                #[cfg(feature = "debug-invariants")]
+                assert!(
+                    _fwd < seq,
+                    "LSQ age order: load {seq} forwarded from younger store {_fwd}"
+                );
                 now + 2
             } else {
                 let r = self.ctx.hierarchy.access(pc, addr, now);
@@ -253,6 +258,13 @@ impl<E: PreExecEngine> Pipeline<E> {
                 mem_addr = vals[0].wrapping_add(offset as i64 as u64);
                 // Value: in-flight forwarding > store cache > memory image.
                 let fwd = self.ctx.forwarding_store(tid, seq, mem_addr);
+                #[cfg(feature = "debug-invariants")]
+                if let Some(fseq) = fwd {
+                    assert!(
+                        fseq < seq,
+                        "LSQ age order: side load {seq} forwarded from younger store {fseq}"
+                    );
+                }
                 if let Some(fseq) = fwd {
                     let f = &self.ctx.insts[&fseq];
                     // Forward only enabled stores; a disabled store is a

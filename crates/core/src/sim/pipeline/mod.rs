@@ -246,6 +246,26 @@ pub struct SimResult {
     /// Harvested telemetry, when a [`phelps_telemetry`] registry was
     /// installed on this thread before the run (see `PHELPS_TRACE`).
     pub telemetry: Option<Box<tlm::Report>>,
+    /// Every main-thread [`ExecRecord`] in retirement order, when
+    /// [`Pipeline::record_retires`] was called before the run. `None`
+    /// otherwise (the common case — experiment runs pay nothing for it).
+    pub retire_log: Option<Vec<ExecRecord>>,
+    /// Final timing-architectural state, captured together with the
+    /// retire log for differential co-simulation (`phelps-verify`).
+    pub final_state: Option<Box<FinalState>>,
+}
+
+/// Architectural end-state of a run, for differential comparison against
+/// the functional emulator. Captured only when retire logging is on.
+#[derive(Clone, Debug)]
+pub struct FinalState {
+    /// The main thread's timing-architectural register file (updated at
+    /// retire; registers never written by a retired instruction stay 0).
+    pub mt_regs: [u64; NUM_REGS],
+    /// The retire-time memory image. Seeded from the guest memory at
+    /// construction and written only by retired main-thread stores, so a
+    /// correct pipeline ends with exactly the emulator's final memory.
+    pub mem: Memory,
 }
 
 /// Explicit per-thread resource quotas, overriding the Table I fractional
@@ -312,6 +332,12 @@ struct SimContext {
     violating_loads: std::collections::HashSet<u64>,
     /// Stop when the MT trace is fully retired.
     finished: bool,
+    /// When `Some`, every retired MT record is appended (co-simulation
+    /// oracle; see [`Pipeline::record_retires`]).
+    retire_log: Option<Vec<ExecRecord>>,
+    /// Highest MT seq retired so far (in-order retirement invariant).
+    #[cfg(feature = "debug-invariants")]
+    last_mt_retired_seq: u64,
 }
 
 /// The pipeline. Construct via [`Pipeline::new`], then [`Pipeline::run`].
@@ -379,6 +405,9 @@ impl<E: PreExecEngine> Pipeline<E> {
             dbg_stores: (0, 0, 0),
             violating_loads: std::collections::HashSet::new(),
             finished: false,
+            retire_log: None,
+            #[cfg(feature = "debug-invariants")]
+            last_mt_retired_seq: 0,
             cfg,
         };
         ctx.apply_partition(if partition_only {
@@ -392,6 +421,14 @@ impl<E: PreExecEngine> Pipeline<E> {
     /// Immutable view of the statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.ctx.stats
+    }
+
+    /// Turns on retire logging: the run collects every retired main-thread
+    /// [`ExecRecord`] plus the final timing-architectural state into
+    /// [`SimResult::retire_log`] / [`SimResult::final_state`]. Used by the
+    /// `phelps-verify` differential harness; call before [`Pipeline::run`].
+    pub fn record_retires(&mut self) {
+        self.ctx.retire_log = Some(Vec::new());
     }
 
     /// Overrides the helper-thread store-cache geometry (sets of 2 ways;
@@ -440,10 +477,19 @@ impl<E: PreExecEngine> Pipeline<E> {
         }
         self.ctx.stats.cycles = self.ctx.cycle;
         self.ctx.breakdown.retired = self.ctx.stats.mt_retired;
+        let retire_log = self.ctx.retire_log.take();
+        let final_state = retire_log.is_some().then(|| {
+            Box::new(FinalState {
+                mt_regs: self.ctx.threads[MT].regs,
+                mem: std::mem::take(&mut self.ctx.timing_mem),
+            })
+        });
         SimResult {
             stats: self.ctx.stats,
             breakdown: self.ctx.breakdown,
             telemetry: tlm::harvest(),
+            retire_log,
+            final_state,
         }
     }
 
@@ -470,6 +516,8 @@ impl<E: PreExecEngine> Pipeline<E> {
                 self.ctx.kill_tagged(&tags);
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        self.ctx.check_invariants();
     }
 
     /// Memory hierarchy statistics flush into the stat bundle.
@@ -534,10 +582,110 @@ impl SimContext {
         self.next_seq
     }
 
+    /// Cross-stage microarchitectural invariants, verified once per cycle
+    /// under the `debug-invariants` feature (the `phelps-verify` fuzzing
+    /// harness and CI compile with it; experiment builds pay nothing).
+    ///
+    /// Covered here: ROB occupancy within the partition cap, program-order
+    /// (strictly ascending) ROB contents, LQ/SQ/PRF usage counters exactly
+    /// matching the live post-dispatch instructions (a drifting counter is
+    /// the usage-counter analog of a free list double-allocating), rename
+    /// and predicate-rename entries pointing only at live same-thread
+    /// producers of the mapped register, and issue-queue entries being
+    /// live waiting instructions. Stage-local invariants (in-order retire,
+    /// LSQ forwarding age order, MSHR occupancy) live in their stage
+    /// modules and in `phelps-uarch`.
+    #[cfg(feature = "debug-invariants")]
+    fn check_invariants(&self) {
+        for (tid, t) in self.threads.iter().enumerate() {
+            assert!(
+                t.rob.len() as u32 <= t.rob_cap || t.rob_cap == 0,
+                "tid {tid}: ROB occupancy {} exceeds partition cap {}",
+                t.rob.len(),
+                t.rob_cap
+            );
+            assert!(
+                t.frontend <= t.rob.len(),
+                "tid {tid}: frontend pipe count {} exceeds ROB occupancy {}",
+                t.frontend,
+                t.rob.len()
+            );
+            let mut prev: Option<u64> = None;
+            for &s in &t.rob {
+                if let Some(p) = prev {
+                    assert!(
+                        p < s,
+                        "tid {tid}: ROB out of program order ({p} before {s})"
+                    );
+                }
+                prev = Some(s);
+            }
+            // Recompute resource usage from the live post-dispatch
+            // instructions; the incremental counters must agree exactly.
+            let (mut lq, mut sq, mut prf) = (0u32, 0u32, 0u32);
+            for s in &t.rob {
+                let Some(di) = self.insts.get(s) else {
+                    continue;
+                };
+                if matches!(di.stage, Stage::Frontend) {
+                    continue;
+                }
+                lq += u32::from(di.inst.is_load());
+                sq += u32::from(di.inst.is_store());
+                prf += u32::from(di.inst.dst().is_some());
+            }
+            assert_eq!(
+                (t.lq_used, t.sq_used, t.prf_used),
+                (lq, sq, prf),
+                "tid {tid}: resource usage counters (lq, sq, prf) drifted from live instructions"
+            );
+            for (r, slot) in t.rmt.iter().enumerate() {
+                let Some(seq) = slot else { continue };
+                let di = self.insts.get(seq).unwrap_or_else(|| {
+                    panic!("tid {tid}: rmt[{r}] -> seq {seq} which is no longer in flight")
+                });
+                assert_eq!(di.tid, tid, "rmt[{r}] crosses threads");
+                assert_eq!(
+                    di.inst.dst().map(|d| d.index()),
+                    Some(r),
+                    "tid {tid}: rmt[{r}] -> seq {seq} which does not produce x{r}"
+                );
+            }
+            for (p, slot) in t.pred_rmt.iter().enumerate() {
+                let Some(seq) = slot else { continue };
+                let di = self.insts.get(seq).unwrap_or_else(|| {
+                    panic!("tid {tid}: pred_rmt[{p}] -> seq {seq} which is no longer in flight")
+                });
+                assert_eq!(di.tid, tid, "pred_rmt[{p}] crosses threads");
+                let produces = matches!(
+                    di.side.as_ref().map(|s| s.kind),
+                    Some(crate::sim::types::SideKind::PredProducer { dest }) if dest as usize == p
+                );
+                assert!(
+                    produces,
+                    "tid {tid}: pred_rmt[{p}] -> seq {seq} which does not produce p{p}"
+                );
+            }
+        }
+        for s in &self.iq {
+            let di = self.insts.get(s).unwrap_or_else(|| {
+                panic!("issue queue holds seq {s} which is no longer in flight")
+            });
+            assert!(
+                matches!(di.stage, Stage::InIq),
+                "issue queue holds seq {s} in stage {:?}",
+                di.stage
+            );
+        }
+    }
+
     fn flush_mem_stats(&mut self) {
         let (acc, miss, pf_hits) = self.hierarchy.l1d_stats();
         self.stats.l1d_accesses = acc;
         self.stats.l1d_misses = miss;
+        let (st_acc, st_miss) = self.hierarchy.l1d_store_stats();
+        self.stats.l1d_store_accesses = st_acc;
+        self.stats.l1d_store_misses = st_miss;
         self.stats.prefetch_hits = pf_hits;
         self.stats.l2_misses = self.hierarchy.l2_misses();
         self.stats.l3_misses = self.hierarchy.l3_misses();

@@ -75,6 +75,18 @@ impl SimContext {
                     if has_dst {
                         t.prf_used += 1;
                     }
+                    #[cfg(feature = "debug-invariants")]
+                    assert!(
+                        t.lq_used <= t.lq_cap && t.sq_used <= t.sq_cap && t.prf_used <= t.prf_cap,
+                        "tid {tid}: dispatch oversubscribed a partition \
+                         (lq {}/{}, sq {}/{}, prf {}/{})",
+                        t.lq_used,
+                        t.lq_cap,
+                        t.sq_used,
+                        t.sq_cap,
+                        t.prf_used,
+                        t.prf_cap
+                    );
                 }
                 if let Some(dst) = self.insts[&seq].inst.dst() {
                     self.threads[tid].rmt[dst.index()] = Some(seq);

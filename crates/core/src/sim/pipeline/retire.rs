@@ -50,6 +50,19 @@ impl<E: PreExecEngine> Pipeline<E> {
 
     fn finish_mt_retire(&mut self, di: DynInst) {
         let rec = di.rec;
+        #[cfg(feature = "debug-invariants")]
+        {
+            assert!(
+                di.seq > self.ctx.last_mt_retired_seq,
+                "MT retirement out of order: seq {} after {}",
+                di.seq,
+                self.ctx.last_mt_retired_seq
+            );
+            self.ctx.last_mt_retired_seq = di.seq;
+        }
+        if let Some(log) = self.ctx.retire_log.as_mut() {
+            log.push(rec);
+        }
         self.ctx.stats.mt_retired += 1;
         tlm::count(tlm::Counter::MtRetired);
 
@@ -233,14 +246,20 @@ impl<E: PreExecEngine> Pipeline<E> {
 impl SimContext {
     pub(super) fn release_resources(&mut self, tid: usize, di: &DynInst) {
         let t = &mut self.threads[tid];
-        if di.inst.is_load() {
-            t.lq_used = t.lq_used.saturating_sub(1);
-        }
-        if di.inst.is_store() {
-            t.sq_used = t.sq_used.saturating_sub(1);
-        }
-        if di.inst.dst().is_some() {
-            t.prf_used = t.prf_used.saturating_sub(1);
+        // LQ/SQ/PRF shares are allocated at dispatch, so a squashed
+        // instruction still in the frontend pipe holds none. Releasing it
+        // anyway would under-count live usage (the saturating_sub floors
+        // at zero) and let later dispatch oversubscribe the partition.
+        if !matches!(di.stage, Stage::Frontend) {
+            if di.inst.is_load() {
+                t.lq_used = t.lq_used.saturating_sub(1);
+            }
+            if di.inst.is_store() {
+                t.sq_used = t.sq_used.saturating_sub(1);
+            }
+            if di.inst.dst().is_some() {
+                t.prf_used = t.prf_used.saturating_sub(1);
+            }
         }
         // Repair RMT entries that point at this seq.
         for slot in t.rmt.iter_mut() {

@@ -57,6 +57,21 @@ impl<E: PreExecEngine> Pipeline<E> {
         self.ctx.trace.push_replay_front(recs.into_iter());
         self.ctx.threads[MT].blocking_branch = None;
         self.ctx.threads[MT].fetch_stall_until = self.ctx.cycle + 1;
+        #[cfg(feature = "debug-invariants")]
+        {
+            assert!(
+                !self
+                    .ctx
+                    .insts
+                    .values()
+                    .any(|d| d.tid == MT && d.seq >= from),
+                "MT squash from {from} left a younger MT instruction in flight"
+            );
+            assert!(
+                self.ctx.threads[MT].rmt.iter().flatten().all(|&s| s < from),
+                "MT squash from {from} left a stale rename entry"
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -132,6 +147,21 @@ impl<E: PreExecEngine> Pipeline<E> {
         }
         // Prediction-source state is gone; MT continues with the default
         // predictor.
+        #[cfg(feature = "debug-invariants")]
+        for tid in [HT_A, HT_B] {
+            let t = &self.ctx.threads[tid];
+            assert!(
+                t.rob.is_empty() && t.lq_used == 0 && t.sq_used == 0 && t.prf_used == 0,
+                "terminate left side thread {tid} holding resources"
+            );
+            // Removing every side instruction must have repaired both
+            // rename maps; a surviving entry would alias the *next*
+            // trigger's producers onto this epoch's squashed ones.
+            assert!(
+                t.rmt.iter().all(Option::is_none) && t.pred_rmt.iter().all(Option::is_none),
+                "terminate left side thread {tid} with stale rename/predicate-rename entries"
+            );
+        }
     }
 }
 

@@ -56,6 +56,30 @@ pub enum AluOp {
 }
 
 impl AluOp {
+    /// Every ALU operation, for exhaustive enumeration (instruction
+    /// generators, encoders, coverage checks).
+    pub const ALL: [AluOp; 19] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Divu,
+        AluOp::Rem,
+        AluOp::Remu,
+        AluOp::Addw,
+        AluOp::Subw,
+        AluOp::Mulw,
+        AluOp::Sllw,
+    ];
+
     /// Execution latency of the operation in cycles, used by the timing
     /// model ("simple ALU" vs. "complex ALU" lanes).
     pub fn latency(self) -> u32 {
@@ -135,6 +159,9 @@ pub enum MemWidth {
 }
 
 impl MemWidth {
+    /// Every access width, for exhaustive enumeration.
+    pub const ALL: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+
     /// The access size in bytes.
     pub fn bytes(self) -> u64 {
         match self {
@@ -164,6 +191,16 @@ pub enum BranchCond {
 }
 
 impl BranchCond {
+    /// Every branch condition, for exhaustive enumeration.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
     /// Evaluates the condition on two 64-bit operands.
     ///
     /// # Examples

@@ -99,6 +99,45 @@ impl Memory {
             self.write_u8(addr.wrapping_add(i as u64), *b);
         }
     }
+
+    /// Address and differing bytes `(addr, self_byte, other_byte)` of the
+    /// lowest-addressed difference between two memories, or `None` if they
+    /// hold identical contents.
+    ///
+    /// Pages resident in only one memory compare against zeros, so two
+    /// memories differing only in *touched-but-zero* pages are equal —
+    /// semantic equality, not representational.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use phelps_isa::Memory;
+    /// let mut a = Memory::new();
+    /// let b = Memory::new();
+    /// a.write_u8(0x2001, 0); // touched but still zero
+    /// assert_eq!(a.first_difference(&b), None);
+    /// a.write_u8(0x2001, 7);
+    /// assert_eq!(a.first_difference(&b), Some((0x2001, 7, 0)));
+    /// ```
+    pub fn first_difference(&self, other: &Memory) -> Option<(u64, u8, u8)> {
+        let mut page_ids: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        page_ids.sort_unstable();
+        page_ids.dedup();
+        const ZEROS: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+        for id in page_ids {
+            let a = self.pages.get(&id).map(|p| &p[..]).unwrap_or(&ZEROS);
+            let b = other.pages.get(&id).map(|p| &p[..]).unwrap_or(&ZEROS);
+            if let Some(off) = (0..PAGE_SIZE).find(|&i| a[i] != b[i]) {
+                return Some(((id << PAGE_SHIFT) + off as u64, a[off], b[off]));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +199,32 @@ mod tests {
         let mut mem = Memory::new();
         mem.write_bytes(0x500, &[1, 2, 3, 4]);
         assert_eq!(mem.read(0x500, MemWidth::W, false), 0x0403_0201);
+    }
+
+    #[test]
+    fn first_difference_finds_lowest_addressed_byte() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.first_difference(&b), None);
+        a.write_u64(0x9000, 0x0102_0304_0506_0708);
+        b.write_u64(0x9000, 0x0102_0304_0506_0708);
+        assert_eq!(a.first_difference(&b), None);
+        // Differ in two places; the lower address wins.
+        b.write_u8(0x9003, 0xaa);
+        a.write_u8(0xf000, 1);
+        assert_eq!(a.first_difference(&b), Some((0x9003, 0x05, 0xaa)));
+        assert_eq!(b.first_difference(&a), Some((0x9003, 0xaa, 0x05)));
+    }
+
+    #[test]
+    fn first_difference_treats_absent_pages_as_zero() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.write_u8(0x5000, 0); // resident page, all zeros
+        assert_eq!(a.first_difference(&b), None);
+        assert_eq!(b.first_difference(&a), None);
+        a.write_u8(0x5001, 3);
+        assert_eq!(b.first_difference(&a), Some((0x5001, 0, 3)));
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl LoopPredictor {
     pub fn predict(&self, pc: u64) -> Option<bool> {
         let e = &self.entries[self.index(pc)];
         if e.valid && e.tag == self.tag(pc) && e.confidence >= CONF_MAX && e.trip > 0 {
-            Some(e.spec_current + 1 < e.trip)
+            Some(e.spec_current.saturating_add(1) < e.trip)
         } else {
             None
         }
@@ -139,7 +139,10 @@ impl LoopPredictor {
             return;
         }
         if taken {
-            e.current += 1;
+            // Saturating: a pathologically long-running loop (no exit ever
+            // observed) must not wrap — or panic in debug builds — at 2^32
+            // iterations.
+            e.current = e.current.saturating_add(1);
             // A loop that exceeds the learned trip count invalidates it.
             if e.trip > 0 && e.current >= e.trip {
                 e.confidence = 0;
@@ -148,7 +151,7 @@ impl LoopPredictor {
             return;
         }
         // Loop exit: compare observed trip count with learned.
-        let observed = e.current + 1;
+        let observed = e.current.saturating_add(1);
         if e.trip == observed {
             e.confidence = (e.confidence + 1).min(CONF_MAX);
         } else {
@@ -230,6 +233,33 @@ mod tests {
     fn unallocated_pc_predicts_none() {
         let lp = LoopPredictor::new(64);
         assert_eq!(lp.predict(0xdead0), None);
+    }
+
+    #[test]
+    fn pathologically_long_loop_saturates_instead_of_overflowing() {
+        // A loop that never exits within the run keeps taking its backward
+        // branch; the retired iteration count must saturate, not wrap (a
+        // wrapping `+ 1` panics in debug builds at 2^32 iterations).
+        let mut lp = LoopPredictor::new(64);
+        let pc = 0x40u64;
+        lp.update(pc, false); // allocate the entry at a loop exit
+        let idx = lp.index(pc);
+        lp.entries[idx].current = u32::MAX - 1;
+        lp.entries[idx].spec_current = u32::MAX - 1;
+        lp.update(pc, true); // reaches u32::MAX
+        lp.update(pc, true); // would overflow without saturation
+        assert_eq!(lp.entries[idx].current, u32::MAX);
+        // The speculative path (and prediction off it) saturates too.
+        lp.speculate(pc, true);
+        lp.speculate(pc, true);
+        assert_eq!(lp.entries[idx].spec_current, u32::MAX);
+        lp.entries[idx].trip = 7;
+        lp.entries[idx].confidence = CONF_MAX;
+        assert_eq!(lp.predict(pc), Some(false), "saturated count exits");
+        // A real exit still retrains cleanly from the saturated state.
+        lp.update(pc, false);
+        assert_eq!(lp.entries[idx].current, 0);
+        assert_eq!(lp.entries[idx].trip, u32::MAX, "observed trip saturates");
     }
 
     #[test]

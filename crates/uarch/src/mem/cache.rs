@@ -6,6 +6,7 @@
 //! block and bound memory-level parallelism.
 
 use crate::config::CacheConfig;
+use crate::mem::AccessLevel;
 
 /// Result of probing one cache level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,6 +48,9 @@ struct Mshr {
     block: u64,
     /// Cycle at which the fill completes and the MSHR frees.
     done_cycle: u64,
+    /// Deepest level the in-flight fill travels to; merged accesses report
+    /// this level rather than guessing.
+    level: AccessLevel,
 }
 
 /// One cache level.
@@ -69,10 +73,15 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     mshrs: Vec<Mshr>,
     stamp: u64,
-    /// Demand accesses observed.
+    /// Demand (load) accesses observed.
     pub accesses: u64,
-    /// Demand misses observed.
+    /// Demand (load) misses observed.
     pub misses: u64,
+    /// Retired-store accesses observed (write-buffer refill traffic);
+    /// separate from `accesses` so load-MPKI is not inflated by stores.
+    pub store_accesses: u64,
+    /// Retired-store misses observed; separate from `misses`.
+    pub store_misses: u64,
     /// Demand hits on prefetched blocks (first touch).
     pub prefetch_hits: u64,
     /// Fills performed.
@@ -96,6 +105,8 @@ impl Cache {
             stamp: 0,
             accesses: 0,
             misses: 0,
+            store_accesses: 0,
+            store_misses: 0,
             prefetch_hits: 0,
             fills: 0,
             cfg,
@@ -120,12 +131,28 @@ impl Cache {
         (block & (self.sets.len() as u64 - 1)) as usize
     }
 
-    /// Probes for a demand access at `cycle`; counts statistics and updates
-    /// recency on a hit. Does **not** fill — the hierarchy calls
+    /// Probes for a demand (load) access at `cycle`; counts statistics and
+    /// updates recency on a hit. Does **not** fill — the hierarchy calls
     /// [`Cache::fill`] when the miss returns.
     pub fn probe(&mut self, addr: u64, cycle: u64) -> Probe {
+        self.probe_kind(addr, cycle, false)
+    }
+
+    /// Probes for a retired store. Identical tag-array behavior (recency
+    /// update, prefetched-flag clearing) to [`Cache::probe`], but counts
+    /// into `store_accesses`/`store_misses` so store refill traffic does
+    /// not inflate the demand counters that feed load-MPKI.
+    pub fn probe_store(&mut self, addr: u64, cycle: u64) -> Probe {
+        self.probe_kind(addr, cycle, true)
+    }
+
+    fn probe_kind(&mut self, addr: u64, cycle: u64, store: bool) -> Probe {
         let _ = cycle;
-        self.accesses += 1;
+        if store {
+            self.store_accesses += 1;
+        } else {
+            self.accesses += 1;
+        }
         let block = self.block_of(addr);
         let set = self.set_of(block);
         self.stamp += 1;
@@ -142,7 +169,11 @@ impl Cache {
                 };
             }
         }
-        self.misses += 1;
+        if store {
+            self.store_misses += 1;
+        } else {
+            self.misses += 1;
+        }
         Probe::Miss
     }
 
@@ -183,9 +214,16 @@ impl Cache {
     }
 
     /// Tries to allocate (or merge into) an MSHR for a miss on `addr` whose
-    /// fill completes at `done_cycle`. Returns `false` when all MSHRs are
-    /// busy — the access must retry later, modeling bounded MLP.
-    pub fn mshr_allocate(&mut self, addr: u64, now: u64, done_cycle: u64) -> bool {
+    /// fill completes at `done_cycle` from `level`. Returns `false` when
+    /// all MSHRs are busy — the access must retry later, modeling bounded
+    /// MLP.
+    pub fn mshr_allocate(
+        &mut self,
+        addr: u64,
+        now: u64,
+        done_cycle: u64,
+        level: AccessLevel,
+    ) -> bool {
         self.mshrs.retain(|m| m.done_cycle > now);
         let block = self.block_of(addr);
         if self.mshrs.iter().any(|m| m.block == block) {
@@ -194,19 +232,31 @@ impl Cache {
         if self.mshrs.len() >= self.cfg.mshrs as usize {
             return false;
         }
-        self.mshrs.push(Mshr { block, done_cycle });
+        self.mshrs.push(Mshr {
+            block,
+            done_cycle,
+            level,
+        });
+        #[cfg(feature = "debug-invariants")]
+        assert!(
+            self.mshrs.len() <= self.cfg.mshrs as usize,
+            "MSHR invariant: {} in flight exceeds configured {}",
+            self.mshrs.len(),
+            self.cfg.mshrs
+        );
         true
     }
 
     /// If a miss to `addr`'s block is already outstanding, the cycle its
-    /// fill completes (for merging loads onto an in-flight miss).
-    pub fn mshr_pending(&mut self, addr: u64, now: u64) -> Option<u64> {
+    /// fill completes and the level it is being served from (for merging
+    /// loads onto an in-flight miss).
+    pub fn mshr_pending(&mut self, addr: u64, now: u64) -> Option<(u64, AccessLevel)> {
         self.mshrs.retain(|m| m.done_cycle > now);
         let block = self.block_of(addr);
         self.mshrs
             .iter()
             .find(|m| m.block == block)
-            .map(|m| m.done_cycle)
+            .map(|m| (m.done_cycle, m.level))
     }
 
     /// Number of MSHRs currently in use.
@@ -295,22 +345,41 @@ mod tests {
     #[test]
     fn mshrs_bound_outstanding_misses() {
         let mut c = small(); // 2 MSHRs
-        assert!(c.mshr_allocate(0x000, 0, 100));
-        assert!(c.mshr_allocate(0x040, 0, 100));
-        assert!(!c.mshr_allocate(0x080, 0, 100), "third miss blocked");
+        assert!(c.mshr_allocate(0x000, 0, 100, AccessLevel::L2));
+        assert!(c.mshr_allocate(0x040, 0, 100, AccessLevel::L2));
+        assert!(
+            !c.mshr_allocate(0x080, 0, 100, AccessLevel::L2),
+            "third miss blocked"
+        );
         // Same-block miss merges without a new MSHR.
-        assert!(c.mshr_allocate(0x001, 0, 100));
+        assert!(c.mshr_allocate(0x001, 0, 100, AccessLevel::L2));
         // After fills complete, MSHRs free.
-        assert!(c.mshr_allocate(0x080, 101, 200));
+        assert!(c.mshr_allocate(0x080, 101, 200, AccessLevel::L2));
     }
 
     #[test]
-    fn mshr_pending_reports_fill_time() {
+    fn mshr_pending_reports_fill_time_and_level() {
         let mut c = small();
-        assert!(c.mshr_allocate(0x40, 0, 77));
-        assert_eq!(c.mshr_pending(0x40, 1), Some(77));
+        assert!(c.mshr_allocate(0x40, 0, 77, AccessLevel::Dram));
+        assert_eq!(c.mshr_pending(0x40, 1), Some((77, AccessLevel::Dram)));
         assert_eq!(c.mshr_pending(0x40, 78), None);
         assert_eq!(c.mshr_pending(0x80, 1), None);
+    }
+
+    #[test]
+    fn store_probe_counts_separately_but_behaves_identically() {
+        let mut c = small();
+        assert_eq!(c.probe_store(0x100, 0), Probe::Miss);
+        c.fill(0x100, false, 0);
+        assert!(matches!(c.probe_store(0x100, 1), Probe::Hit { .. }));
+        assert_eq!((c.accesses, c.misses), (0, 0), "demand counters untouched");
+        assert_eq!((c.store_accesses, c.store_misses), (2, 1));
+        // A store touch still refreshes recency: 0x100 survives the next
+        // same-set fill pair while the untouched block is evicted.
+        c.fill(0x200, false, 2);
+        let _ = c.probe_store(0x100, 3);
+        c.fill(0x300, false, 4); // evicts LRU = 0x200
+        assert!(c.contains(0x100) && !c.contains(0x200));
     }
 
     #[test]

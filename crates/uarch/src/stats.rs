@@ -44,10 +44,15 @@ pub struct SimStats {
     pub triggers: u64,
     /// Helper-thread termination events.
     pub terminations: u64,
-    /// L1D accesses / misses (demand).
+    /// L1D accesses / misses (demand loads only).
     pub l1d_accesses: u64,
-    /// L1D demand misses.
+    /// L1D demand-load misses.
     pub l1d_misses: u64,
+    /// L1D retired-store accesses (write-buffer refill traffic), counted
+    /// apart from demand loads so they never inflate load-MPKI.
+    pub l1d_store_accesses: u64,
+    /// L1D retired-store misses.
+    pub l1d_store_misses: u64,
     /// L2 demand misses.
     pub l2_misses: u64,
     /// L3 demand misses.

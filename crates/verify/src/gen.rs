@@ -1,0 +1,562 @@
+//! Seeded random guest-program generator.
+//!
+//! A [`ProgramSpec`] is a small tree of [`GenOp`]s plus the seed-derived
+//! initial register/memory contents; [`build`] lowers it to a prepared
+//! [`Cpu`]. Every generated program is **guaranteed to halt**: the only
+//! backward branches are the outer counted loop on `s0` and inner counted
+//! loops on `s1`, and random operations can never write the structural
+//! registers (the operand pool excludes them), so the counters always
+//! reach zero.
+//!
+//! The generator covers the full ISA subset the pipeline models: every
+//! [`AluOp`] (including the W-forms and the RISC-V-total divide/remainder
+//! ops), loads and stores of every [`MemWidth`] with both extensions,
+//! every [`BranchCond`], `jal` (both as `j` over never-taken code and as
+//! `call`), and `jalr` (as `ret` from leaf functions).
+
+use phelps_isa::{AluOp, Asm, BranchCond, Cpu, MemWidth, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the data region all generated loads/stores hit.
+pub const DATA_BASE: u64 = 0x10_0000;
+/// Size of the data region in bytes (power of two; used as an address mask).
+pub const DATA_SIZE: u64 = 0x1000;
+
+/// Registers random operations draw operands and destinations from.
+///
+/// The structural registers are excluded so random writes can never derail
+/// the control skeleton: `s0` (outer-loop counter), `s1` (inner-loop
+/// counter), `s11` (data-region base), `t6` (address temporary), `ra`
+/// (link register for generated calls).
+pub const POOL: [Reg; 16] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+];
+
+/// Immediate-form ALU operations the generator emits. `Sub` has no
+/// immediate form in RV64 (negative `addi` covers it); the divide and
+/// remainder families are register-register only.
+pub const IMM_OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Addw,
+    AluOp::Sllw,
+];
+
+/// One generator operation. Register fields are indices into [`POOL`];
+/// `op`/`width`/`cond` fields index [`AluOp::ALL`], [`IMM_OPS`],
+/// [`MemWidth::ALL`] and [`BranchCond::ALL`] respectively, which keeps
+/// every possible field value valid — the shrinker never has to re-check
+/// well-formedness.
+#[derive(Clone, Debug)]
+pub enum GenOp {
+    /// Register-register ALU operation over the pool.
+    Alu {
+        /// Index into [`AluOp::ALL`].
+        op: u8,
+        /// Destination pool index.
+        rd: u8,
+        /// First source pool index.
+        rs1: u8,
+        /// Second source pool index.
+        rs2: u8,
+    },
+    /// Register-immediate ALU operation over the pool.
+    AluImm {
+        /// Index into [`IMM_OPS`].
+        op: u8,
+        /// Destination pool index.
+        rd: u8,
+        /// Source pool index.
+        rs1: u8,
+        /// Immediate (shift ops: `0..=63`; others: 12-bit signed range).
+        imm: i32,
+    },
+    /// Materialize a random 64-bit constant.
+    Li {
+        /// Destination pool index.
+        rd: u8,
+        /// The constant.
+        imm: i64,
+    },
+    /// Masked, aligned load from the data region (expands to an address
+    /// computation into `t6` plus the load itself).
+    Load {
+        /// Index into [`MemWidth::ALL`].
+        width: u8,
+        /// Sign- vs. zero-extending.
+        signed: bool,
+        /// Destination pool index.
+        rd: u8,
+        /// Pool index of the register supplying address entropy.
+        addr: u8,
+    },
+    /// Masked, aligned store to the data region.
+    Store {
+        /// Index into [`MemWidth::ALL`].
+        width: u8,
+        /// Pool index of the data source.
+        src: u8,
+        /// Pool index of the register supplying address entropy.
+        addr: u8,
+    },
+    /// Forward conditional branch over `body` (data-dependent, so it
+    /// exercises the branch predictor and squash paths).
+    Skip {
+        /// Index into [`BranchCond::ALL`].
+        cond: u8,
+        /// First compare source (pool index).
+        rs1: u8,
+        /// Second compare source (pool index).
+        rs2: u8,
+        /// Ops skipped when the branch is taken.
+        body: Vec<GenOp>,
+    },
+    /// Unconditional forward jump over `body` (`jal zero`; the body is
+    /// fetched speculatively but never executed).
+    Jump {
+        /// The never-executed ops.
+        body: Vec<GenOp>,
+    },
+    /// Counted loop on `s1`. Generated only outside functions and outside
+    /// other inner loops, so the counter is never clobbered.
+    InnerLoop {
+        /// Trip count (`1..=6`).
+        trips: u8,
+        /// The loop body.
+        body: Vec<GenOp>,
+    },
+    /// Call to a leaf function emitted past the `halt` (`jal ra` +
+    /// `jalr` return). Function bodies contain no calls or inner loops.
+    Call {
+        /// The function body.
+        body: Vec<GenOp>,
+    },
+}
+
+/// A complete generated program: seed (for memory-image derivation and
+/// replay reporting), outer-loop trip count, initial pool-register values,
+/// and the operation tree.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    /// The seed this spec was generated from.
+    pub seed: u64,
+    /// Outer-loop trip count (`1..=16`).
+    pub outer_iters: u8,
+    /// Initial values `li`-ed into the pool registers by the prologue.
+    pub init: [u64; POOL.len()],
+    /// Top-level operations, executed once per outer iteration.
+    pub ops: Vec<GenOp>,
+}
+
+/// Structural context during generation, enforcing the halting and
+/// register-discipline constraints.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Forward-branch nesting depth (capped at 2).
+    depth: u8,
+    /// Inside a leaf-function body (no calls, no inner loops).
+    in_fn: bool,
+    /// Inside an inner loop (no nested inner loops — `s1` is shared).
+    in_loop: bool,
+}
+
+fn gen_body(rng: &mut SmallRng, ctx: Ctx) -> Vec<GenOp> {
+    let n = rng.gen_range(1usize..=4);
+    (0..n).map(|_| gen_op(rng, ctx)).collect()
+}
+
+fn gen_op(rng: &mut SmallRng, ctx: Ctx) -> GenOp {
+    let reg = |rng: &mut SmallRng| rng.gen_range(0u8..POOL.len() as u8);
+    loop {
+        match rng.gen_range(0u8..12) {
+            0 | 1 => {
+                return GenOp::Alu {
+                    op: rng.gen_range(0..AluOp::ALL.len() as u8),
+                    rd: reg(rng),
+                    rs1: reg(rng),
+                    rs2: reg(rng),
+                }
+            }
+            2 => {
+                let op = rng.gen_range(0..IMM_OPS.len() as u8);
+                let imm = match IMM_OPS[op as usize] {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra | AluOp::Sllw => rng.gen_range(0..=63),
+                    _ => rng.gen_range(-2048..=2047),
+                };
+                return GenOp::AluImm {
+                    op,
+                    rd: reg(rng),
+                    rs1: reg(rng),
+                    imm,
+                };
+            }
+            3 => {
+                return GenOp::Li {
+                    rd: reg(rng),
+                    imm: rng.gen(),
+                }
+            }
+            4 | 5 => {
+                return GenOp::Load {
+                    width: rng.gen_range(0..MemWidth::ALL.len() as u8),
+                    signed: rng.gen_bool(0.5),
+                    rd: reg(rng),
+                    addr: reg(rng),
+                }
+            }
+            6 => {
+                return GenOp::Store {
+                    width: rng.gen_range(0..MemWidth::ALL.len() as u8),
+                    src: reg(rng),
+                    addr: reg(rng),
+                }
+            }
+            7 | 8 if ctx.depth < 2 => {
+                return GenOp::Skip {
+                    cond: rng.gen_range(0..BranchCond::ALL.len() as u8),
+                    rs1: reg(rng),
+                    rs2: reg(rng),
+                    body: gen_body(
+                        rng,
+                        Ctx {
+                            depth: ctx.depth + 1,
+                            ..ctx
+                        },
+                    ),
+                }
+            }
+            9 if ctx.depth < 2 => {
+                return GenOp::Jump {
+                    body: gen_body(
+                        rng,
+                        Ctx {
+                            depth: ctx.depth + 1,
+                            ..ctx
+                        },
+                    ),
+                }
+            }
+            10 if ctx.depth == 0 && !ctx.in_fn && !ctx.in_loop => {
+                return GenOp::InnerLoop {
+                    trips: rng.gen_range(1..=6),
+                    body: gen_body(
+                        rng,
+                        Ctx {
+                            in_loop: true,
+                            ..ctx
+                        },
+                    ),
+                }
+            }
+            11 if !ctx.in_fn => {
+                return GenOp::Call {
+                    body: gen_body(
+                        rng,
+                        Ctx {
+                            depth: 0,
+                            in_fn: true,
+                            in_loop: ctx.in_loop,
+                        },
+                    ),
+                }
+            }
+            _ => {} // variant not allowed in this context; redraw
+        }
+    }
+}
+
+/// Generates the program spec for `seed`, deterministically.
+pub fn generate(seed: u64) -> ProgramSpec {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut init = [0u64; POOL.len()];
+    for v in init.iter_mut() {
+        *v = rng.gen();
+    }
+    let n = rng.gen_range(4usize..=12);
+    let ctx = Ctx {
+        depth: 0,
+        in_fn: false,
+        in_loop: false,
+    };
+    let ops = (0..n).map(|_| gen_op(&mut rng, ctx)).collect();
+    ProgramSpec {
+        seed,
+        outer_iters: rng.gen_range(1..=16),
+        init,
+        ops,
+    }
+}
+
+/// Assembly emitter: lowers [`GenOp`]s, allocating fresh labels and
+/// deferring leaf-function bodies until after the `halt`.
+struct Emitter {
+    label: u32,
+    fns: Vec<(String, Vec<GenOp>)>,
+}
+
+impl Emitter {
+    fn fresh(&mut self, stem: &str) -> String {
+        self.label += 1;
+        format!("{stem}{}", self.label)
+    }
+
+    /// `t6 = DATA_BASE + (pool[src] & region_mask & width_alignment)`.
+    fn addr_into_t6(&mut self, a: &mut Asm, src: u8, w: MemWidth) {
+        let mask = (DATA_SIZE - 1) as i32 & !((w.bytes() - 1) as i32);
+        a.andi(Reg::T6, POOL[src as usize], mask);
+        a.add(Reg::T6, Reg::S11, Reg::T6);
+    }
+
+    fn emit(&mut self, a: &mut Asm, op: &GenOp) {
+        match op {
+            GenOp::Alu { op, rd, rs1, rs2 } => {
+                a.alu(
+                    AluOp::ALL[*op as usize],
+                    POOL[*rd as usize],
+                    POOL[*rs1 as usize],
+                    POOL[*rs2 as usize],
+                );
+            }
+            GenOp::AluImm { op, rd, rs1, imm } => {
+                a.alui(
+                    IMM_OPS[*op as usize],
+                    POOL[*rd as usize],
+                    POOL[*rs1 as usize],
+                    *imm,
+                );
+            }
+            GenOp::Li { rd, imm } => {
+                a.li(POOL[*rd as usize], *imm);
+            }
+            GenOp::Load {
+                width,
+                signed,
+                rd,
+                addr,
+            } => {
+                let w = MemWidth::ALL[*width as usize];
+                self.addr_into_t6(a, *addr, w);
+                a.load(w, *signed, POOL[*rd as usize], Reg::T6, 0);
+            }
+            GenOp::Store { width, src, addr } => {
+                let w = MemWidth::ALL[*width as usize];
+                self.addr_into_t6(a, *addr, w);
+                a.store(w, POOL[*src as usize], Reg::T6, 0);
+            }
+            GenOp::Skip {
+                cond,
+                rs1,
+                rs2,
+                body,
+            } => {
+                let l = self.fresh("skip");
+                a.branch(
+                    BranchCond::ALL[*cond as usize],
+                    POOL[*rs1 as usize],
+                    POOL[*rs2 as usize],
+                    &l,
+                );
+                for op in body {
+                    self.emit(a, op);
+                }
+                a.label(&l);
+            }
+            GenOp::Jump { body } => {
+                let l = self.fresh("jump");
+                a.j(&l);
+                for op in body {
+                    self.emit(a, op);
+                }
+                a.label(&l);
+            }
+            GenOp::InnerLoop { trips, body } => {
+                let l = self.fresh("loop");
+                a.li(Reg::S1, *trips as i64);
+                a.label(&l);
+                for op in body {
+                    self.emit(a, op);
+                }
+                a.addi(Reg::S1, Reg::S1, -1);
+                a.bne(Reg::S1, Reg::ZERO, &l);
+            }
+            GenOp::Call { body } => {
+                let f = self.fresh("fn");
+                a.call(&f);
+                self.fns.push((f, body.clone()));
+            }
+        }
+    }
+}
+
+/// Lowers a spec to a prepared [`Cpu`]: assembled program plus the
+/// seed-derived data-region contents. Registers are initialized by the
+/// emitted `li` prologue (not by `set_reg`), so the pipeline's retire-time
+/// register file is comparable against the emulator's over all 32
+/// registers.
+pub fn build(spec: &ProgramSpec) -> Cpu {
+    let mut a = Asm::new(0x1000);
+    let mut e = Emitter {
+        label: 0,
+        fns: Vec::new(),
+    };
+    a.li(Reg::S11, DATA_BASE as i64);
+    for (i, r) in POOL.iter().enumerate() {
+        a.li(*r, spec.init[i] as i64);
+    }
+    a.li(Reg::S0, spec.outer_iters as i64);
+    a.label("outer");
+    for op in &spec.ops {
+        e.emit(&mut a, op);
+    }
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bne(Reg::S0, Reg::ZERO, "outer");
+    a.halt();
+    // Leaf functions live past the halt. Their bodies cannot contain
+    // further calls, so this loop never grows `fns` while draining it.
+    let fns = std::mem::take(&mut e.fns);
+    for (name, body) in &fns {
+        a.label(name);
+        for op in body {
+            e.emit(&mut a, op);
+        }
+        a.ret();
+    }
+    assert!(e.fns.is_empty(), "leaf function emitted a nested call");
+    let mut cpu = Cpu::new(a.assemble().expect("generated program assembles"));
+    let mut mrng = SmallRng::seed_from_u64(spec.seed ^ 0x5bf0_3635_9ab1_e021);
+    for i in 0..(DATA_SIZE / 8) {
+        cpu.mem.write_u64(DATA_BASE + i * 8, mrng.gen());
+    }
+    cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32u64 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert_eq!(
+                build(&a).program().len(),
+                build(&b).program().len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_generated_program_halts() {
+        for seed in 0..64u64 {
+            let mut cpu = build(&generate(seed));
+            cpu.run(crate::diff::EMU_BOUND).expect("no emulator fault");
+            assert!(cpu.is_halted(), "seed {seed}: program did not halt");
+        }
+    }
+
+    /// Walks the op tree collecting which ISA features a spec exercises.
+    fn coverage(
+        ops: &[GenOp],
+        alu: &mut [bool; 19],
+        widths: &mut [bool; 4],
+        conds: &mut [bool; 6],
+    ) {
+        for op in ops {
+            match op {
+                GenOp::Alu { op, .. } => alu[*op as usize] = true,
+                GenOp::Load { width, .. } | GenOp::Store { width, .. } => {
+                    widths[*width as usize] = true
+                }
+                GenOp::Skip { cond, body, .. } => {
+                    conds[*cond as usize] = true;
+                    coverage(body, alu, widths, conds);
+                }
+                GenOp::Jump { body } | GenOp::InnerLoop { body, .. } | GenOp::Call { body } => {
+                    coverage(body, alu, widths, conds)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn seed_sweep_covers_the_full_isa_subset() {
+        let (mut alu, mut widths, mut conds) = ([false; 19], [false; 4], [false; 6]);
+        let (mut calls, mut loops) = (false, false);
+        for seed in 0..300u64 {
+            let spec = generate(seed);
+            coverage(&spec.ops, &mut alu, &mut widths, &mut conds);
+            fn walk(ops: &[GenOp], calls: &mut bool, loops: &mut bool) {
+                for op in ops {
+                    match op {
+                        GenOp::Call { body } => {
+                            *calls = true;
+                            walk(body, calls, loops);
+                        }
+                        GenOp::InnerLoop { body, .. } => {
+                            *loops = true;
+                            walk(body, calls, loops);
+                        }
+                        GenOp::Skip { body, .. } | GenOp::Jump { body } => walk(body, calls, loops),
+                        _ => {}
+                    }
+                }
+            }
+            walk(&spec.ops, &mut calls, &mut loops);
+        }
+        assert!(alu.iter().all(|c| *c), "ALU op coverage gap: {alu:?}");
+        assert!(widths.iter().all(|c| *c), "width coverage gap: {widths:?}");
+        assert!(conds.iter().all(|c| *c), "cond coverage gap: {conds:?}");
+        assert!(calls, "no calls generated across the sweep");
+        assert!(loops, "no inner loops generated across the sweep");
+    }
+
+    #[test]
+    fn loads_and_stores_stay_inside_the_data_region() {
+        for seed in 0..32u64 {
+            let mut cpu = build(&generate(seed));
+            while !cpu.is_halted() {
+                let rec = cpu.step().expect("no emulator fault");
+                if rec.inst.is_load() || rec.inst.is_store() {
+                    assert!(
+                        (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&rec.mem_addr),
+                        "seed {seed}: access at {:#x} escapes the data region",
+                        rec.mem_addr
+                    );
+                    let bytes = match rec.inst {
+                        phelps_isa::Inst::Load { width, .. }
+                        | phelps_isa::Inst::Store { width, .. } => width.bytes(),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(rec.mem_addr % bytes, 0, "seed {seed}: misaligned access");
+                }
+            }
+        }
+    }
+}

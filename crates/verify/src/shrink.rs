@@ -1,0 +1,212 @@
+//! Delta-debugging shrinker for failing [`ProgramSpec`]s.
+//!
+//! The vendored `proptest` stub has no shrinking, so minimization is done
+//! here, directly on the generator's op tree. Every shrink move preserves
+//! the generator's structural invariants (counted loops only, pool-only
+//! operands, leaf functions), so every candidate is still guaranteed to
+//! halt and only needs re-checking against the differential oracle:
+//!
+//! * reduce the outer-loop trip count to 1;
+//! * remove contiguous chunks of top-level ops (classic ddmin halving);
+//! * anywhere in the tree: reduce an inner loop's trip count to 1, or
+//!   replace a compound op (`Skip`/`Jump`/`InnerLoop`/`Call`) with its
+//!   body spliced inline.
+//!
+//! Passes repeat until a fixpoint or until the evaluation budget runs
+//! out; the result is the smallest still-failing spec found.
+
+use crate::diff::check_cpu;
+use crate::gen::{build, GenOp, ProgramSpec};
+
+/// Maximum number of candidate evaluations (each one re-runs the full
+/// differential check); bounds shrink time on pathological failures.
+const BUDGET: usize = 400;
+
+fn still_fails(spec: &ProgramSpec, budget: &mut usize) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    check_cpu(&build(spec)).is_err()
+}
+
+/// Applies the `target`-th structural simplification in a pre-order walk
+/// of the tree; returns whether a site was found and rewritten.
+fn simplify_in(ops: &mut Vec<GenOp>, k: &mut usize, target: usize) -> bool {
+    let mut i = 0;
+    while i < ops.len() {
+        let compound = matches!(
+            ops[i],
+            GenOp::Skip { .. } | GenOp::Jump { .. } | GenOp::InnerLoop { .. } | GenOp::Call { .. }
+        );
+        if compound {
+            if *k == target {
+                match ops.remove(i) {
+                    GenOp::InnerLoop { trips, body } if trips > 1 => {
+                        ops.insert(i, GenOp::InnerLoop { trips: 1, body });
+                    }
+                    GenOp::Skip { body, .. }
+                    | GenOp::Jump { body }
+                    | GenOp::InnerLoop { body, .. }
+                    | GenOp::Call { body } => {
+                        for (j, b) in body.into_iter().enumerate() {
+                            ops.insert(i + j, b);
+                        }
+                    }
+                    _ => unreachable!("matched compound above"),
+                }
+                return true;
+            }
+            *k += 1;
+            let body = match &mut ops[i] {
+                GenOp::Skip { body, .. }
+                | GenOp::Jump { body }
+                | GenOp::InnerLoop { body, .. }
+                | GenOp::Call { body } => body,
+                _ => unreachable!("matched compound above"),
+            };
+            if simplify_in(body, k, target) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn count_sites(ops: &[GenOp]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            GenOp::Skip { body, .. }
+            | GenOp::Jump { body }
+            | GenOp::InnerLoop { body, .. }
+            | GenOp::Call { body } => 1 + count_sites(body),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Total op count, for reporting and progress checks.
+pub fn size(ops: &[GenOp]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            GenOp::Skip { body, .. }
+            | GenOp::Jump { body }
+            | GenOp::InnerLoop { body, .. }
+            | GenOp::Call { body } => 1 + size(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Minimizes a failing spec. The input must fail [`check_cpu`]; the
+/// output is a (usually much smaller) spec that still fails it.
+pub fn shrink(spec: &ProgramSpec) -> ProgramSpec {
+    let mut cur = spec.clone();
+    let mut budget = BUDGET;
+    loop {
+        let mut progressed = false;
+        if cur.outer_iters > 1 {
+            let mut c = cur.clone();
+            c.outer_iters = 1;
+            if still_fails(&c, &mut budget) {
+                cur = c;
+                progressed = true;
+            }
+        }
+        // ddmin over top-level ops: halve the chunk size until singletons.
+        let mut chunk = (cur.ops.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.ops.len() {
+                let mut c = cur.clone();
+                let end = (i + chunk).min(c.ops.len());
+                c.ops.drain(i..end);
+                if !c.ops.is_empty() && still_fails(&c, &mut budget) {
+                    cur = c;
+                    progressed = true;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Structural simplifications anywhere in the tree. Sites shift as
+        // rewrites land, so re-enumerate from the current spec each time.
+        let mut target = 0;
+        while target < count_sites(&cur.ops) {
+            let mut c = cur.clone();
+            let mut k = 0;
+            if simplify_in(&mut c.ops, &mut k, target) && still_fails(&c, &mut budget) {
+                cur = c;
+                progressed = true;
+            } else {
+                target += 1;
+            }
+        }
+        if !progressed || budget == 0 {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::reference_trace;
+    use crate::gen::generate;
+
+    /// Every structural simplification of a generated spec must itself be
+    /// a valid, halting program — shrink moves can never leave the
+    /// generator's language.
+    #[test]
+    fn every_simplification_candidate_still_halts() {
+        for seed in 0..24u64 {
+            let spec = generate(seed);
+            let sites = count_sites(&spec.ops);
+            for target in 0..sites {
+                let mut c = spec.clone();
+                let mut k = 0;
+                assert!(
+                    simplify_in(&mut c.ops, &mut k, target),
+                    "seed {seed}: site {target} of {sites} not found"
+                );
+                let (_, emu) = reference_trace(&build(&c)); // asserts halt
+                assert!(emu.is_halted());
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_never_grows_the_tree() {
+        for seed in 0..24u64 {
+            let spec = generate(seed);
+            for target in 0..count_sites(&spec.ops) {
+                let mut c = spec.clone();
+                let mut k = 0;
+                simplify_in(&mut c.ops, &mut k, target);
+                assert!(
+                    size(&c.ops) <= size(&spec.ops),
+                    "seed {seed}: site {target} grew the tree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_removal_preserves_halting() {
+        for seed in 0..12u64 {
+            let spec = generate(seed);
+            if spec.ops.len() < 2 {
+                continue;
+            }
+            let mut c = spec.clone();
+            c.ops.drain(0..spec.ops.len() / 2);
+            let (_, emu) = reference_trace(&build(&c));
+            assert!(emu.is_halted());
+        }
+    }
+}

@@ -16,6 +16,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> differential fuzz (200 programs, fixed seed, debug-invariants)"
+# Seeded and therefore deterministic run-to-run; PHELPS_FUZZ_SEED=<seed>
+# replays a reported failure (see crates/verify). The feature compiles the
+# pipeline's per-cycle microarchitectural assertions into the fuzzed runs.
+cargo run --release -q -p phelps-verify --features debug-invariants \
+    --bin phelps-fuzz -- 200
+
+echo "==> workload halt check (release; ~290M emulated instructions)"
+cargo test --release -q -p phelps-repro --test workload_differential \
+    -- --ignored
+
 echo "==> runner smoke test (2-cell matrix, 2 workers, then warm cache)"
 cargo build --release -q -p phelps-bench --bin fig11
 smoke_cache=$(mktemp -d)

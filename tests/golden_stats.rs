@@ -1,9 +1,19 @@
 //! Golden statistics pinning the simulator's cycle-level behavior.
 //!
-//! These exact values were captured on the astar_small kernel before the
-//! pipeline stage decomposition (`crates/core/src/sim/pipeline/`). Any
-//! refactor of the pipeline must keep them bit-identical: a drift here
-//! means the stage split changed timing behavior, not just code layout.
+//! These exact values were captured on the astar_small kernel after the
+//! pipeline stage decomposition (`crates/core/src/sim/pipeline/`) and
+//! re-pinned once for the memory-hierarchy accounting fixes:
+//!
+//! * the store-counter split moved retired-store refill traffic out of
+//!   `l1d_accesses`/`l1d_misses` into `l1d_store_*` (counters only — it
+//!   was verified to leave every cycle count bit-identical);
+//! * training the L1 prefetcher on MSHR-merged demand accesses (which the
+//!   old merge early-return skipped) is a behavioral fix and legitimately
+//!   moved the cycle counts (baseline 152_783 → 152_471, Phelps
+//!   149_493 → 149_181).
+//!
+//! Any further change must keep these bit-identical: a drift here means
+//! timing behavior changed, not just code layout.
 
 use phelps_repro::prelude::*;
 
@@ -17,11 +27,15 @@ fn cfg(mode: Mode) -> RunConfig {
 #[test]
 fn golden_baseline_astar_small() {
     let r = simulate(suite::astar_small().cpu, &cfg(Mode::Baseline));
-    assert_eq!(r.stats.cycles, 152_783, "baseline cycles drifted");
+    assert_eq!(r.stats.cycles, 152_471, "baseline cycles drifted");
     assert_eq!(r.stats.mt_retired, 200_000);
     assert_eq!(r.stats.mt_cond_branches, 24_837);
-    assert_eq!(r.stats.mt_mispredicts, 4_196);
-    assert_eq!(r.stats.l1d_misses, 971);
+    assert_eq!(r.stats.mt_mispredicts, 4_197);
+    assert_eq!(r.stats.l1d_misses, 935);
+    // Store refill traffic is counted apart from demand loads; the kernel
+    // retires stores, so the split counters must be populated.
+    assert!(r.stats.l1d_store_accesses > 0);
+    assert!(r.stats.l1d_store_misses <= r.stats.l1d_store_accesses);
 }
 
 #[test]
@@ -30,10 +44,10 @@ fn golden_phelps_full_astar_small() {
         suite::astar_small().cpu,
         &cfg(Mode::Phelps(PhelpsFeatures::full())),
     );
-    assert_eq!(r.stats.cycles, 149_493, "phelps cycles drifted");
-    assert_eq!(r.stats.mt_mispredicts, 3_657);
+    assert_eq!(r.stats.cycles, 149_181, "phelps cycles drifted");
+    assert_eq!(r.stats.mt_mispredicts, 3_658);
     assert_eq!(r.stats.ht_retired, 61_003);
     assert_eq!(r.stats.triggers, 36);
     assert_eq!(r.stats.preds_from_queue, 3_310);
-    assert_eq!(r.stats.l1d_misses, 994);
+    assert_eq!(r.stats.l1d_misses, 957);
 }
