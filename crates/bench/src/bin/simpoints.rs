@@ -8,9 +8,16 @@
 
 use phelps::sim::{Mode, PhelpsFeatures};
 use phelps_bench::runner::{parse_cli, Experiment};
-use phelps_bench::{exp_config, print_table, run_region};
+use phelps_bench::{ckpt_support, exp_config, print_table, run_simpoint_region};
 use phelps_workloads::simpoints::{select_simpoints, SimPoint, SimPointConfig};
 use phelps_workloads::suite;
+
+fn make_workload(workload: &str) -> phelps_isa::Cpu {
+    match workload {
+        "astar" => suite::astar().cpu,
+        _ => suite::bfs().cpu,
+    }
+}
 
 fn region_cell(
     exp: &mut Experiment,
@@ -21,25 +28,11 @@ fn region_cell(
     mode: Mode,
 ) {
     let cfg = exp_config(mode.clone());
-    let make = move || match workload {
-        "astar" => suite::astar().cpu,
-        _ => suite::bfs().cpu,
-    };
     exp.cell(
         workload,
         &format!("{prefix}@p{index}"),
         format!("{cfg:?}|skip={}", p.start_inst),
-        move || match run_region(make(), p.start_inst, mode) {
-            Ok(r) => Some(r),
-            Err(e) => {
-                eprintln!(
-                    "warning: skipping simpoint at inst {} (weight {:.3}): \
-                     fast-forward failed: {e}",
-                    p.start_inst, p.weight
-                );
-                None
-            }
-        },
+        move || run_simpoint_region(workload, make_workload(workload), &p, mode),
     );
 }
 
@@ -52,14 +45,19 @@ fn main() {
     };
     let profile = 4_000_000;
 
-    // Sequential profiling pass: pick each workload's regions.
+    // Sequential profiling pass: pick each workload's regions, then
+    // capture any missing region checkpoints in one forward pass per
+    // workload so the parallel timing cells restore instead of each
+    // re-fast-forwarding from instruction 0.
     let mut points: Vec<(&'static str, Vec<SimPoint>)> = Vec::new();
     for name in ["astar", "bfs"] {
-        let cpu = match name {
-            "astar" => suite::astar().cpu,
-            _ => suite::bfs().cpu,
-        };
-        points.push((name, select_simpoints(cpu, profile, &spcfg)));
+        let pts = select_simpoints(make_workload(name), profile, &spcfg);
+        let starts: Vec<u64> = pts.iter().map(|p| p.start_inst).collect();
+        if let Err(e) = ckpt_support::ensure_region_checkpoints(name, make_workload(name), &starts)
+        {
+            eprintln!("warning: checkpoint pre-capture for {name} failed: {e}");
+        }
+        points.push((name, pts));
     }
 
     // Parallel timing pass: one cell per (workload, region, mode).
@@ -117,4 +115,5 @@ fn main() {
             (ph_ipc / base_ipc - 1.0) * 100.0
         );
     }
+    ckpt_support::print_summary();
 }

@@ -37,9 +37,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ckpt_support;
 pub mod runner;
 
-use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig, SimResult};
+use phelps::sim::{simulate, simulate_warmed, Mode, PhelpsFeatures, RunConfig, SimResult};
 use phelps_isa::{Cpu, EmuError};
 use phelps_runahead::{simulate_runahead, BrVariant};
 use phelps_telemetry as tlm;
@@ -164,35 +165,68 @@ pub fn run_br(cpu: Cpu, variant: BrVariant) -> SimResult {
     simulate_runahead(cpu, &exp_config(Mode::Baseline), variant)
 }
 
-/// Fast-forwards `skip` instructions functionally, then simulates a region
-/// of `region_len()` instructions in `mode` (the SimPoint methodology:
-/// timing starts at the representative region's offset).
+/// Positions the CPU at retired-instruction offset `skip`, then simulates
+/// a region of `region_len()` instructions in `mode` (the SimPoint
+/// methodology: timing starts at the representative region's offset).
+///
+/// The pre-region skip goes through the checkpoint store keyed by
+/// `label` (see [`ckpt_support`]): the first run fast-forwards
+/// functionally and saves a checkpoint; later runs — under any mode —
+/// restore it in O(resident pages). With `PHELPS_CKPT_WARM=W` the last W
+/// pre-region instructions functionally warm the caches and branch
+/// predictor; W=0 (the default) is bit-identical to a cold fast-forward.
 ///
 /// Fails when the functional fast-forward itself faults (bad region
 /// offset, workload shorter than `skip`).
-pub fn run_region(mut cpu: Cpu, skip: u64, mode: Mode) -> Result<SimResult, EmuError> {
-    cpu.run(skip)?;
-    Ok(run(cpu, mode))
+pub fn run_region(label: &str, cpu: Cpu, skip: u64, mode: Mode) -> Result<SimResult, EmuError> {
+    let (cpu, warm) = ckpt_support::region_cpu(label, cpu, skip)?;
+    Ok(simulate_warmed(cpu, &exp_config(mode), &warm))
+}
+
+/// Simulates one SimPoint region of `label`, warning (and returning
+/// `None`) when the pre-region skip faults — the shared policy for every
+/// SimPoint driver, so a bad region offset degrades to a skipped point
+/// everywhere instead of aborting the whole evaluation.
+pub fn run_simpoint_region(
+    label: &str,
+    cpu: Cpu,
+    p: &phelps_workloads::simpoints::SimPoint,
+    mode: Mode,
+) -> Option<SimResult> {
+    match run_region(label, cpu, p.start_inst, mode) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!(
+                "warning: skipping simpoint at inst {} (weight {:.3}): fast-forward failed: {e}",
+                p.start_inst, p.weight
+            );
+            None
+        }
+    }
 }
 
 /// Full SimPoint evaluation of a workload factory: profiles one instance,
 /// selects representative regions, simulates each under `mode`, and
 /// returns `(weighted-harmonic-mean IPC, per-point results)`.
+///
+/// Missing region checkpoints are captured in one pre-pass over a fresh
+/// instance, so the per-point runs restore instead of fast-forwarding.
 pub fn run_simpoints(
+    label: &str,
     make: &dyn Fn() -> Cpu,
     mode: Mode,
     profile_insts: u64,
     spcfg: &phelps_workloads::simpoints::SimPointConfig,
 ) -> (f64, Vec<(phelps_workloads::simpoints::SimPoint, SimResult)>) {
     let points = phelps_workloads::simpoints::select_simpoints(make(), profile_insts, spcfg);
+    let starts: Vec<u64> = points.iter().map(|p| p.start_inst).collect();
+    if let Err(e) = ckpt_support::ensure_region_checkpoints(label, make(), &starts) {
+        eprintln!("warning: checkpoint pre-capture for {label} failed: {e}");
+    }
     let mut results = Vec::new();
     for p in points {
-        match run_region(make(), p.start_inst, mode.clone()) {
-            Ok(r) => results.push((p, r)),
-            Err(e) => eprintln!(
-                "warning: skipping simpoint at inst {} (weight {:.3}): fast-forward failed: {e}",
-                p.start_inst, p.weight
-            ),
+        if let Some(r) = run_simpoint_region(label, make(), &p, mode.clone()) {
+            results.push((p, r));
         }
     }
     let ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(

@@ -20,7 +20,7 @@ pub use types::{
     SideAction, SideInst, SideKind, HT_A, HT_B, MT, NUM_THREADS,
 };
 
-use phelps_isa::Cpu;
+use phelps_isa::{Cpu, ExecRecord};
 
 /// Runs `cpu` (program + initialized memory/registers) to completion under
 /// `cfg` and returns the statistics bundle.
@@ -59,6 +59,25 @@ pub fn simulate(cpu: Cpu, cfg: &RunConfig) -> SimResult {
 pub fn simulate_observed(cpu: Cpu, cfg: &RunConfig) -> SimResult {
     let mut p = build_pipeline(cpu, cfg);
     p.record_retires();
+    p.run()
+}
+
+/// Like [`simulate`], but first functionally warms the branch predictor
+/// and cache hierarchy from `warm` — the replayed tail of a checkpoint
+/// restore (`phelps-ckpt`). An empty slice makes this identical to
+/// [`simulate`], which is what the W=0 equivalence guarantee rests on.
+pub fn simulate_warmed(cpu: Cpu, cfg: &RunConfig, warm: &[ExecRecord]) -> SimResult {
+    let mut p = build_pipeline(cpu, cfg);
+    p.warm_microarch(warm);
+    p.run()
+}
+
+/// [`simulate_observed`] plus functional warming, for differential
+/// harnesses exercising the checkpoint path.
+pub fn simulate_observed_warmed(cpu: Cpu, cfg: &RunConfig, warm: &[ExecRecord]) -> SimResult {
+    let mut p = build_pipeline(cpu, cfg);
+    p.record_retires();
+    p.warm_microarch(warm);
     p.run()
 }
 
@@ -226,6 +245,66 @@ mod tests {
             &quick_cfg(Mode::Phelps(PhelpsFeatures::full())),
         );
         assert_eq!(r.stats.triggers, 0, "no delinquency, no helper threads");
+    }
+
+    #[test]
+    fn empty_warming_is_bit_identical_to_plain_simulate() {
+        for mode in [
+            Mode::Baseline,
+            Mode::PerfectBp,
+            Mode::PartitionOnly,
+            Mode::Phelps(PhelpsFeatures::full()),
+        ] {
+            let cfg = quick_cfg(mode);
+            let plain = simulate(random_branch_loop(10_000), &cfg);
+            let warmed = simulate_warmed(random_branch_loop(10_000), &cfg, &[]);
+            assert_eq!(plain.stats, warmed.stats, "mode {:?}", cfg.mode);
+        }
+    }
+
+    /// A loop cycling over a small array — every pass after the first
+    /// revisits resident data, so cache warming is visible.
+    fn cyclic_array_loop() -> Cpu {
+        let mut a = Asm::new(0x1000);
+        // a0 = base, a1 = i, a3 = sum; 512 elements of 8 bytes = 4 KiB.
+        a.label("loop");
+        a.andi(Reg::T0, Reg::A1, 511);
+        a.slli(Reg::T0, Reg::T0, 3);
+        a.add(Reg::T0, Reg::A0, Reg::T0);
+        a.ld(Reg::T1, Reg::T0, 0);
+        a.add(Reg::A3, Reg::A3, Reg::T1);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.j("loop");
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        for i in 0..512u64 {
+            cpu.mem.write_u64(0x200000 + i * 8, i * 3 + 1);
+        }
+        cpu.set_reg(Reg::A0, 0x200000);
+        cpu
+    }
+
+    #[test]
+    fn warming_trains_microarch_without_changing_retirement() {
+        // Replay a full pass over the array through the functional
+        // emulator, feed its records as warming, and simulate: retired
+        // work is unchanged while cold-start misses disappear.
+        let mut cfg = quick_cfg(Mode::Baseline);
+        cfg.max_mt_insts = 20_000;
+        let mut warm_src = cyclic_array_loop();
+        let mut warm = Vec::new();
+        for _ in 0..5_000 {
+            warm.push(warm_src.step().unwrap());
+        }
+        let cold = simulate(warm_src.clone(), &cfg);
+        let warmed = simulate_warmed(warm_src, &cfg, &warm);
+        assert_eq!(cold.stats.mt_retired, warmed.stats.mt_retired);
+        assert_eq!(cold.stats.mt_cond_branches, warmed.stats.mt_cond_branches);
+        assert!(
+            warmed.stats.l1d_misses < cold.stats.l1d_misses,
+            "warming must cut cold-start L1 misses: {} vs {}",
+            warmed.stats.l1d_misses,
+            cold.stats.l1d_misses
+        );
     }
 
     #[test]

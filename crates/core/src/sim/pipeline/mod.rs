@@ -47,7 +47,7 @@ use crate::sim::types::{Mode, PreExecEngine, SideInst, HT_A, HT_B, MT};
 use crate::storecache::StoreCache;
 use phelps_isa::{Cpu, EmuError, ExecRecord, Inst, Memory, NUM_REGS};
 use phelps_telemetry as tlm;
-use phelps_uarch::bpred::{HistoryCheckpoint, TageScL};
+use phelps_uarch::bpred::{DirectionPredictor, HistoryCheckpoint, TageScL};
 use phelps_uarch::config::{ActiveThreads, CoreConfig, PartitionPlan};
 use phelps_uarch::mem::MemoryHierarchy;
 use phelps_uarch::stats::SimStats;
@@ -429,6 +429,23 @@ impl<E: PreExecEngine> Pipeline<E> {
     /// `phelps-verify` differential harness; call before [`Pipeline::run`].
     pub fn record_retires(&mut self) {
         self.ctx.retire_log = Some(Vec::new());
+    }
+
+    /// Functionally warms the microarchitectural state from a replayed
+    /// instruction trace (checkpoint warmup, `phelps-ckpt`): conditional
+    /// branches train the direction predictor, loads and stores touch the
+    /// cache hierarchy's tag arrays. No cycles pass and no statistics move
+    /// — call before [`Pipeline::run`]. With an empty slice this is a
+    /// no-op, so the unwarmed path is bit-for-bit unchanged.
+    pub fn warm_microarch(&mut self, warm: &[ExecRecord]) {
+        for rec in warm {
+            if rec.inst.is_cond_branch() {
+                self.ctx.bpred.warm(rec.pc, rec.taken);
+            }
+            if rec.inst.is_load() || rec.inst.is_store() {
+                self.ctx.hierarchy.warm_access(rec.mem_addr);
+            }
+        }
     }
 
     /// Overrides the helper-thread store-cache geometry (sets of 2 ways;

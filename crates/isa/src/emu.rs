@@ -60,6 +60,27 @@ impl ExecRecord {
     }
 }
 
+/// A snapshot of everything architectural about a [`Cpu`], *excluding* the
+/// (immutable) program text: PC, register file, sparse memory, retired
+/// count, and the halted flag.
+///
+/// Restoring a state into a `Cpu` running the same program puts it in a
+/// position indistinguishable from having executed the first
+/// `retired` instructions — the substrate for checkpoint/restore.
+#[derive(Clone, Debug)]
+pub struct CpuState {
+    /// PC at the snapshot point.
+    pub pc: u64,
+    /// Architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// Guest memory contents.
+    pub mem: Memory,
+    /// Whether the program had halted.
+    pub halted: bool,
+    /// Instructions retired when the snapshot was taken.
+    pub retired: u64,
+}
+
 /// Functional CPU: architectural registers, memory, and a PC.
 ///
 /// # Examples
@@ -143,6 +164,30 @@ impl Cpu {
     /// Number of instructions retired so far.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Captures the full architectural state (everything except the
+    /// program text, which is immutable).
+    pub fn capture_state(&self) -> CpuState {
+        CpuState {
+            pc: self.pc,
+            regs: self.regs,
+            mem: self.mem.clone(),
+            halted: self.halted,
+            retired: self.retired,
+        }
+    }
+
+    /// Overwrites this CPU's architectural state with a snapshot.
+    ///
+    /// The caller is responsible for ensuring the snapshot was captured
+    /// from a CPU running the same program; nothing here can check that.
+    pub fn restore_state(&mut self, state: &CpuState) {
+        self.pc = state.pc;
+        self.regs = state.regs;
+        self.mem = state.mem.clone();
+        self.halted = state.halted;
+        self.retired = state.retired;
     }
 
     /// Executes one instruction.
@@ -402,6 +447,43 @@ mod tests {
         let rec = cpu.step().unwrap();
         assert_eq!(rec.mem_addr, 0x4010);
         assert_eq!(rec.store_data, 77);
+    }
+
+    #[test]
+    fn capture_restore_resumes_identically() {
+        // sum 1..=20, snapshot mid-loop, and check the restored CPU
+        // retires the exact same record stream as the original.
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, 20);
+        a.li(Reg::A2, 0x8000);
+        a.label("loop");
+        a.add(Reg::A0, Reg::A0, Reg::A1);
+        a.sd(Reg::A0, Reg::A2, 0);
+        a.addi(Reg::A1, Reg::A1, -1);
+        a.bne(Reg::A1, Reg::ZERO, "loop");
+        a.halt();
+        let prog = a.assemble().unwrap();
+
+        let mut cpu = Cpu::new(prog.clone());
+        cpu.run(37).unwrap();
+        let snap = cpu.capture_state();
+        assert_eq!(snap.retired, 37);
+
+        let mut resumed = Cpu::new(prog);
+        resumed.restore_state(&snap);
+        assert_eq!(resumed.pc(), cpu.pc());
+        loop {
+            let a = cpu.step();
+            let b = resumed.step();
+            assert_eq!(a, b);
+            if a.is_err() || cpu.is_halted() {
+                break;
+            }
+        }
+        assert_eq!(resumed.reg(Reg::A0), 210);
+        assert_eq!(resumed.mem.first_difference(&cpu.mem), None);
+        assert_eq!(resumed.retired(), cpu.retired());
     }
 
     #[test]

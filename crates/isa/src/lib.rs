@@ -50,10 +50,10 @@ mod program;
 mod reg;
 
 pub use asm::{Asm, AsmError};
-pub use emu::{Cpu, EmuError, ExecRecord};
+pub use emu::{Cpu, CpuState, EmuError, ExecRecord};
 pub use encode::{decode, encode, DecodeError, EncodeError};
 pub use inst::{AluOp, BranchCond, Inst, MemWidth, SrcRegs};
-pub use mem::Memory;
+pub use mem::{Memory, PAGE_BYTES};
 pub use parse::{parse_asm, ParseError};
 pub use program::{Program, INST_BYTES};
 pub use reg::{Reg, NUM_REGS};

@@ -13,6 +13,9 @@ const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// Size in bytes of one guest memory page.
+pub const PAGE_BYTES: usize = PAGE_SIZE;
+
 /// Sparse byte-addressable memory with 4 KiB lazily-allocated pages.
 ///
 /// # Examples
@@ -39,6 +42,45 @@ impl Memory {
     /// Number of resident (touched) pages.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Total bytes held by resident pages. This is the footprint a
+    /// serialized snapshot of this memory pays, and the unit checkpoint
+    /// restore is linear in — not the (sparse) addressed range.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Iterates resident pages as `(base_addr, contents)` in ascending
+    /// address order. The order is deterministic so serializers and
+    /// content hashes built on top are stable across runs and platforms.
+    ///
+    /// Touched-but-zero pages are yielded like any other; callers that
+    /// want semantic (zeros-elided) output must filter them.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (u64, &[u8; PAGE_BYTES])> {
+        let mut ids: Vec<u64> = self.pages.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(move |id| (id << PAGE_SHIFT, &**self.pages.get(&id).unwrap()))
+    }
+
+    /// Rebuilds a memory from `(base_addr, contents)` pairs as yielded by
+    /// [`Memory::iter_pages`]. Base addresses must be page-aligned; later
+    /// duplicates overwrite earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a base address is not a multiple of [`PAGE_BYTES`].
+    pub fn from_pages<I>(pages: I) -> Memory
+    where
+        I: IntoIterator<Item = (u64, Box<[u8; PAGE_BYTES]>)>,
+    {
+        let mut mem = Memory::new();
+        for (base, page) in pages {
+            assert_eq!(base & PAGE_MASK, 0, "page base {base:#x} not aligned");
+            mem.pages.insert(base >> PAGE_SHIFT, page);
+        }
+        mem
     }
 
     /// Reads one byte.
@@ -225,6 +267,53 @@ mod tests {
         assert_eq!(b.first_difference(&a), None);
         a.write_u8(0x5001, 3);
         assert_eq!(b.first_difference(&a), Some((0x5001, 0, 3)));
+    }
+
+    #[test]
+    fn iter_pages_is_sorted_and_roundtrips() {
+        let mut mem = Memory::new();
+        // Touch pages out of address order, including a straddling write.
+        mem.write_u64(0x9000, 0xdead_beef);
+        mem.write_u8(0x2fff, 0x42); // last byte of page 2
+        mem.write(0x4ffc, MemWidth::D, 0x1122_3344_5566_7788); // straddles 4/5
+        let bases: Vec<u64> = mem.iter_pages().map(|(b, _)| b).collect();
+        assert_eq!(bases, vec![0x2000, 0x4000, 0x5000, 0x9000]);
+        assert_eq!(mem.resident_bytes(), 4 * PAGE_BYTES);
+
+        let back = Memory::from_pages(mem.iter_pages().map(|(b, p)| (b, Box::new(*p))));
+        assert_eq!(mem.first_difference(&back), None);
+        assert_eq!(back.read_u8(0x2fff), 0x42);
+        assert_eq!(back.read(0x4ffc, MemWidth::D, false), 0x1122_3344_5566_7788);
+        assert_eq!(back.resident_pages(), 4);
+    }
+
+    #[test]
+    fn zero_page_roundtrip_preserves_semantics() {
+        let mut mem = Memory::new();
+        mem.write_u8(0x7000, 0); // resident but all-zero
+        mem.write_u8(0x8008, 9);
+        assert_eq!(mem.resident_pages(), 2);
+
+        // Representational round-trip keeps the zero page resident...
+        let full = Memory::from_pages(mem.iter_pages().map(|(b, p)| (b, Box::new(*p))));
+        assert_eq!(full.resident_pages(), 2);
+        assert_eq!(mem.first_difference(&full), None);
+
+        // ...while a zeros-elided round-trip is still semantically equal.
+        let elided = Memory::from_pages(
+            mem.iter_pages()
+                .filter(|(_, p)| p.iter().any(|&b| b != 0))
+                .map(|(b, p)| (b, Box::new(*p))),
+        );
+        assert_eq!(elided.resident_pages(), 1);
+        assert_eq!(mem.first_difference(&elided), None);
+        assert_eq!(elided.read_u8(0x8008), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn from_pages_rejects_unaligned_base() {
+        let _ = Memory::from_pages([(0x123u64, Box::new([0u8; PAGE_BYTES]))]);
     }
 
     #[test]

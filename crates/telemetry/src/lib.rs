@@ -98,11 +98,21 @@ pub enum Counter {
     BpredUpdates,
     /// Direction-predictor wrong updates.
     BpredWrong,
+    /// Region runs served from an architectural checkpoint.
+    CkptHits,
+    /// Region runs that fast-forwarded (no usable checkpoint).
+    CkptMisses,
+    /// Nanoseconds spent capturing and writing checkpoints.
+    CkptSaveNs,
+    /// Nanoseconds spent reading, restoring, and warm-replaying checkpoints.
+    CkptRestoreNs,
+    /// Fast-forward instructions skipped thanks to checkpoint restores.
+    CkptSkippedInsts,
 }
 
 impl Counter {
     /// Number of counter kinds (array size).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 30;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -131,6 +141,11 @@ impl Counter {
         Counter::StoresRetired,
         Counter::BpredUpdates,
         Counter::BpredWrong,
+        Counter::CkptHits,
+        Counter::CkptMisses,
+        Counter::CkptSaveNs,
+        Counter::CkptRestoreNs,
+        Counter::CkptSkippedInsts,
     ];
 
     /// Stable snake_case identifier used in exports.
@@ -161,6 +176,11 @@ impl Counter {
             Counter::StoresRetired => "stores_retired",
             Counter::BpredUpdates => "bpred_updates",
             Counter::BpredWrong => "bpred_wrong",
+            Counter::CkptHits => "ckpt_hits",
+            Counter::CkptMisses => "ckpt_misses",
+            Counter::CkptSaveNs => "ckpt_save_ns",
+            Counter::CkptRestoreNs => "ckpt_restore_ns",
+            Counter::CkptSkippedInsts => "ckpt_skipped_insts",
         }
     }
 }

@@ -53,6 +53,16 @@ pub trait DirectionPredictor {
 
     /// Rewinds speculative history to `ckpt` (misprediction recovery).
     fn recover(&mut self, ckpt: &HistoryCheckpoint);
+
+    /// Functional warming: trains on one retired branch outcome outside any
+    /// timing context (checkpoint warmup replay). Equivalent to the
+    /// in-order fetch→retire sequence of a perfectly predicted pipeline:
+    /// predict, append the true outcome to history, train on it.
+    fn warm(&mut self, pc: u64, taken: bool) {
+        let predicted = self.predict(pc);
+        self.speculate(pc, taken);
+        self.update(pc, taken, predicted);
+    }
 }
 
 /// Opaque speculative-history checkpoint.
@@ -113,6 +123,28 @@ impl<const BITS: u32> Counter<BITS> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn warm_trains_like_retired_outcomes() {
+        // Warming an alternating pattern should leave the predictor as
+        // trained as the explicit predict/speculate/update sequence does.
+        let mut warmed = TageScL::large();
+        let mut trained = TageScL::large();
+        let pat = |i: u64| (i / 2).is_multiple_of(2);
+        for i in 0..200 {
+            warmed.warm(0x40, pat(i));
+            let p = trained.predict(0x40);
+            trained.speculate(0x40, pat(i));
+            trained.update(0x40, pat(i), p);
+        }
+        for i in 200..220 {
+            assert_eq!(warmed.predict(0x40), trained.predict(0x40));
+            warmed.warm(0x40, pat(i));
+            let p = trained.predict(0x40);
+            trained.speculate(0x40, pat(i));
+            trained.update(0x40, pat(i), p);
+        }
+    }
 
     #[test]
     fn counter_saturates_both_directions() {

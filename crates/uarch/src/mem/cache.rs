@@ -177,6 +177,49 @@ impl Cache {
         Probe::Miss
     }
 
+    /// Functional-warming touch: behaves like a demand probe for the tag
+    /// array (recency refresh on hit) but perturbs **no** statistics and
+    /// leaves the `prefetched` flag alone, so a warmed cache starts a
+    /// measured region with realistic contents and zeroed counters.
+    /// Returns whether the block was present.
+    pub fn warm_touch(&mut self, addr: u64) -> bool {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.stamp += 1;
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == block {
+                line.lru = self.stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Functional-warming fill: inserts the block (evicting LRU) exactly
+    /// like [`Cache::fill`] but without counting into `fills`.
+    pub fn warm_insert(&mut self, addr: u64) {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        self.stamp += 1;
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == block)
+        {
+            line.lru = self.stamp;
+            return;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways >= 1");
+        *victim = Line {
+            tag: block,
+            valid: true,
+            lru: self.stamp,
+            prefetched: false,
+        };
+    }
+
     /// Probes without counting or recency update (used by prefetchers to
     /// filter redundant prefetches).
     pub fn contains(&self, addr: u64) -> bool {
@@ -380,6 +423,51 @@ mod tests {
         let _ = c.probe_store(0x100, 3);
         c.fill(0x300, false, 4); // evicts LRU = 0x200
         assert!(c.contains(0x100) && !c.contains(0x200));
+    }
+
+    #[test]
+    fn warm_ops_leave_all_counters_at_zero() {
+        let mut c = small();
+        assert!(!c.warm_touch(0x100));
+        c.warm_insert(0x100);
+        assert!(c.warm_touch(0x100));
+        assert!(c.contains(0x100));
+        assert_eq!(
+            (
+                c.accesses,
+                c.misses,
+                c.store_accesses,
+                c.store_misses,
+                c.prefetch_hits,
+                c.fills
+            ),
+            (0, 0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn warm_touch_refreshes_recency_like_a_demand_probe() {
+        let mut c = small();
+        c.fill(0x000, false, 0);
+        c.fill(0x100, false, 0);
+        assert!(c.warm_touch(0x000)); // 0x000 most recent
+        c.warm_insert(0x200); // evicts LRU = 0x100
+        assert!(c.contains(0x000) && !c.contains(0x100) && c.contains(0x200));
+    }
+
+    #[test]
+    fn warm_touch_preserves_prefetched_flag() {
+        // A warm touch must not consume the first-demand-touch credit.
+        let mut c = small();
+        c.fill(0x300, true, 0);
+        assert!(c.warm_touch(0x300));
+        assert_eq!(c.prefetch_hits, 0);
+        assert_eq!(
+            c.probe(0x300, 1),
+            Probe::Hit {
+                first_prefetch_hit: true
+            }
+        );
     }
 
     #[test]

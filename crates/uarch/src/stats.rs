@@ -17,7 +17,7 @@ pub enum PredSource {
 }
 
 /// Aggregate counters for one simulation run.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,

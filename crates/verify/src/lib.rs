@@ -22,6 +22,7 @@
 
 pub mod diff;
 pub mod gen;
+pub mod restore;
 pub mod shrink;
 
 /// Base seed used when `PHELPS_FUZZ_SEED` is not set. Fixed so CI runs

@@ -1,0 +1,45 @@
+//! Fixed-seed restore-equivalence sweep: for each generated program,
+//! checkpoint-restoring at mid-execution must be indistinguishable from
+//! functionally fast-forwarding there — architecturally and through a
+//! full region run in all four pipeline modes (see
+//! `phelps_verify::restore`). CI runs this as the restore oracle.
+
+use phelps_verify::diff::reference_trace;
+use phelps_verify::restore::check_restore;
+use phelps_verify::{gen, DEFAULT_SEED};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("phelps-restore-seeds-{}-{tag}", std::process::id()))
+}
+
+fn sweep(tag: &str, warm: u64, seeds: impl Iterator<Item = u64>) {
+    let dir = tmpdir(tag);
+    for seed in seeds {
+        let cpu = gen::build(&gen::generate(seed));
+        // Mid-execution offset: deep enough that state has diverged from
+        // the initial image, shallow enough that a region remains.
+        let halt_len = reference_trace(&cpu).0.len() as u64;
+        let skip = halt_len / 2;
+        if let Err(m) = check_restore(&format!("seed{seed:#x}"), &cpu, skip, warm, &dir) {
+            panic!(
+                "restore oracle failed (seed {seed:#x}, skip {skip}, W={warm}): {m}\n\
+                 replay: PHELPS_FUZZ_SEED={seed:#x}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fixed_seeds_restore_cold() {
+    sweep("cold", 0, (0..8).map(|i| DEFAULT_SEED.wrapping_add(i)));
+}
+
+#[test]
+fn fixed_seeds_restore_warmed() {
+    sweep(
+        "warm",
+        128,
+        (0..4).map(|i| DEFAULT_SEED.wrapping_add(100 + i)),
+    );
+}

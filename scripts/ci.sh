@@ -48,4 +48,42 @@ case $smoke_out in
 *) echo "ci.sh: warm runner smoke run missed the cache" >&2; exit 1 ;;
 esac
 
+echo "==> checkpoint restore-equivalence oracle (fixed seeds, all modes)"
+cargo test --release -q -p phelps-verify --test restore_equivalence
+
+echo "==> checkpoint round-trip smoke test (simpoints: cold save, warm restore)"
+# First run captures region checkpoints into a fresh store; the second
+# restores them. The result cache is disabled so the second run really
+# simulates, and stdout (every table and IPC line) must be identical —
+# the SimStats equality half of the checkpoint guarantee. The [ckpt]
+# stderr counters then prove the fast-forward wall-clock collapsed.
+cargo build --release -q -p phelps-bench --bin simpoints
+ckpt_dir=$(mktemp -d)
+cold_out=$(mktemp); cold_err=$(mktemp); warm_out=$(mktemp); warm_err=$(mktemp)
+PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CKPT_DIR="$ckpt_dir" \
+    ./target/release/simpoints >"$cold_out" 2>"$cold_err"
+PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CKPT_DIR="$ckpt_dir" \
+    ./target/release/simpoints >"$warm_out" 2>"$warm_err"
+ckpt_field() { grep '^\[ckpt\]' "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"; }
+echo "    cold: $(grep '^\[ckpt\]' "$cold_err")"
+echo "    warm: $(grep '^\[ckpt\]' "$warm_err")"
+diff "$cold_out" "$warm_out" || {
+    echo "ci.sh: restored simpoints run diverged from the cold run" >&2; exit 1; }
+[ "$(ckpt_field "$cold_err" saves)" -gt 0 ] || {
+    echo "ci.sh: cold run saved no checkpoints" >&2; exit 1; }
+[ "$(ckpt_field "$warm_err" hits)" -gt 0 ] || {
+    echo "ci.sh: warm run restored no checkpoints" >&2; exit 1; }
+[ "$(ckpt_field "$warm_err" misses)" -eq 0 ] || {
+    echo "ci.sh: warm run still missed checkpoints" >&2; exit 1; }
+cold_ff=$(ckpt_field "$cold_err" ff_ns)
+warm_ff=$(ckpt_field "$warm_err" ff_ns)
+warm_restore=$(ckpt_field "$warm_err" restore_ns)
+awk "BEGIN { exit !($cold_ff >= 5 * ($warm_ff + $warm_restore + 1)) }" || {
+    echo "ci.sh: checkpoint restore saved <5x fast-forward time" \
+         "(cold ff ${cold_ff}ns vs warm ff ${warm_ff}ns + restore ${warm_restore}ns)" >&2
+    exit 1; }
+rm -rf "$ckpt_dir" "$cold_out" "$cold_err" "$warm_out" "$warm_err"
+
 echo "==> ci.sh: all green"

@@ -9,7 +9,9 @@
 //! * [`phelps_isa`] — guest ISA, assembler, functional emulator;
 //! * [`phelps_uarch`] — branch predictors, caches, core configuration;
 //! * [`phelps_runahead`] — the Branch Runahead baseline;
-//! * [`phelps_workloads`] — guest-assembly kernels and graph generators.
+//! * [`phelps_workloads`] — guest-assembly kernels and graph generators;
+//! * [`phelps_ckpt`] — architectural checkpointing for instant SimPoint
+//!   region starts.
 //!
 //! ```
 //! use phelps_repro::prelude::*;
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub use phelps;
+pub use phelps_ckpt;
 pub use phelps_isa;
 pub use phelps_runahead;
 pub use phelps_uarch;
@@ -31,7 +34,7 @@ pub use phelps_workloads;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use phelps::sim::{
-        simulate, simulate_observed, Mode, PhelpsFeatures, RunConfig, SimResult,
+        simulate, simulate_observed, simulate_warmed, Mode, PhelpsFeatures, RunConfig, SimResult,
     };
     pub use phelps_isa::{Asm, Cpu, Reg};
     pub use phelps_runahead::{simulate_runahead, BrVariant};

@@ -15,6 +15,7 @@
 //! Any further change must keep these bit-identical: a drift here means
 //! timing behavior changed, not just code layout.
 
+use phelps_repro::phelps_ckpt::{capture_snapshots, resume};
 use phelps_repro::prelude::*;
 
 fn cfg(mode: Mode) -> RunConfig {
@@ -50,4 +51,33 @@ fn golden_phelps_full_astar_small() {
     assert_eq!(r.stats.triggers, 36);
     assert_eq!(r.stats.preds_from_queue, 3_310);
     assert_eq!(r.stats.l1d_misses, 957);
+}
+
+/// Region-restore pin: a W=0 checkpoint restore at instruction 50,000
+/// must reproduce the fast-forwarded region run bit-for-bit, down to the
+/// exact cycle count. A drift here means the restore path perturbs
+/// timing state, not just that timing behavior changed.
+#[test]
+fn golden_region_restore_astar_small() {
+    let mut c = cfg(Mode::Baseline);
+    c.max_mt_insts = 100_000;
+    let skip = 50_000;
+
+    let mut ff = suite::astar_small().cpu;
+    ff.run(skip).expect("fast-forward");
+    let cold = simulate(ff, &c);
+
+    let snap = capture_snapshots(&mut suite::astar_small().cpu, &[skip], 0)
+        .expect("capture")
+        .pop()
+        .expect("one snapshot");
+    let restored = resume(suite::astar_small().cpu, &snap, 0).expect("restore");
+    let warmed = simulate_warmed(restored.cpu, &c, &restored.warm);
+
+    assert_eq!(cold.stats, warmed.stats, "restored stats drifted from ff");
+    assert_eq!(
+        warmed.stats.cycles, 91_708,
+        "restored region cycles drifted"
+    );
+    assert_eq!(warmed.stats.mt_retired, 100_000);
 }
