@@ -10,7 +10,7 @@ use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig};
 use phelps::storecache::StoreCache;
 use phelps_uarch::bpred::{Bimodal, DirectionPredictor, TageScL};
 use phelps_uarch::config::CoreConfig;
-use phelps_uarch::mem::MemoryHierarchy;
+use phelps_uarch::mem::{MemRequest, MemoryHierarchy};
 use phelps_workloads::astar::{astar_grid, AstarParams};
 
 fn bench_predictors(c: &mut Criterion) {
@@ -52,7 +52,7 @@ fn bench_memory(c: &mut Criterion) {
     g.bench_function("hierarchy_access_stream", |b| {
         b.iter(|| {
             i += 1;
-            mh.access(0x40, (i * 8) & 0xf_ffff, i)
+            mh.request(MemRequest::load(0, 0x40, (i * 8) & 0xf_ffff, i))
         })
     });
 

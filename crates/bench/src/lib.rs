@@ -140,10 +140,7 @@ pub type ConfigSet = Vec<(&'static str, Box<dyn Fn() -> SimResult>)>;
 
 /// The scaled run configuration shared by all experiments.
 pub fn exp_config(mode: Mode) -> RunConfig {
-    let mut cfg = RunConfig::scaled(mode);
-    cfg.max_mt_insts = region_len();
-    cfg.epoch_len = epoch_len();
-    cfg
+    RunConfig::quick(mode, region_len(), epoch_len())
 }
 
 /// Runs one workload in one mode. Telemetry installation and trace

@@ -35,7 +35,7 @@ pub(super) fn cell_path(dir: &Path, fingerprint: &str) -> PathBuf {
 }
 
 /// Every (name, value) stat pair, in declaration order.
-fn stat_fields(s: &SimStats) -> [(&'static str, u64); 21] {
+fn stat_fields(s: &SimStats) -> [(&'static str, u64); 29] {
     [
         ("cycles", s.cycles),
         ("mt_retired", s.mt_retired),
@@ -48,6 +48,8 @@ fn stat_fields(s: &SimStats) -> [(&'static str, u64); 21] {
         ("load_violations", s.load_violations),
         ("triggers", s.triggers),
         ("terminations", s.terminations),
+        ("l1i_accesses", s.l1i_accesses),
+        ("l1i_misses", s.l1i_misses),
         ("l1d_accesses", s.l1d_accesses),
         ("l1d_misses", s.l1d_misses),
         ("l1d_store_accesses", s.l1d_store_accesses),
@@ -58,6 +60,12 @@ fn stat_fields(s: &SimStats) -> [(&'static str, u64); 21] {
         ("prefetch_hits", s.prefetch_hits),
         ("mt_fetch_stall_mispredict", s.mt_fetch_stall_mispredict),
         ("mt_fetch_stall_trigger", s.mt_fetch_stall_trigger),
+        ("mt_fetch_stall_ifetch", s.mt_fetch_stall_ifetch),
+        ("l1i_port_stalls", s.l1i_port_stalls),
+        ("l1d_port_stalls", s.l1d_port_stalls),
+        ("l2_port_stalls", s.l2_port_stalls),
+        ("l3_port_stalls", s.l3_port_stalls),
+        ("dram_queue_stalls", s.dram_queue_stalls),
     ]
 }
 
@@ -114,7 +122,7 @@ fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
     for (k, slot) in defaults.iter_mut() {
         *slot = v.get(k)?.as_u64()?;
     }
-    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1d_accesses, l1d_misses, l1d_store_accesses, l1d_store_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger] =
+    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1i_accesses, l1i_misses, l1d_accesses, l1d_misses, l1d_store_accesses, l1d_store_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger, mt_fetch_stall_ifetch, l1i_port_stalls, l1d_port_stalls, l2_port_stalls, l3_port_stalls, dram_queue_stalls] =
         defaults.map(|(_, v)| v);
     s = SimStats {
         cycles,
@@ -128,6 +136,8 @@ fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
         load_violations,
         triggers,
         terminations,
+        l1i_accesses,
+        l1i_misses,
         l1d_accesses,
         l1d_misses,
         l1d_store_accesses,
@@ -138,6 +148,12 @@ fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
         prefetch_hits,
         mt_fetch_stall_mispredict,
         mt_fetch_stall_trigger,
+        mt_fetch_stall_ifetch,
+        l1i_port_stalls,
+        l1d_port_stalls,
+        l2_port_stalls,
+        l3_port_stalls,
+        dram_queue_stalls,
     };
     Some(s)
 }

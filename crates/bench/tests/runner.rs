@@ -44,10 +44,7 @@ impl Drop for ScratchDir {
 }
 
 fn tiny_cfg(mode: Mode) -> RunConfig {
-    let mut cfg = RunConfig::scaled(mode);
-    cfg.max_mt_insts = 20_000;
-    cfg.epoch_len = 10_000;
-    cfg
+    RunConfig::quick(mode, 20_000, 10_000)
 }
 
 /// The shared 2×2 matrix (astar/bfs × baseline/phelps).

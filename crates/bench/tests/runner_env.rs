@@ -8,9 +8,7 @@ use phelps_workloads::suite;
 use std::path::PathBuf;
 
 fn run_one(dir: PathBuf) -> phelps_bench::runner::MatrixResults {
-    let mut cfg = RunConfig::scaled(Mode::Baseline);
-    cfg.max_mt_insts = 20_000;
-    cfg.epoch_len = 10_000;
+    let cfg = RunConfig::quick(Mode::Baseline, 20_000, 10_000);
     let mut exp = Experiment::new("runner-env-test")
         .jobs(1)
         .cache_dir(Some(dir))

@@ -162,10 +162,7 @@ mod tests {
     }
 
     fn quick_cfg(mode: Mode) -> RunConfig {
-        let mut cfg = RunConfig::scaled(mode);
-        cfg.max_mt_insts = 60_000;
-        cfg.epoch_len = 10_000;
-        cfg
+        RunConfig::quick(mode, 60_000, 10_000)
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::sim::types::{PreExecEngine, QueueLookup, HT_A, HT_B, MT};
 use phelps_isa::{ExecRecord, Inst};
 use phelps_telemetry as tlm;
 use phelps_uarch::bpred::DirectionPredictor;
+use phelps_uarch::mem::{AccessLevel, MemRequest};
 
 impl<E: PreExecEngine> Pipeline<E> {
     pub(super) fn fetch(&mut self) {
@@ -25,11 +26,15 @@ impl<E: PreExecEngine> Pipeline<E> {
             let t = &self.ctx.threads[MT];
             if !t.active
                 || t.fetch_stall_until > now
+                || t.ifetch_stall_until > now
                 || t.blocking_branch.is_some()
                 || t.waiting_mt_release
             {
                 if t.blocking_branch.is_some() {
                     self.ctx.stats.mt_fetch_stall_mispredict += 1;
+                } else if t.ifetch_stall_until > now {
+                    self.ctx.stats.mt_fetch_stall_ifetch += 1;
+                    tlm::count(tlm::Counter::IfetchStallCycles);
                 }
                 if t.waiting_mt_release {
                     self.ctx.stats.mt_fetch_stall_trigger += 1;
@@ -38,6 +43,11 @@ impl<E: PreExecEngine> Pipeline<E> {
             }
         }
         let width = self.ctx.threads[MT].width;
+        // One L1I lookup per cache block entered by this fetch group; an
+        // L1I hit's latency is part of the frontend pipe depth, so only
+        // misses cost extra (they stall fetch until the line returns).
+        let iblock_bytes = self.ctx.cfg.l1i.block_bytes.max(1);
+        let mut cur_iblock: Option<u64> = None;
         // Frontend pipe occupancy backpressure: bounded by ROB partition.
         for _ in 0..width {
             if self.ctx.threads[MT].rob.len() as u32 >= self.ctx.threads[MT].rob_cap {
@@ -49,6 +59,21 @@ impl<E: PreExecEngine> Pipeline<E> {
                 }
                 return;
             };
+            let iblock = rec.pc / iblock_bytes;
+            if cur_iblock != Some(iblock) {
+                let r = self
+                    .ctx
+                    .hierarchy
+                    .request(MemRequest::ifetch(MT, rec.pc, now));
+                if r.level != AccessLevel::L1 {
+                    // I-miss (or merge onto an in-flight code fill): put the
+                    // record back and stall fetch until the line returns.
+                    self.ctx.trace.push_replay_front(std::iter::once(rec));
+                    self.ctx.threads[MT].ifetch_stall_until = r.done_cycle;
+                    return;
+                }
+                cur_iblock = Some(iblock);
+            }
             let seq = self.ctx.alloc_seq();
             let mut di = DynInst {
                 seq,
@@ -141,6 +166,9 @@ impl<E: PreExecEngine> Pipeline<E> {
         (default_pred, PredFrom::Default, default_pred)
     }
 
+    /// Side threads fetch from the helper-thread code (HTC) buffer, a
+    /// dedicated structure the engine installs at trigger time — not from
+    /// the L1I, so they neither miss in it nor consume its port.
     fn fetch_side(&mut self, tid: usize) {
         let width = self.ctx.threads[tid].width;
         for _ in 0..width {

@@ -7,6 +7,7 @@ use super::{exec_latency, Lane, Pipeline, SimContext, Stage};
 use crate::sim::types::{ExecInfo, PreExecEngine, SideAction, SideKind, MT, NUM_THREADS};
 use phelps_isa::{Inst, MemWidth, Reg};
 use phelps_uarch::bpred::DirectionPredictor;
+use phelps_uarch::mem::MemRequest;
 
 impl SimContext {
     pub(super) fn dep_ready(&self, dep: Option<u64>) -> bool {
@@ -135,7 +136,10 @@ impl<E: PreExecEngine> Pipeline<E> {
                 );
                 now + 2
             } else {
-                let r = self.ctx.hierarchy.access(pc, addr, now);
+                let r = self
+                    .ctx
+                    .hierarchy
+                    .request(MemRequest::load(MT, pc, addr, now));
                 r.done_cycle
             }
         } else {
@@ -281,7 +285,10 @@ impl<E: PreExecEngine> Pipeline<E> {
                     done = now + self.ctx.cfg.l1d.latency as u64;
                 } else {
                     result = self.ctx.timing_mem.read(mem_addr, width, signed);
-                    let r = self.ctx.hierarchy.access(side.pc, mem_addr, now);
+                    let r = self
+                        .ctx
+                        .hierarchy
+                        .request(MemRequest::load(tid, side.pc, mem_addr, now));
                     done = r.done_cycle;
                 }
             }

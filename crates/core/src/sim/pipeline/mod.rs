@@ -204,6 +204,10 @@ struct ThreadCtx {
     prf_used: u32,
     /// MT fetch blocked until this cycle (mispredict resolution, trigger).
     fetch_stall_until: u64,
+    /// MT fetch blocked until this cycle by an in-flight L1I miss. Kept
+    /// apart from `fetch_stall_until` (which squashes reset) because the
+    /// instruction fill stays in flight across a squash.
+    ifetch_stall_until: u64,
     /// Seq of the unresolved mispredicted branch blocking fetch.
     blocking_branch: Option<u64>,
     /// MT fetch blocked until the flagged live-in move retires.
@@ -229,6 +233,7 @@ impl ThreadCtx {
             sq_used: 0,
             prf_used: 0,
             fetch_stall_until: 0,
+            ifetch_stall_until: 0,
             blocking_branch: None,
             waiting_mt_release: false,
             active: false,
@@ -433,12 +438,14 @@ impl<E: PreExecEngine> Pipeline<E> {
 
     /// Functionally warms the microarchitectural state from a replayed
     /// instruction trace (checkpoint warmup, `phelps-ckpt`): conditional
-    /// branches train the direction predictor, loads and stores touch the
-    /// cache hierarchy's tag arrays. No cycles pass and no statistics move
-    /// — call before [`Pipeline::run`]. With an empty slice this is a
-    /// no-op, so the unwarmed path is bit-for-bit unchanged.
+    /// branches train the direction predictor, every instruction warms the
+    /// L1I fetch path, and loads and stores touch the data hierarchy's tag
+    /// arrays. No cycles pass and no statistics move — call before
+    /// [`Pipeline::run`]. With an empty slice this is a no-op, so the
+    /// unwarmed path is bit-for-bit unchanged.
     pub fn warm_microarch(&mut self, warm: &[ExecRecord]) {
         for rec in warm {
+            self.ctx.hierarchy.warm_ifetch(rec.pc);
             if rec.inst.is_cond_branch() {
                 self.ctx.bpred.warm(rec.pc, rec.taken);
             }
@@ -704,8 +711,17 @@ impl SimContext {
         self.stats.l1d_store_accesses = st_acc;
         self.stats.l1d_store_misses = st_miss;
         self.stats.prefetch_hits = pf_hits;
+        let (i_acc, i_miss) = self.hierarchy.l1i_stats();
+        self.stats.l1i_accesses = i_acc;
+        self.stats.l1i_misses = i_miss;
         self.stats.l2_misses = self.hierarchy.l2_misses();
         self.stats.l3_misses = self.hierarchy.l3_misses();
         self.stats.prefetches_issued = self.hierarchy.prefetches_issued;
+        let (l1i_p, l1d_p, l2_p, l3_p, dram_p) = self.hierarchy.port_stalls();
+        self.stats.l1i_port_stalls = l1i_p;
+        self.stats.l1d_port_stalls = l1d_p;
+        self.stats.l2_port_stalls = l2_p;
+        self.stats.l3_port_stalls = l3_p;
+        self.stats.dram_queue_stalls = dram_p;
     }
 }

@@ -9,6 +9,7 @@ use crate::sim::types::{EngineCmd, ExecInfo, PreExecEngine, SideKind, HT_A, HT_B
 use phelps_isa::Inst;
 use phelps_telemetry as tlm;
 use phelps_uarch::bpred::DirectionPredictor;
+use phelps_uarch::mem::MemRequest;
 
 use super::Stage;
 
@@ -77,7 +78,7 @@ impl<E: PreExecEngine> Pipeline<E> {
                 .write(rec.mem_addr, width, rec.store_data);
             self.ctx
                 .hierarchy
-                .store_retired(rec.mem_addr, self.ctx.cycle);
+                .request(MemRequest::store(MT, rec.pc, rec.mem_addr, self.ctx.cycle));
         }
 
         // Branch predictor training and statistics.

@@ -306,6 +306,16 @@ impl RunConfig {
         }
     }
 
+    /// A scaled configuration with caller-chosen region and epoch lengths
+    /// — the shared constructor behind unit tests, oracles, and golden
+    /// runs, so they can't drift apart one literal at a time.
+    pub fn quick(mode: Mode, max_mt_insts: u64, epoch_len: u64) -> RunConfig {
+        let mut c = RunConfig::scaled(mode);
+        c.max_mt_insts = max_mt_insts;
+        c.epoch_len = epoch_len;
+        c
+    }
+
     /// The delinquency threshold in absolute mispredictions per epoch.
     pub fn delinq_threshold(&self) -> u64 {
         ((self.delinq_threshold_mpki * self.epoch_len as f64) / 1000.0).max(1.0) as u64

@@ -5,10 +5,7 @@ use phelps::sim::{simulate, Mode, PhelpsFeatures, RunConfig};
 use phelps_isa::{Asm, Cpu, Reg};
 
 fn cfg(mode: Mode, insts: u64) -> RunConfig {
-    let mut cfg = RunConfig::scaled(mode);
-    cfg.max_mt_insts = insts;
-    cfg.epoch_len = 20_000;
-    cfg
+    RunConfig::quick(mode, insts, 20_000)
 }
 
 /// A loop with an aliasing store→load pair close enough to race in the

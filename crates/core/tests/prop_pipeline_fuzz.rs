@@ -128,9 +128,7 @@ proptest! {
         ops in prop::collection::vec(body_op(), 1..14),
         iters in 200u32..1500,
     ) {
-        let mut cfg = RunConfig::scaled(Mode::Baseline);
-        cfg.max_mt_insts = 120_000;
-        cfg.epoch_len = 15_000;
+        let cfg = RunConfig::quick(Mode::Baseline, 120_000, 15_000);
 
         let reference = simulate(build(&ops, iters), &cfg);
         prop_assert!(reference.stats.mt_retired > 0);

@@ -108,11 +108,25 @@ pub enum Counter {
     CkptRestoreNs,
     /// Fast-forward instructions skipped thanks to checkpoint restores.
     CkptSkippedInsts,
+    /// L1-I instruction-fetch misses.
+    L1iMisses,
+    /// Main-thread fetch cycles stalled on an in-flight L1-I miss.
+    IfetchStallCycles,
+    /// Cycles of admission delay imposed by the L1-I port.
+    L1iPortStalls,
+    /// Cycles of admission delay imposed by the L1-D port.
+    L1dPortStalls,
+    /// Cycles of admission delay imposed by the L2 port.
+    L2PortStalls,
+    /// Cycles of admission delay imposed by the L3 port.
+    L3PortStalls,
+    /// Cycles of admission delay imposed by the DRAM queue.
+    DramQueueStalls,
 }
 
 impl Counter {
     /// Number of counter kinds (array size).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 37;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -146,6 +160,13 @@ impl Counter {
         Counter::CkptSaveNs,
         Counter::CkptRestoreNs,
         Counter::CkptSkippedInsts,
+        Counter::L1iMisses,
+        Counter::IfetchStallCycles,
+        Counter::L1iPortStalls,
+        Counter::L1dPortStalls,
+        Counter::L2PortStalls,
+        Counter::L3PortStalls,
+        Counter::DramQueueStalls,
     ];
 
     /// Stable snake_case identifier used in exports.
@@ -181,6 +202,13 @@ impl Counter {
             Counter::CkptSaveNs => "ckpt_save_ns",
             Counter::CkptRestoreNs => "ckpt_restore_ns",
             Counter::CkptSkippedInsts => "ckpt_skipped_insts",
+            Counter::L1iMisses => "l1i_misses",
+            Counter::IfetchStallCycles => "ifetch_stall_cycles",
+            Counter::L1iPortStalls => "l1i_port_stalls",
+            Counter::L1dPortStalls => "l1d_port_stalls",
+            Counter::L2PortStalls => "l2_port_stalls",
+            Counter::L3PortStalls => "l3_port_stalls",
+            Counter::DramQueueStalls => "dram_queue_stalls",
         }
     }
 }
@@ -465,6 +493,7 @@ impl Registry {
             triggers: self.delta(Counter::Triggers),
             pred_hits: self.delta(Counter::PredConsumeHits),
             dram_accesses: self.delta(Counter::DramAccesses),
+            ifetch_stalls: self.delta(Counter::IfetchStallCycles),
             avg_rob: self.epoch_gauges[Gauge::RobOccupancy as usize].avg(),
             avg_pred_queue: self.epoch_gauges[Gauge::PredQueueDepth as usize].avg(),
         });

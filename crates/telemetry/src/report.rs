@@ -40,6 +40,8 @@ pub struct EpochSample {
     pub pred_hits: u64,
     /// DRAM accesses in the epoch.
     pub dram_accesses: u64,
+    /// Fetch cycles stalled on an in-flight L1-I miss in the epoch.
+    pub ifetch_stalls: u64,
     /// Mean ROB occupancy over the epoch's cycles.
     pub avg_rob: f64,
     /// Mean prediction-queue depth over the epoch's cycles.
@@ -193,6 +195,8 @@ impl Report {
             w.uint(e.pred_hits);
             w.key("dram_accesses");
             w.uint(e.dram_accesses);
+            w.key("ifetch_stalls");
+            w.uint(e.ifetch_stalls);
             w.key("avg_rob");
             w.float(e.avg_rob);
             w.key("avg_pred_queue");
@@ -226,11 +230,11 @@ impl Report {
     pub fn epochs_csv(&self) -> String {
         let mut out = String::from(
             "epoch,end_cycle,cycles,retired,ipc,mispredicts,mpki,\
-             triggers,pred_hits,dram_accesses,avg_rob,avg_pred_queue\n",
+             triggers,pred_hits,dram_accesses,ifetch_stalls,avg_rob,avg_pred_queue\n",
         );
         for e in &self.epochs {
             out.push_str(&format!(
-                "{},{},{},{},{:.6},{},{:.6},{},{},{},{:.3},{:.3}\n",
+                "{},{},{},{},{:.6},{},{:.6},{},{},{},{},{:.3},{:.3}\n",
                 e.epoch,
                 e.end_cycle,
                 e.cycles,
@@ -241,6 +245,7 @@ impl Report {
                 e.triggers,
                 e.pred_hits,
                 e.dram_accesses,
+                e.ifetch_stalls,
                 e.avg_rob,
                 e.avg_pred_queue,
             ));

@@ -111,6 +111,9 @@ pub struct CacheConfig {
     pub latency: u32,
     /// Number of miss status holding registers.
     pub mshrs: u32,
+    /// Requests admitted per cycle at this level's port; `0` means
+    /// unlimited bandwidth (the pre-port synchronous model).
+    pub ports: u32,
 }
 
 impl CacheConfig {
@@ -144,6 +147,10 @@ pub struct CoreConfig {
     pub lanes_mem: u32,
     /// Complex-ALU lanes (mul/div).
     pub lanes_complex: u32,
+    /// L1 instruction cache fronting the fetch stage. A `size_bytes` of
+    /// `0` disables instruction-fetch modeling entirely (ideal
+    /// instruction supply, the pre-port behavior).
+    pub l1i: CacheConfig,
     /// L1 data cache.
     pub l1d: CacheConfig,
     /// L2 unified cache.
@@ -152,6 +159,8 @@ pub struct CoreConfig {
     pub l3: CacheConfig,
     /// Main-memory latency in cycles.
     pub dram_latency: u32,
+    /// Requests the DRAM queue accepts per cycle; `0` means unlimited.
+    pub dram_queue_width: u32,
     /// Enable the IPCP-style L1D prefetcher.
     pub l1d_prefetcher: bool,
     /// Enable the VLDP-style L2 prefetcher.
@@ -160,8 +169,12 @@ pub struct CoreConfig {
 
 impl CoreConfig {
     /// The principal configuration of the paper (Table III): 8-wide,
-    /// 11-stage, ROB/PRF/LQ/SQ/IQ = 632/696/144/144/128, 48KB L1D (3
-    /// cycles), 1.25MB L2 (15 cycles), 3MB L3 (40 cycles), 100-cycle DRAM.
+    /// 11-stage, ROB/PRF/LQ/SQ/IQ = 632/696/144/144/128, 32KB L1I (2
+    /// cycles), 48KB L1D (3 cycles), 1.25MB L2 (15 cycles), 3MB L3 (40
+    /// cycles), 100-cycle DRAM. Port widths model finite bandwidth: two
+    /// L1I and two L1D requests per cycle (matching the fetch-group/
+    /// `lanes_mem` rate), one request per cycle into each of L2, L3 and
+    /// the DRAM queue.
     pub fn paper_default() -> CoreConfig {
         CoreConfig {
             width: 8,
@@ -174,12 +187,21 @@ impl CoreConfig {
             lanes_alu: 4,
             lanes_mem: 2,
             lanes_complex: 2,
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                block_bytes: 64,
+                latency: 2,
+                mshrs: 8,
+                ports: 2,
+            },
             l1d: CacheConfig {
                 size_bytes: 48 * 1024,
                 ways: 12,
                 block_bytes: 64,
                 latency: 3,
                 mshrs: 16,
+                ports: 2,
             },
             l2: CacheConfig {
                 size_bytes: 1280 * 1024,
@@ -187,6 +209,7 @@ impl CoreConfig {
                 block_bytes: 64,
                 latency: 15,
                 mshrs: 32,
+                ports: 1,
             },
             l3: CacheConfig {
                 size_bytes: 3 * 1024 * 1024,
@@ -194,11 +217,28 @@ impl CoreConfig {
                 block_bytes: 64,
                 latency: 40,
                 mshrs: 64,
+                ports: 1,
             },
             dram_latency: 100,
+            dram_queue_width: 1,
             l1d_prefetcher: true,
             l2_prefetcher: true,
         }
+    }
+
+    /// Effectively-infinite memory bandwidth and instruction supply:
+    /// unlimited ports at every level, no DRAM queue limit, and the L1I
+    /// disabled (`size_bytes = 0`, i.e. ideal fetch). This reproduces the
+    /// pre-port timing model and is used by the golden-compatibility
+    /// tests and A/B bandwidth experiments.
+    pub fn ideal_memory(mut self) -> CoreConfig {
+        self.l1i.size_bytes = 0;
+        self.l1i.ports = 0;
+        self.l1d.ports = 0;
+        self.l2.ports = 0;
+        self.l3.ports = 0;
+        self.dram_queue_width = 0;
+        self
     }
 
     /// The BR-12w configuration of Fig. 12a: a 12-wide core where the main
@@ -273,12 +313,37 @@ mod tests {
         assert_eq!(c.pipeline_stages, 11);
         assert_eq!((c.rob, c.prf, c.lq, c.sq, c.iq), (632, 696, 144, 144, 128));
         assert_eq!(c.lanes_alu + c.lanes_mem + c.lanes_complex, 8);
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l1i.latency, 2);
         assert_eq!(c.l1d.size_bytes, 48 * 1024);
         assert_eq!(c.l1d.ways, 12);
         assert_eq!(c.l1d.latency, 3);
         assert_eq!(c.l2.latency, 15);
         assert_eq!(c.l3.latency, 40);
         assert_eq!(c.dram_latency, 100);
+        // Finite bandwidth is the paper default; L1 ports track the
+        // fetch/AGU rate while the shared levels take one per cycle.
+        assert_eq!((c.l1i.ports, c.l1d.ports), (2, 2));
+        assert_eq!((c.l2.ports, c.l3.ports, c.dram_queue_width), (1, 1, 1));
+    }
+
+    #[test]
+    fn ideal_memory_removes_every_bandwidth_limit() {
+        let c = CoreConfig::paper_default().ideal_memory();
+        assert_eq!(c.l1i.size_bytes, 0, "ideal fetch disables the L1I");
+        assert_eq!(
+            (
+                c.l1i.ports,
+                c.l1d.ports,
+                c.l2.ports,
+                c.l3.ports,
+                c.dram_queue_width
+            ),
+            (0, 0, 0, 0, 0)
+        );
+        // Everything else stays at the paper default.
+        assert_eq!(c.l1d.size_bytes, 48 * 1024);
+        assert_eq!(c.rob, 632);
     }
 
     #[test]

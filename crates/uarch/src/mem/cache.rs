@@ -61,7 +61,7 @@ struct Mshr {
 /// use phelps_uarch::config::CacheConfig;
 /// use phelps_uarch::mem::{Cache, Probe};
 ///
-/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 64, latency: 3, mshrs: 4 };
+/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 64, latency: 3, mshrs: 4, ports: 0 };
 /// let mut c = Cache::new(cfg);
 /// assert_eq!(c.probe(0x40, 0), Probe::Miss);
 /// c.fill(0x40, false, 0);
@@ -320,6 +320,7 @@ mod tests {
             block_bytes: 64,
             latency: 3,
             mshrs: 2,
+            ports: 0,
         })
     }
 

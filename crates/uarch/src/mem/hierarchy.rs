@@ -1,19 +1,27 @@
-//! Three-level memory hierarchy.
+//! Three-level memory hierarchy behind bandwidth-limited ports.
 //!
-//! [`MemoryHierarchy`] binds the L1D/L2/L3 [`Cache`]s, the DRAM latency,
-//! and the two prefetchers into a single "access" interface used by the
-//! timing model: given a load's PC, address and issue cycle, it returns
-//! the cycle at which the data is available, performing fills and training
-//! prefetchers along the way.
+//! [`MemoryHierarchy`] binds the L1I/L1D/L2/L3 [`Cache`]s, the DRAM
+//! latency, the per-level [`Port`]s and the two prefetchers into a single
+//! request interface used by the timing model: every piece of traffic —
+//! instruction fetches, demand loads, retired stores, prefetches — is a
+//! [`MemRequest`] handed to [`MemoryHierarchy::request`], which admits it
+//! through the ports of each level it touches, performs fills on the way
+//! back, trains the prefetchers, and returns the cycle at which the data
+//! is available.
+//!
+//! Port admission models finite bandwidth: a level with `ports = N`
+//! accepts N requests per cycle and pushes the rest to later cycles, so
+//! helper-thread traffic is charged for the L2/L3/DRAM contention it
+//! creates. `ports = 0` disables the limit at that level.
 
 use crate::config::CoreConfig;
-use crate::mem::{Cache, IpcpPrefetcher, Probe, VldpPrefetcher};
+use crate::mem::{Cache, IpcpPrefetcher, MemRequest, Port, Probe, ReqKind, VldpPrefetcher};
 use phelps_telemetry as tlm;
 
 /// Outcome of a demand access, for statistics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessLevel {
-    /// Hit in the L1 data cache.
+    /// Hit in the L1 cache the request entered at (L1I or L1D).
     L1,
     /// Hit in the L2.
     L2,
@@ -23,7 +31,7 @@ pub enum AccessLevel {
     Dram,
 }
 
-/// Result of [`MemoryHierarchy::access`].
+/// Result of [`MemoryHierarchy::request`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AccessResult {
     /// Cycle at which the value is available to dependents.
@@ -34,26 +42,35 @@ pub struct AccessResult {
     pub l1_prefetch_hit: bool,
 }
 
-/// The simulated cache hierarchy (demand path + prefetchers).
+/// The simulated cache hierarchy (fetch + demand paths, ports,
+/// prefetchers).
 ///
 /// # Examples
 ///
 /// ```
 /// use phelps_uarch::config::CoreConfig;
-/// use phelps_uarch::mem::{AccessLevel, MemoryHierarchy};
+/// use phelps_uarch::mem::{AccessLevel, MemRequest, MemoryHierarchy};
 ///
 /// let mut mh = MemoryHierarchy::new(&CoreConfig::paper_default());
-/// let first = mh.access(0x400, 0x10_000, 0);
+/// let first = mh.request(MemRequest::load(0, 0x400, 0x10_000, 0));
 /// assert_eq!(first.level, AccessLevel::Dram);
-/// let again = mh.access(0x400, 0x10_000, first.done_cycle);
+/// let again = mh.request(MemRequest::load(0, 0x400, 0x10_000, first.done_cycle));
 /// assert_eq!(again.level, AccessLevel::L1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct MemoryHierarchy {
+    /// `None` when `cfg.l1i.size_bytes == 0`: ideal instruction supply,
+    /// every [`ReqKind::IFetch`] completes instantly.
+    l1i: Option<Cache>,
     l1d: Cache,
     l2: Cache,
     l3: Cache,
     dram_latency: u32,
+    l1i_port: Port,
+    l1d_port: Port,
+    l2_port: Port,
+    l3_port: Port,
+    dram_queue: Port,
     ipcp: Option<IpcpPrefetcher>,
     vldp: Option<VldpPrefetcher>,
     /// Prefetches issued (after in-cache filtering).
@@ -64,16 +81,28 @@ impl MemoryHierarchy {
     /// Builds the hierarchy from a core configuration.
     pub fn new(cfg: &CoreConfig) -> MemoryHierarchy {
         MemoryHierarchy {
+            l1i: (cfg.l1i.size_bytes > 0).then(|| Cache::new(cfg.l1i)),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             l3: Cache::new(cfg.l3),
             dram_latency: cfg.dram_latency,
+            l1i_port: Port::new(cfg.l1i.ports),
+            l1d_port: Port::new(cfg.l1d.ports),
+            l2_port: Port::new(cfg.l2.ports),
+            l3_port: Port::new(cfg.l3.ports),
+            dram_queue: Port::new(cfg.dram_queue_width),
             ipcp: cfg.l1d_prefetcher.then(|| IpcpPrefetcher::new(256)),
             vldp: cfg
                 .l2_prefetcher
                 .then(|| VldpPrefetcher::new(cfg.l2.block_bytes)),
             prefetches_issued: 0,
         }
+    }
+
+    /// L1I instruction-fetch statistics: (accesses, misses). Both zero
+    /// when the L1I is disabled.
+    pub fn l1i_stats(&self) -> (u64, u64) {
+        self.l1i.as_ref().map_or((0, 0), |c| (c.accesses, c.misses))
     }
 
     /// L1D demand-load statistics: (accesses, misses, prefetch hits).
@@ -98,13 +127,47 @@ impl MemoryHierarchy {
         self.l3.misses
     }
 
-    /// Performs a demand access by instruction `pc` to `addr` issued at
-    /// `cycle`, filling caches on the way back and training prefetchers.
+    /// Per-level port admission-stall cycles:
+    /// `(l1i, l1d, l2, l3, dram queue)`. Each value is the total delay the
+    /// level's port imposed on requests over the run.
+    pub fn port_stalls(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.l1i_port.stall_cycles(),
+            self.l1d_port.stall_cycles(),
+            self.l2_port.stall_cycles(),
+            self.l3_port.stall_cycles(),
+            self.dram_queue.stall_cycles(),
+        )
+    }
+
+    /// Admits through `port`, recording any imposed delay into `c`.
+    fn admit(port: &mut Port, c: tlm::Counter, cycle: u64) -> u64 {
+        let at = port.admit(cycle);
+        if at > cycle {
+            tlm::add(c, at - cycle);
+        }
+        at
+    }
+
+    /// Routes one request into the hierarchy: admits it through the ports
+    /// of every level it touches, fills caches on the way back, trains
+    /// the prefetchers, and returns when (and from where) it completes.
     ///
-    /// MSHR exhaustion at the L1 adds a retry penalty rather than blocking
-    /// the caller, keeping the interface non-blocking while still bounding
-    /// effective MLP.
-    pub fn access(&mut self, pc: u64, addr: u64, cycle: u64) -> AccessResult {
+    /// MSHR exhaustion at the entry level adds a retry penalty rather than
+    /// blocking the caller, keeping the interface non-blocking while still
+    /// bounding effective MLP.
+    pub fn request(&mut self, req: MemRequest) -> AccessResult {
+        match req.kind {
+            ReqKind::Load => self.demand_load(req),
+            ReqKind::Store => self.store(req),
+            ReqKind::IFetch => self.ifetch(req),
+            ReqKind::Prefetch => self.prefetch_request(req),
+        }
+    }
+
+    /// A demand load entering at the L1D.
+    fn demand_load(&mut self, req: MemRequest) -> AccessResult {
+        let cycle = Self::admit(&mut self.l1d_port, tlm::Counter::L1dPortStalls, req.cycle);
         // A miss to this block already in flight: merge onto it. Fills are
         // applied to the tag array eagerly, so this check must precede the
         // probe to charge the merged access the true fill latency. The
@@ -112,12 +175,16 @@ impl MemoryHierarchy {
         // and still trains the L1 prefetcher below — it is a demand access
         // like any other.
         let (mut done, level, l1_prefetch_hit);
-        if let Some((fill, inflight_level)) = self.l1d.mshr_pending(addr, cycle) {
+        if let Some((fill, inflight_level)) = self.l1d.mshr_pending(req.addr, cycle) {
             self.l1d.accesses += 1;
             tlm::count(tlm::Counter::MshrMerges);
             done = fill.max(cycle + self.l1d.latency() as u64);
             level = inflight_level;
             l1_prefetch_hit = false;
+            // Merged accesses still observed a miss latency; record it so
+            // the MissLatency histogram is not biased toward the subset of
+            // misses that happened to allocate their own MSHR.
+            tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
             #[cfg(feature = "debug-invariants")]
             assert_ne!(
                 level,
@@ -125,7 +192,7 @@ impl MemoryHierarchy {
                 "MSHR invariant: an in-flight miss cannot be L1-bound"
             );
         } else {
-            match self.l1d.probe(addr, cycle) {
+            match self.l1d.probe(req.addr, cycle) {
                 Probe::Hit { first_prefetch_hit } => {
                     done = cycle + self.l1d.latency() as u64;
                     level = AccessLevel::L1;
@@ -133,25 +200,25 @@ impl MemoryHierarchy {
                 }
                 Probe::Miss => {
                     l1_prefetch_hit = false;
-                    let (lower_done, lower_level) = self.access_l2(addr, cycle, false);
+                    let (lower_done, lower_level) = self.access_l2(req.addr, cycle);
                     done = lower_done;
                     level = lower_level;
-                    if !self.l1d.mshr_allocate(addr, cycle, done, level) {
+                    if !self.l1d.mshr_allocate(req.addr, cycle, done, level) {
                         // All MSHRs busy: retry after a fixed backoff.
                         done += 4;
                         tlm::count(tlm::Counter::MshrFullRetries);
-                        tlm::event(tlm::EventKind::MshrFull, cycle, pc, addr);
+                        tlm::event(tlm::EventKind::MshrFull, cycle, req.pc, req.addr);
                     }
-                    self.l1d.fill(addr, false, done);
+                    self.l1d.fill(req.addr, false, done);
                     if tlm::enabled() {
                         tlm::count(tlm::Counter::L1dMisses);
-                        tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(cycle));
+                        tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
                         tlm::gauge(
                             tlm::Gauge::MshrOccupancy,
                             self.l1d.mshrs_in_use(cycle) as u64,
                         );
                         if level == AccessLevel::Dram {
-                            tlm::event(tlm::EventKind::DramMiss, cycle, pc, done - cycle);
+                            tlm::event(tlm::EventKind::DramMiss, cycle, req.pc, done - cycle);
                         }
                     }
                 }
@@ -160,17 +227,9 @@ impl MemoryHierarchy {
 
         // Train the L1 prefetcher on every demand access (merged or not).
         if let Some(ipcp) = &mut self.ipcp {
-            let reqs = ipcp.train(pc, addr);
+            let reqs = ipcp.train(req.pc, req.addr);
             for r in reqs {
-                if !self.l1d.contains(r.addr) {
-                    self.prefetches_issued += 1;
-                    // Prefetch data comes from wherever it lives; fill both
-                    // L1 and (if missing) L2 without charging the demand path.
-                    if !self.l2.contains(r.addr) {
-                        self.l2.fill(r.addr, true, cycle);
-                    }
-                    self.l1d.fill(r.addr, true, cycle);
-                }
+                self.prefetch_fill_l1d(r.addr, cycle);
             }
         }
 
@@ -181,38 +240,177 @@ impl MemoryHierarchy {
         }
     }
 
-    fn access_l2(&mut self, addr: u64, cycle: u64, is_prefetch: bool) -> (u64, AccessLevel) {
+    /// A store's write at retire: enters the L1D through the same
+    /// MSHR-merge/fill path as loads, so a store miss occupies an MSHR and
+    /// later loads to the block merge onto the in-flight fill instead of
+    /// hitting the eagerly-filled tag. The returned completion cycle is
+    /// write-buffer drain time — retire itself never blocks on it. Counts
+    /// into the dedicated store counters
+    /// ([`MemoryHierarchy::l1d_store_stats`]) rather than the demand
+    /// counters, so retired stores do not inflate load-MPKI.
+    fn store(&mut self, req: MemRequest) -> AccessResult {
+        tlm::count(tlm::Counter::StoresRetired);
+        let cycle = Self::admit(&mut self.l1d_port, tlm::Counter::L1dPortStalls, req.cycle);
+        let l1_lat = self.l1d.latency() as u64;
+        if let Some((fill, level)) = self.l1d.mshr_pending(req.addr, cycle) {
+            self.l1d.store_accesses += 1;
+            tlm::count(tlm::Counter::MshrMerges);
+            let done = fill.max(cycle + l1_lat);
+            tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
+            return AccessResult {
+                done_cycle: done,
+                level,
+                l1_prefetch_hit: false,
+            };
+        }
+        match self.l1d.probe_store(req.addr, cycle) {
+            Probe::Hit { .. } => AccessResult {
+                done_cycle: cycle + l1_lat,
+                level: AccessLevel::L1,
+                l1_prefetch_hit: false,
+            },
+            Probe::Miss => {
+                let (mut done, level) = self.access_l2(req.addr, cycle);
+                if !self.l1d.mshr_allocate(req.addr, cycle, done, level) {
+                    done += 4;
+                    tlm::count(tlm::Counter::MshrFullRetries);
+                    tlm::event(tlm::EventKind::MshrFull, cycle, req.pc, req.addr);
+                }
+                self.l1d.fill(req.addr, false, done);
+                tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
+                AccessResult {
+                    done_cycle: done,
+                    level,
+                    l1_prefetch_hit: false,
+                }
+            }
+        }
+    }
+
+    /// An instruction fetch entering at the L1I. With the L1I disabled
+    /// (`size_bytes = 0`) this is ideal: it completes instantly at level
+    /// L1 and touches no port.
+    fn ifetch(&mut self, req: MemRequest) -> AccessResult {
+        let Some(mut l1i) = self.l1i.take() else {
+            return AccessResult {
+                done_cycle: req.cycle,
+                level: AccessLevel::L1,
+                l1_prefetch_hit: false,
+            };
+        };
+        let cycle = Self::admit(&mut self.l1i_port, tlm::Counter::L1iPortStalls, req.cycle);
+        let lat = l1i.latency() as u64;
+        let result = if let Some((fill, level)) = l1i.mshr_pending(req.addr, cycle) {
+            l1i.accesses += 1;
+            tlm::count(tlm::Counter::MshrMerges);
+            let done = fill.max(cycle + lat);
+            tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
+            AccessResult {
+                done_cycle: done,
+                level,
+                l1_prefetch_hit: false,
+            }
+        } else {
+            match l1i.probe(req.addr, cycle) {
+                Probe::Hit { .. } => AccessResult {
+                    done_cycle: cycle + lat,
+                    level: AccessLevel::L1,
+                    l1_prefetch_hit: false,
+                },
+                Probe::Miss => {
+                    let (mut done, level) = self.access_l2(req.addr, cycle);
+                    if !l1i.mshr_allocate(req.addr, cycle, done, level) {
+                        done += 4;
+                        tlm::count(tlm::Counter::MshrFullRetries);
+                        tlm::event(tlm::EventKind::MshrFull, cycle, req.pc, req.addr);
+                    }
+                    l1i.fill(req.addr, false, done);
+                    if tlm::enabled() {
+                        tlm::count(tlm::Counter::L1iMisses);
+                        tlm::hist(tlm::Hist::MissLatency, done.saturating_sub(req.cycle));
+                    }
+                    AccessResult {
+                        done_cycle: done,
+                        level,
+                        l1_prefetch_hit: false,
+                    }
+                }
+            }
+        };
+        self.l1i = Some(l1i);
+        result
+    }
+
+    /// An externally-issued prefetch targeting the L1D: fills from
+    /// wherever the block lives, charged port bandwidth but no demand
+    /// counters. The internal L1 prefetcher uses the same path.
+    fn prefetch_request(&mut self, req: MemRequest) -> AccessResult {
+        let filled = self.prefetch_fill_l1d(req.addr, req.cycle);
+        AccessResult {
+            done_cycle: req.cycle + self.l1d.latency() as u64,
+            level: if filled {
+                AccessLevel::L2
+            } else {
+                AccessLevel::L1
+            },
+            l1_prefetch_hit: false,
+        }
+    }
+
+    /// Fills `addr` into the L1D (and L2 if missing) as prefetch data,
+    /// charging L1D/L2 port bandwidth. Skipped (returning `false`) when
+    /// the block is already L1-resident.
+    fn prefetch_fill_l1d(&mut self, addr: u64, cycle: u64) -> bool {
+        if self.l1d.contains(addr) {
+            return false;
+        }
+        self.prefetches_issued += 1;
+        let at = Self::admit(&mut self.l1d_port, tlm::Counter::L1dPortStalls, cycle);
+        if !self.l2.contains(addr) {
+            let at2 = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, at);
+            self.l2.fill(addr, true, at2);
+        }
+        self.l1d.fill(addr, true, at);
+        true
+    }
+
+    fn access_l2(&mut self, addr: u64, cycle: u64) -> (u64, AccessLevel) {
+        let cycle = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, cycle);
         let l2_lat = self.l2.latency() as u64;
         let result = match self.l2.probe(addr, cycle) {
             Probe::Hit { .. } => (cycle + l2_lat, AccessLevel::L2),
             Probe::Miss => {
                 tlm::count(tlm::Counter::L2Misses);
-                let (done, level) = match self.l3.probe(addr, cycle) {
-                    Probe::Hit { .. } => (cycle + self.l3.latency() as u64, AccessLevel::L3),
+                let at3 = Self::admit(&mut self.l3_port, tlm::Counter::L3PortStalls, cycle);
+                let (done, level) = match self.l3.probe(addr, at3) {
+                    Probe::Hit { .. } => (at3 + self.l3.latency() as u64, AccessLevel::L3),
                     Probe::Miss => {
                         tlm::count(tlm::Counter::L3Misses);
                         tlm::count(tlm::Counter::DramAccesses);
-                        let done = cycle + self.l3.latency() as u64 + self.dram_latency as u64;
+                        let atq =
+                            Self::admit(&mut self.dram_queue, tlm::Counter::DramQueueStalls, at3);
+                        let done = atq + self.l3.latency() as u64 + self.dram_latency as u64;
                         self.l3.fill(addr, false, done);
                         (done, AccessLevel::Dram)
                     }
                 };
-                self.l2.fill(addr, is_prefetch, done);
+                self.l2.fill(addr, false, done);
                 (done, level)
             }
         };
-        // Train the L2 delta prefetcher on demand traffic reaching L2.
-        if !is_prefetch {
-            if let Some(vldp) = &mut self.vldp {
-                let reqs = vldp.train(addr);
-                for r in reqs {
-                    if !self.l2.contains(r.addr) {
-                        self.prefetches_issued += 1;
-                        if matches!(self.l3.probe(r.addr, cycle), Probe::Miss) {
-                            self.l3.fill(r.addr, true, cycle);
-                        }
-                        self.l2.fill(r.addr, true, cycle);
+        // Train the L2 delta prefetcher on demand traffic reaching L2; its
+        // fills are charged L2/L3 port bandwidth like any other traffic.
+        if let Some(vldp) = &mut self.vldp {
+            let reqs = vldp.train(addr);
+            for r in reqs {
+                if !self.l2.contains(r.addr) {
+                    self.prefetches_issued += 1;
+                    let at2 = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, cycle);
+                    if matches!(self.l3.probe(r.addr, at2), Probe::Miss) {
+                        let at3 = Self::admit(&mut self.l3_port, tlm::Counter::L3PortStalls, at2);
+                        self.l3.fill(r.addr, true, at3);
                     }
+                    self.l2.fill(r.addr, true, at2);
                 }
             }
         }
@@ -221,33 +419,41 @@ impl MemoryHierarchy {
 
     /// Functional warming: replays one memory reference through the tag
     /// arrays only. Mirrors the demand fill path (miss at a level fills
-    /// that level and everything above) but charges no latency, trains no
-    /// prefetcher, allocates no MSHR, and perturbs no statistics — the
-    /// point is that a checkpoint-restored region starts with plausibly
-    /// warm caches while its counters still read zero.
+    /// that level and everything above) but charges no latency or port
+    /// bandwidth, trains no prefetcher, allocates no MSHR, and perturbs no
+    /// statistics — the point is that a checkpoint-restored region starts
+    /// with plausibly warm caches while its counters still read zero.
     pub fn warm_access(&mut self, addr: u64) {
         if self.l1d.warm_touch(addr) {
             return;
         }
+        self.warm_lower(addr);
+        self.l1d.warm_insert(addr);
+    }
+
+    /// Functional warming of the instruction-fetch path: like
+    /// [`MemoryHierarchy::warm_access`] but entering at the L1I. A no-op
+    /// when the L1I is disabled.
+    pub fn warm_ifetch(&mut self, pc: u64) {
+        let Some(l1i) = self.l1i.as_mut() else {
+            return;
+        };
+        if l1i.warm_touch(pc) {
+            return;
+        }
+        self.warm_lower(pc);
+        if let Some(l1i) = self.l1i.as_mut() {
+            l1i.warm_insert(pc);
+        }
+    }
+
+    /// Shared L2/L3 warm ladder under either L1.
+    fn warm_lower(&mut self, addr: u64) {
         if !self.l2.warm_touch(addr) {
             if !self.l3.warm_touch(addr) {
                 self.l3.warm_insert(addr);
             }
             self.l2.warm_insert(addr);
-        }
-        self.l1d.warm_insert(addr);
-    }
-
-    /// A store's write at retire: touches the hierarchy for inclusion but
-    /// charges no latency to the retire stage (write-buffer semantics).
-    /// Counts into the dedicated store counters
-    /// ([`MemoryHierarchy::l1d_store_stats`]) rather than the demand
-    /// counters, so retired stores do not inflate load-MPKI.
-    pub fn store_retired(&mut self, addr: u64, cycle: u64) {
-        tlm::count(tlm::Counter::StoresRetired);
-        if let Probe::Miss = self.l1d.probe_store(addr, cycle) {
-            let (done, _) = self.access_l2(addr, cycle, false);
-            self.l1d.fill(addr, false, done);
         }
     }
 }
@@ -260,12 +466,26 @@ mod tests {
         MemoryHierarchy::new(&CoreConfig::paper_default())
     }
 
+    /// Paper config with unlimited ports and no prefetchers, so latency
+    /// tests see the raw ladder.
+    fn quiet_cfg() -> CoreConfig {
+        CoreConfig {
+            l1d_prefetcher: false,
+            l2_prefetcher: false,
+            ..CoreConfig::paper_default().ideal_memory()
+        }
+    }
+
+    fn load(m: &mut MemoryHierarchy, pc: u64, addr: u64, cycle: u64) -> AccessResult {
+        m.request(MemRequest::load(0, pc, addr, cycle))
+    }
+
     #[test]
     fn latency_ladder() {
         let cfg = CoreConfig::paper_default();
         let mut m = mh();
         // Cold: DRAM.
-        let r = m.access(0x0, 0x80_0000, 0);
+        let r = load(&mut m, 0x0, 0x80_0000, 0);
         assert_eq!(r.level, AccessLevel::Dram);
         assert_eq!(
             r.done_cycle,
@@ -273,9 +493,99 @@ mod tests {
             "L3 lookup + DRAM"
         );
         // Warm: L1.
-        let r = m.access(0x0, 0x80_0000, 1000);
+        let r = load(&mut m, 0x0, 0x80_0000, 1000);
         assert_eq!(r.level, AccessLevel::L1);
         assert_eq!(r.done_cycle, 1000 + cfg.l1d.latency as u64);
+    }
+
+    #[test]
+    fn ifetch_latency_ladder() {
+        let cfg = CoreConfig::paper_default();
+        let mut m = mh();
+        let r = m.request(MemRequest::ifetch(0, 0x40_0000, 0));
+        assert_eq!(r.level, AccessLevel::Dram, "cold code block");
+        assert_eq!(r.done_cycle, (cfg.l3.latency + cfg.dram_latency) as u64);
+        let r = m.request(MemRequest::ifetch(0, 0x40_0000, 1000));
+        assert_eq!(r.level, AccessLevel::L1);
+        assert_eq!(r.done_cycle, 1000 + cfg.l1i.latency as u64);
+        assert_eq!(m.l1i_stats(), (2, 1));
+        // Instruction and data L1s are disjoint: the same block misses L1D
+        // but is caught by the shared L2.
+        let r = load(&mut m, 0x0, 0x40_0000, 2000);
+        assert_eq!(r.level, AccessLevel::L2);
+    }
+
+    #[test]
+    fn disabled_l1i_is_ideal() {
+        let mut m = MemoryHierarchy::new(&CoreConfig::paper_default().ideal_memory());
+        let r = m.request(MemRequest::ifetch(0, 0x40_0000, 7));
+        assert_eq!(r.level, AccessLevel::L1);
+        assert_eq!(r.done_cycle, 7, "no latency, no stall");
+        assert_eq!(m.l1i_stats(), (0, 0));
+        assert_eq!((m.l2_misses(), m.l3_misses()), (0, 0), "no L2 traffic");
+    }
+
+    #[test]
+    fn ifetch_merges_onto_inflight_code_miss() {
+        let mut m = MemoryHierarchy::new(&CoreConfig {
+            l1d_prefetcher: false,
+            l2_prefetcher: false,
+            ..CoreConfig::paper_default()
+        });
+        let first = m.request(MemRequest::ifetch(0, 0x40_0000, 0));
+        let merged = m.request(MemRequest::ifetch(0, 0x40_0008, 1));
+        assert_eq!(merged.done_cycle, first.done_cycle);
+        assert_eq!(merged.level, AccessLevel::Dram);
+    }
+
+    #[test]
+    fn l1d_port_serializes_same_cycle_loads() {
+        let mut cfg = CoreConfig {
+            l1d_prefetcher: false,
+            l2_prefetcher: false,
+            ..CoreConfig::paper_default().ideal_memory()
+        };
+        cfg.l1d.ports = 1;
+        let mut m = MemoryHierarchy::new(&cfg);
+        // Warm two distinct blocks.
+        let _ = load(&mut m, 0x0, 0x0, 0);
+        let _ = load(&mut m, 0x0, 0x40, 0);
+        // Both hit L1, but the second is admitted a cycle later.
+        let a = load(&mut m, 0x0, 0x0, 1000);
+        let b = load(&mut m, 0x0, 0x40, 1000);
+        assert_eq!(a.done_cycle, 1000 + cfg.l1d.latency as u64);
+        assert_eq!(b.done_cycle, 1001 + cfg.l1d.latency as u64);
+        let (_, l1d_stalls, _, _, _) = m.port_stalls();
+        assert!(l1d_stalls > 0, "admission delay is accounted");
+    }
+
+    #[test]
+    fn dram_queue_serializes_concurrent_misses() {
+        let mut cfg = CoreConfig {
+            l1d_prefetcher: false,
+            l2_prefetcher: false,
+            ..CoreConfig::paper_default().ideal_memory()
+        };
+        cfg.dram_queue_width = 1;
+        let mut m = MemoryHierarchy::new(&cfg);
+        // Two cold misses to different blocks in the same cycle: both go
+        // to DRAM, but the queue admits one per cycle.
+        let a = load(&mut m, 0x0, 0x100_0000, 0);
+        let b = load(&mut m, 0x0, 0x200_0000, 0);
+        assert_eq!(a.level, AccessLevel::Dram);
+        assert_eq!(b.level, AccessLevel::Dram);
+        assert_eq!(b.done_cycle, a.done_cycle + 1);
+        let (_, _, _, _, dram_stalls) = m.port_stalls();
+        assert_eq!(dram_stalls, 1);
+    }
+
+    #[test]
+    fn unlimited_ports_impose_no_stalls() {
+        let mut m = MemoryHierarchy::new(&quiet_cfg());
+        for i in 0..16u64 {
+            let _ = load(&mut m, 0x0, i * 0x1_0000, 0);
+        }
+        assert_eq!(m.port_stalls(), (0, 0, 0, 0, 0));
     }
 
     #[test]
@@ -286,13 +596,13 @@ mod tests {
             ..CoreConfig::paper_default()
         });
         // Fill a block, then blow the L1 with conflicting blocks.
-        let _ = m.access(0x0, 0x0, 0);
+        let _ = load(&mut m, 0x0, 0x0, 0);
         let cfg = CoreConfig::paper_default();
         let sets = cfg.l1d.sets();
         for w in 1..=cfg.l1d.ways as u64 + 2 {
-            let _ = m.access(0x0, w * sets * 64, 0);
+            let _ = load(&mut m, 0x0, w * sets * 64, 0);
         }
-        let r = m.access(0x0, 0x0, 10_000);
+        let r = load(&mut m, 0x0, 0x0, 10_000);
         assert_eq!(r.level, AccessLevel::L2, "victim caught by L2");
     }
 
@@ -301,7 +611,7 @@ mod tests {
         let mut m = mh();
         let mut dram_late = 0;
         for i in 0..64u64 {
-            let r = m.access(0x40, 0x100_0000 + i * 64, i * 200);
+            let r = load(&mut m, 0x40, 0x100_0000 + i * 64, i * 200);
             if i >= 16 && r.level == AccessLevel::Dram {
                 dram_late += 1;
             }
@@ -314,11 +624,48 @@ mod tests {
     }
 
     #[test]
-    fn store_retired_fills_without_blocking() {
+    fn prefetch_request_fills_l1d_without_demand_counters() {
+        let mut m = MemoryHierarchy::new(&quiet_cfg());
+        let r = m.request(MemRequest::prefetch(0, 0, 0x55_0000, 0));
+        assert_eq!(r.level, AccessLevel::L2, "cold prefetch did a fill");
+        assert_eq!(m.prefetches_issued, 1);
+        let (acc, miss, _) = m.l1d_stats();
+        assert_eq!((acc, miss), (0, 0), "no demand traffic from prefetches");
+        let hit = load(&mut m, 0x0, 0x55_0000, 100);
+        assert_eq!(hit.level, AccessLevel::L1);
+        assert!(hit.l1_prefetch_hit, "first demand touch of prefetched data");
+        // A redundant prefetch to resident data is filtered.
+        let r = m.request(MemRequest::prefetch(0, 0, 0x55_0000, 200));
+        assert_eq!(r.level, AccessLevel::L1);
+        assert_eq!(m.prefetches_issued, 1);
+    }
+
+    #[test]
+    fn store_fill_serves_later_loads() {
         let mut m = mh();
-        m.store_retired(0x55_0000, 0);
-        let r = m.access(0x0, 0x55_0000, 100);
+        let st = m.request(MemRequest::store(0, 0x0, 0x55_0000, 0));
+        assert_eq!(st.level, AccessLevel::Dram, "cold store miss");
+        // A load while the store's fill is still in flight merges onto it
+        // (stores share the MSHR path), observing the true fill latency.
+        let merged = load(&mut m, 0x0, 0x55_0000, 100);
+        assert_eq!(merged.level, AccessLevel::Dram);
+        assert_eq!(merged.done_cycle, st.done_cycle);
+        // After the fill lands, loads hit L1.
+        let r = load(&mut m, 0x0, 0x55_0000, st.done_cycle + 1);
         assert_eq!(r.level, AccessLevel::L1, "store brought the block in");
+    }
+
+    #[test]
+    fn store_merges_onto_inflight_load_miss() {
+        let mut m = MemoryHierarchy::new(&CoreConfig {
+            l1d_prefetcher: false,
+            l2_prefetcher: false,
+            ..CoreConfig::paper_default()
+        });
+        let ld = load(&mut m, 0x0, 0x77_0000, 0);
+        let st = m.request(MemRequest::store(0, 0x0, 0x77_0008, 1));
+        assert_eq!(st.done_cycle, ld.done_cycle, "store merged onto the miss");
+        assert_eq!(m.l1d_store_stats(), (1, 0), "merge is not a store miss");
     }
 
     #[test]
@@ -328,9 +675,9 @@ mod tests {
             l2_prefetcher: false,
             ..CoreConfig::paper_default()
         });
-        let first = m.access(0x0, 0x77_0000, 0);
+        let first = load(&mut m, 0x0, 0x77_0000, 0);
         // Second access to the same block before the fill completes merges.
-        let second = m.access(0x0, 0x77_0040 - 0x40, 1);
+        let second = load(&mut m, 0x0, 0x77_0040 - 0x40, 1);
         assert_eq!(second.done_cycle, first.done_cycle);
     }
 
@@ -344,9 +691,9 @@ mod tests {
             l2_prefetcher: false,
             ..CoreConfig::paper_default()
         });
-        let first = m.access(0x0, 0x99_0000, 0);
+        let first = load(&mut m, 0x0, 0x99_0000, 0);
         assert_eq!(first.level, AccessLevel::Dram, "cold miss goes to DRAM");
-        let merged = m.access(0x0, 0x99_0008, 1);
+        let merged = load(&mut m, 0x0, 0x99_0008, 1);
         assert_eq!(merged.done_cycle, first.done_cycle);
         assert_eq!(merged.level, AccessLevel::Dram, "merge reports true level");
     }
@@ -361,16 +708,16 @@ mod tests {
         let mut m = MemoryHierarchy::new(&cfg);
         // Warm the L2, then evict the block from the L1 with conflicting
         // accesses so a fresh L1 miss is L2-bound.
-        let warm = m.access(0x0, 0x0, 0);
+        let warm = load(&mut m, 0x0, 0x0, 0);
         let sets = cfg.l1d.sets();
         let t0 = warm.done_cycle + 1000;
         for w in 1..=cfg.l1d.ways as u64 + 2 {
-            let r = m.access(0x0, w * sets * 64, t0);
+            let r = load(&mut m, 0x0, w * sets * 64, t0);
             assert!(r.done_cycle > t0);
         }
-        let miss = m.access(0x0, 0x0, t0 + 10_000);
+        let miss = load(&mut m, 0x0, 0x0, t0 + 10_000);
         assert_eq!(miss.level, AccessLevel::L2, "victim caught by L2");
-        let merged = m.access(0x0, 0x8, t0 + 10_001);
+        let merged = load(&mut m, 0x0, 0x8, t0 + 10_001);
         assert_eq!(merged.level, AccessLevel::L2);
         assert_eq!(merged.done_cycle, miss.done_cycle);
     }
@@ -393,13 +740,13 @@ mod tests {
         let mut merges = 0u64;
         let mut t = 0u64;
         for i in 0..32u64 {
-            let a = m.access(0x80, base + i * 64, t);
-            let b = m.access(0x84, base + i * 64 + 8, t + 1);
+            let a = load(&mut m, 0x80, base + i * 64, t);
+            let b = load(&mut m, 0x84, base + i * 64 + 8, t + 1);
             if a.level != AccessLevel::L1 && b.done_cycle == a.done_cycle {
                 merges += 1;
             }
             // Scramble pc 0x80's stride (+6400, -6336, ...).
-            let _ = m.access(0x80, far + i * 64, t + 2);
+            let _ = load(&mut m, 0x80, far + i * 64, t + 2);
             t += 24;
         }
         assert!(merges >= 3, "stream produced MSHR merges: {merges}");
@@ -417,8 +764,9 @@ mod tests {
         assert_eq!((acc, miss, pf), (0, 0, 0));
         assert_eq!((m.l2_misses(), m.l3_misses()), (0, 0));
         assert_eq!(m.prefetches_issued, 0, "warming trains no prefetcher");
+        assert_eq!(m.port_stalls(), (0, 0, 0, 0, 0), "warming charges no port");
         // The block is genuinely resident: the first demand access hits L1.
-        let r = m.access(0x0, 0x44_0000, 100);
+        let r = load(&mut m, 0x0, 0x44_0000, 100);
         assert_eq!(r.level, AccessLevel::L1);
     }
 
@@ -427,24 +775,38 @@ mod tests {
         let mut m = mh();
         m.warm_access(0x44_0000);
         m.warm_access(0x44_0008); // same block, L1 warm hit
-        let r = m.access(0x0, 0x44_0000, 0);
+        let r = load(&mut m, 0x0, 0x44_0000, 0);
         assert_eq!(r.level, AccessLevel::L1);
         let (acc, miss, _) = m.l1d_stats();
         assert_eq!((acc, miss), (1, 0));
     }
 
     #[test]
+    fn warm_ifetch_fills_the_instruction_path() {
+        let mut m = mh();
+        m.warm_ifetch(0x40_0000);
+        assert_eq!(m.l1i_stats(), (0, 0), "warming perturbs no stats");
+        let r = m.request(MemRequest::ifetch(0, 0x40_0000, 100));
+        assert_eq!(r.level, AccessLevel::L1, "warmed code block hits");
+        // Warming with the L1I disabled is a no-op.
+        let mut ideal = MemoryHierarchy::new(&CoreConfig::paper_default().ideal_memory());
+        ideal.warm_ifetch(0x40_0000);
+        assert_eq!(ideal.l1i_stats(), (0, 0));
+    }
+
+    #[test]
     fn store_retired_counts_separately_from_demand() {
-        // Regression: `store_retired` used to call the demand `probe`,
+        // Regression: the store path used to call the demand `probe`,
         // inflating the accesses/misses counters that feed load-MPKI.
         let mut m = mh();
-        m.store_retired(0x66_0000, 0);
-        m.store_retired(0x66_0000, 100); // second store hits
+        let first = m.request(MemRequest::store(0, 0x0, 0x66_0000, 0));
+        // Second store after the fill lands hits L1.
+        let _ = m.request(MemRequest::store(0, 0x0, 0x66_0000, first.done_cycle + 1));
         let (acc, miss, _) = m.l1d_stats();
         assert_eq!((acc, miss), (0, 0), "no demand traffic from stores");
         assert_eq!(m.l1d_store_stats(), (2, 1));
         // Demand loads still count into the demand counters.
-        let _ = m.access(0x0, 0x66_0000, 200);
+        let _ = load(&mut m, 0x0, 0x66_0000, first.done_cycle + 2);
         let (acc, miss, _) = m.l1d_stats();
         assert_eq!((acc, miss), (1, 0), "store fill serves the load");
         assert_eq!(m.l1d_store_stats(), (2, 1), "unchanged by loads");

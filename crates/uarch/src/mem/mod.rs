@@ -1,10 +1,12 @@
-//! Memory-hierarchy models: caches, MSHRs, prefetchers, and the composed
-//! three-level hierarchy.
+//! Memory-hierarchy models: caches, MSHRs, prefetchers, bandwidth-limited
+//! request ports, and the composed hierarchy.
 
 mod cache;
 mod hierarchy;
+mod port;
 mod prefetch;
 
 pub use cache::{Cache, Probe};
 pub use hierarchy::{AccessLevel, AccessResult, MemoryHierarchy};
+pub use port::{MemRequest, Port, ReqKind};
 pub use prefetch::{IpcpPrefetcher, PrefetchRequest, VldpPrefetcher};

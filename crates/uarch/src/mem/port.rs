@@ -1,0 +1,228 @@
+//! Bandwidth-limited request ports.
+//!
+//! Every piece of traffic entering the memory system — instruction
+//! fetches, demand loads, retired stores, prefetch fills — is expressed
+//! as a [`MemRequest`] and admitted through a [`Port`] at each level it
+//! touches. A port admits at most `width` requests per cycle; excess
+//! requests are pushed to the next cycle with free slots, modeling finite
+//! cache and DRAM-queue bandwidth without ever rejecting a request (the
+//! delay simply lengthens the access latency the caller observes).
+//!
+//! A `width` of `0` means unlimited bandwidth — the port is a no-op and
+//! the pre-port timing model is reproduced exactly at that level.
+
+/// What kind of traffic a [`MemRequest`] carries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReqKind {
+    /// Instruction fetch (enters at the L1I).
+    IFetch,
+    /// Demand data load (enters at the L1D).
+    Load,
+    /// Retired store (enters at the L1D through the same MSHR/fill path
+    /// as loads; write-buffer semantics, so retire itself never blocks).
+    Store,
+    /// Prefetch fill targeting the L1D (charged bandwidth, no demand
+    /// counters).
+    Prefetch,
+}
+
+/// One request into the memory system.
+#[derive(Clone, Copy, Debug)]
+pub struct MemRequest {
+    /// Traffic class.
+    pub kind: ReqKind,
+    /// Hardware thread slot that issued the request (MT = 0).
+    pub thread: usize,
+    /// PC of the requesting instruction (trains the PC-indexed L1
+    /// prefetcher; for [`ReqKind::IFetch`] it equals `addr`).
+    pub pc: u64,
+    /// Effective address accessed.
+    pub addr: u64,
+    /// Cycle the request is issued.
+    pub cycle: u64,
+}
+
+impl MemRequest {
+    /// An instruction-fetch request for the block containing `pc`.
+    pub fn ifetch(thread: usize, pc: u64, cycle: u64) -> MemRequest {
+        MemRequest {
+            kind: ReqKind::IFetch,
+            thread,
+            pc,
+            addr: pc,
+            cycle,
+        }
+    }
+
+    /// A demand-load request.
+    pub fn load(thread: usize, pc: u64, addr: u64, cycle: u64) -> MemRequest {
+        MemRequest {
+            kind: ReqKind::Load,
+            thread,
+            pc,
+            addr,
+            cycle,
+        }
+    }
+
+    /// A retired-store request.
+    pub fn store(thread: usize, pc: u64, addr: u64, cycle: u64) -> MemRequest {
+        MemRequest {
+            kind: ReqKind::Store,
+            thread,
+            pc,
+            addr,
+            cycle,
+        }
+    }
+
+    /// A prefetch request targeting the L1D.
+    pub fn prefetch(thread: usize, pc: u64, addr: u64, cycle: u64) -> MemRequest {
+        MemRequest {
+            kind: ReqKind::Prefetch,
+            thread,
+            pc,
+            addr,
+            cycle,
+        }
+    }
+}
+
+/// A per-level admission port with per-cycle bandwidth `width`.
+///
+/// [`Port::admit`] returns the cycle the request actually enters the
+/// level: the requested cycle when a slot is free, or the first later
+/// cycle with a free slot otherwise. Admission cycles are monotone for
+/// monotone request cycles, so the simulator's in-cycle stage order
+/// (retire → issue → fetch, all at the same cycle) gives deterministic
+/// arbitration: earlier stages get the slots first.
+///
+/// # Examples
+///
+/// ```
+/// use phelps_uarch::mem::Port;
+///
+/// let mut p = Port::new(2);
+/// assert_eq!(p.admit(10), 10);
+/// assert_eq!(p.admit(10), 10);
+/// assert_eq!(p.admit(10), 11, "third same-cycle request spills over");
+/// assert_eq!(p.stall_cycles(), 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Port {
+    /// Requests admitted per cycle; `0` = unlimited.
+    width: u32,
+    /// Cycle the port is currently filling.
+    cur_cycle: u64,
+    /// Slots used in `cur_cycle`.
+    used: u32,
+    /// Total cycles of admission delay imposed on requests.
+    stalls: u64,
+}
+
+impl Port {
+    /// Creates a port admitting `width` requests per cycle (`0` =
+    /// unlimited).
+    pub fn new(width: u32) -> Port {
+        Port {
+            width,
+            cur_cycle: 0,
+            used: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Admits one request issued at `cycle`; returns the cycle it enters
+    /// the level (>= `cycle`). Delay is accumulated into
+    /// [`Port::stall_cycles`].
+    pub fn admit(&mut self, cycle: u64) -> u64 {
+        if self.width == 0 {
+            return cycle;
+        }
+        if cycle > self.cur_cycle {
+            self.cur_cycle = cycle;
+            self.used = 0;
+        }
+        while self.used >= self.width {
+            self.cur_cycle += 1;
+            self.used = 0;
+        }
+        self.used += 1;
+        self.stalls += self.cur_cycle.saturating_sub(cycle);
+        self.cur_cycle
+    }
+
+    /// Total cycles of admission delay imposed so far (sum over all
+    /// delayed requests).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    /// The configured per-cycle bandwidth (`0` = unlimited).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_port_is_transparent() {
+        let mut p = Port::new(0);
+        for c in [5u64, 5, 5, 5, 9, 9] {
+            assert_eq!(p.admit(c), c);
+        }
+        assert_eq!(p.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn width_one_serializes_same_cycle_requests() {
+        let mut p = Port::new(1);
+        assert_eq!(p.admit(3), 3);
+        assert_eq!(p.admit(3), 4);
+        assert_eq!(p.admit(3), 5);
+        assert_eq!(p.stall_cycles(), 1 + 2);
+    }
+
+    #[test]
+    fn later_request_resets_the_window() {
+        let mut p = Port::new(1);
+        assert_eq!(p.admit(0), 0);
+        assert_eq!(p.admit(10), 10, "idle cycles do not carry over");
+        assert_eq!(p.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn backlog_carries_into_future_cycles() {
+        let mut p = Port::new(1);
+        for _ in 0..4 {
+            p.admit(0);
+        }
+        // Port is busy through cycle 3; a request at cycle 2 queues behind.
+        assert_eq!(p.admit(2), 4);
+    }
+
+    #[test]
+    fn admission_is_monotone_for_monotone_requests() {
+        let mut p = Port::new(2);
+        let mut last = 0;
+        for c in [0u64, 0, 0, 1, 1, 1, 1, 2, 5, 5, 5] {
+            let a = p.admit(c);
+            assert!(a >= c, "admitted before requested");
+            assert!(a >= last, "admission went backwards");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn request_constructors_tag_kinds() {
+        assert_eq!(MemRequest::ifetch(0, 0x40, 1).kind, ReqKind::IFetch);
+        assert_eq!(MemRequest::load(0, 0x40, 0x80, 1).kind, ReqKind::Load);
+        assert_eq!(MemRequest::store(0, 0x40, 0x80, 1).kind, ReqKind::Store);
+        assert_eq!(MemRequest::prefetch(0, 0, 0x80, 1).kind, ReqKind::Prefetch);
+        let r = MemRequest::ifetch(2, 0x1000, 7);
+        assert_eq!((r.thread, r.pc, r.addr, r.cycle), (2, 0x1000, 0x1000, 7));
+    }
+}

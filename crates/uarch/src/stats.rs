@@ -44,6 +44,10 @@ pub struct SimStats {
     pub triggers: u64,
     /// Helper-thread termination events.
     pub terminations: u64,
+    /// L1I instruction-fetch accesses (one per fetched cache block).
+    pub l1i_accesses: u64,
+    /// L1I instruction-fetch misses.
+    pub l1i_misses: u64,
     /// L1D accesses / misses (demand loads only).
     pub l1d_accesses: u64,
     /// L1D demand-load misses.
@@ -66,6 +70,18 @@ pub struct SimStats {
     pub mt_fetch_stall_mispredict: u64,
     /// Cycles the main thread's fetch stalled on live-in move injection.
     pub mt_fetch_stall_trigger: u64,
+    /// Cycles the main thread's fetch stalled on an in-flight L1I miss.
+    pub mt_fetch_stall_ifetch: u64,
+    /// Cycles of admission delay imposed by the L1I port.
+    pub l1i_port_stalls: u64,
+    /// Cycles of admission delay imposed by the L1D port.
+    pub l1d_port_stalls: u64,
+    /// Cycles of admission delay imposed by the L2 port.
+    pub l2_port_stalls: u64,
+    /// Cycles of admission delay imposed by the L3 port.
+    pub l3_port_stalls: u64,
+    /// Cycles of admission delay imposed by the DRAM queue.
+    pub dram_queue_stalls: u64,
 }
 
 impl SimStats {

@@ -1,0 +1,114 @@
+//! Property tests for MSHR bookkeeping, driven against a reference model:
+//! a random stream of misses, merges, and time advances must never
+//! double-count an allocation, never exceed the configured capacity, and
+//! never let a merged access complete before the miss it merged onto.
+
+use phelps_uarch::config::{CacheConfig, CoreConfig};
+use phelps_uarch::mem::{AccessLevel, Cache, MemRequest, MemoryHierarchy};
+use proptest::prelude::*;
+
+const MSHRS: usize = 4;
+const BLOCK: u64 = 64;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        block_bytes: BLOCK,
+        latency: 2,
+        mshrs: MSHRS as u32,
+        ports: 0,
+    })
+}
+
+/// One step of the random MSHR workout: which block to touch, the fill
+/// latency a new miss would take, and how far time advances first.
+type Step = (u64, u64, u64);
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec((0u64..12, 1u64..50, 0u64..8), 1..200)
+}
+
+proptest! {
+    /// The cache's MSHR file tracked against a shadow model: one entry
+    /// per in-flight block, expiring when its fill completes. Allocation
+    /// must succeed exactly when the model says there is room (or an
+    /// entry to merge into), occupancy must match the model exactly
+    /// (no double-counting, no leaked release), and capacity is a hard
+    /// ceiling.
+    #[test]
+    fn mshr_file_matches_shadow_model(ops in steps()) {
+        let mut c = small_cache();
+        // Shadow model: (block, done_cycle) of each in-flight miss.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        for (blk_sel, lat, advance) in ops {
+            now += advance;
+            model.retain(|&(_, done)| done > now);
+            let addr = blk_sel * BLOCK + (blk_sel % BLOCK);
+
+            if let Some((done, _level)) = c.mshr_pending(addr, now) {
+                // Merge: the completion time is the *original* miss's.
+                let modeled = model.iter().find(|&&(b, _)| b == blk_sel);
+                prop_assert_eq!(modeled.map(|&(_, d)| d), Some(done));
+                prop_assert!(done > now, "expired entry surfaced as pending");
+            } else {
+                prop_assert!(
+                    !model.iter().any(|&(b, _)| b == blk_sel),
+                    "model has an entry the cache lost"
+                );
+                let done = now + lat;
+                let ok = c.mshr_allocate(addr, now, done, AccessLevel::L2);
+                prop_assert_eq!(ok, model.len() < MSHRS, "allocate success mismatch");
+                if ok {
+                    model.push((blk_sel, done));
+                }
+            }
+
+            let in_use = c.mshrs_in_use(now);
+            prop_assert_eq!(in_use, model.len(), "occupancy double-count or leak");
+            prop_assert!(in_use <= MSHRS, "capacity exceeded");
+        }
+    }
+
+    /// Re-allocating a block that is already in flight merges instead of
+    /// consuming a second MSHR, and the merged entry keeps the original
+    /// completion cycle (a merge can never finish earlier than the miss
+    /// it joined).
+    #[test]
+    fn merge_keeps_original_completion_and_occupancy(
+        lat_a in 5u64..60,
+        lat_b in 1u64..60,
+        gap in 0u64..4,
+    ) {
+        let mut c = small_cache();
+        let done_a = gap + lat_a;
+        prop_assert!(c.mshr_allocate(0x1000, gap, done_a, AccessLevel::L3));
+        let before = c.mshrs_in_use(gap);
+        // Second allocation to the same block, possibly with a shorter
+        // latency: merged, not double-counted.
+        prop_assert!(c.mshr_allocate(0x1000 + BLOCK / 2, gap, gap + lat_b, AccessLevel::L2));
+        prop_assert_eq!(c.mshrs_in_use(gap), before);
+        let (done, level) = c.mshr_pending(0x1000, gap).expect("still in flight");
+        prop_assert_eq!(done, done_a, "merge rewrote the completion cycle");
+        prop_assert_eq!(level, AccessLevel::L3);
+    }
+
+    /// End-to-end through the hierarchy: a load that lands on a block
+    /// with an in-flight miss completes exactly when the original miss
+    /// does — never earlier, regardless of how late it arrives.
+    #[test]
+    fn merged_hierarchy_loads_never_complete_early(
+        blk in 0u64..64,
+        delta in 1u64..12,
+    ) {
+        let mut m = MemoryHierarchy::new(&CoreConfig::paper_default().ideal_memory());
+        let addr = 0x10_0000 + blk * BLOCK;
+        let first = m.request(MemRequest::load(0, 0x40, addr, 10));
+        prop_assert!(first.done_cycle > 10, "cold load must miss");
+        let at = 10 + delta % (first.done_cycle - 10).max(1);
+        let merged = m.request(MemRequest::load(0, 0x44, addr + BLOCK / 2, at));
+        prop_assert_eq!(merged.done_cycle, first.done_cycle);
+        prop_assert!(merged.done_cycle >= at);
+    }
+}

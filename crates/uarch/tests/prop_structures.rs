@@ -13,6 +13,7 @@ fn small_cache() -> Cache {
         block_bytes: 64,
         latency: 3,
         mshrs: 4,
+        ports: 0,
     })
 }
 

@@ -127,14 +127,12 @@ fn compare_mode(
 pub fn check_cpu(cpu: &Cpu) -> Result<(), Mismatch> {
     let (want, emu) = reference_trace(cpu);
     for (name, mode) in modes() {
-        let mut cfg = RunConfig::scaled(mode);
         // Margin above the reference length: a duplication bug retires
         // extra records (caught by the length check) instead of tripping
-        // the instruction cap exactly at the reference length.
-        cfg.max_mt_insts = want.len() as u64 + 8;
-        // Short epochs so the Phelps engine gets a chance to trigger on
-        // the small generated programs.
-        cfg.epoch_len = 2_000;
+        // the instruction cap exactly at the reference length. Short
+        // epochs so the Phelps engine gets a chance to trigger on the
+        // small generated programs.
+        let cfg = RunConfig::quick(mode, want.len() as u64 + 8, 2_000);
         compare_mode(name, cpu, &cfg, &want, &emu)?;
     }
     Ok(())

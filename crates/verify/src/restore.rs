@@ -111,9 +111,7 @@ pub fn check_restore(
     // Timing equivalence: a region run from either start must retire the
     // same stream and land in the same final state, in every mode.
     for (name, mode) in modes() {
-        let mut cfg = RunConfig::scaled(mode);
-        cfg.max_mt_insts = REGION_BOUND;
-        cfg.epoch_len = 2_000;
+        let cfg = RunConfig::quick(mode, REGION_BOUND, 2_000);
         let a = simulate_observed_warmed(ff.clone(), &cfg, &[]);
         let b = simulate_observed_warmed(restored.cpu.clone(), &cfg, &restored.warm);
         compare_region(name, skip, warm, &a, &b)?;

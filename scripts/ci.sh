@@ -13,6 +13,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (no-deps, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 

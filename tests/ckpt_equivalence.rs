@@ -33,9 +33,7 @@ fn check_workload(name: &str, make: fn() -> Workload) {
     let snap = store.load(&key).expect("checkpoint survives the store");
 
     for mode in modes() {
-        let mut cfg = RunConfig::scaled(mode.clone());
-        cfg.max_mt_insts = 30_000;
-        cfg.epoch_len = 15_000;
+        let cfg = RunConfig::quick(mode.clone(), 30_000, 15_000);
 
         let mut ff = make().cpu;
         ff.run(SKIP).expect("fast-forward");

@@ -5,10 +5,7 @@
 use phelps_repro::prelude::*;
 
 fn quick(mode: Mode) -> RunConfig {
-    let mut cfg = RunConfig::scaled(mode);
-    cfg.max_mt_insts = 500_000;
-    cfg.epoch_len = 80_000;
-    cfg
+    RunConfig::quick(mode, 500_000, 80_000)
 }
 
 /// Perfect branch prediction is an upper bound; Phelps sits between the

@@ -7,10 +7,7 @@ use phelps_telemetry as tlm;
 
 /// Small-but-representative run configuration (mirrors `end_to_end.rs`).
 fn quick(mode: Mode) -> RunConfig {
-    let mut cfg = RunConfig::scaled(mode);
-    cfg.max_mt_insts = 200_000;
-    cfg.epoch_len = 80_000;
-    cfg
+    RunConfig::quick(mode, 200_000, 80_000)
 }
 
 /// Installs a verbose sink big enough that nothing is dropped.
