@@ -1,0 +1,113 @@
+//! Simulator-throughput trajectory: simulated MIPS per mode on
+//! representative workloads, written as `BENCH_perf.json` so every PR's
+//! speed impact is visible in CI (ROADMAP item 2's baseline, and the
+//! denominator behind `phelps-serve` throughput claims).
+//!
+//! Usage: `perf [--out=PATH]`. Region/epoch scale via `PHELPS_REGION` /
+//! `PHELPS_EPOCH` as everywhere else. The cell set is fixed and small —
+//! one graph kernel (bfs), the paper's running example (astar), and one
+//! SPEC idiom (mcf) — under the three headline engines (baseline,
+//! Phelps, Branch Runahead), so the numbers are comparable PR-to-PR.
+
+use phelps::sim::{Mode, PhelpsFeatures, SimResult};
+use phelps_bench::{print_table, run, run_br};
+use phelps_isa::Cpu;
+use phelps_runahead::BrVariant;
+use phelps_workloads::suite;
+use std::time::Instant;
+
+const WORKLOADS: [&str; 3] = ["bfs", "astar", "mcf"];
+const MODES: [&str; 3] = ["baseline", "phelps", "br"];
+
+fn workload(name: &str) -> Cpu {
+    suite::gap_workload(name)
+        .or_else(|| suite::spec_workload(name))
+        .expect("known workload")
+        .cpu
+}
+
+fn simulate_mode(mode: &str, cpu: Cpu) -> SimResult {
+    match mode {
+        "baseline" => run(cpu, Mode::Baseline),
+        "phelps" => run(cpu, Mode::Phelps(PhelpsFeatures::full())),
+        "br" => run_br(cpu, BrVariant::Speculative),
+        other => unreachable!("unknown mode {other}"),
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_perf.json");
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--out=") {
+            out_path = v.to_string();
+        }
+    }
+
+    let mut json = phelps_telemetry::JsonWriter::new();
+    json.begin_object();
+    json.key("schema");
+    json.string("phelps-bench-perf/1");
+    json.key("region");
+    json.uint(phelps_bench::region_len());
+    json.key("epoch");
+    json.uint(phelps_bench::epoch_len());
+    json.key("cells");
+    json.begin_array();
+
+    let mut rows = Vec::new();
+    let wall = Instant::now();
+    for w in WORKLOADS {
+        for mode in MODES {
+            // Workload construction (functional emulation) is untimed:
+            // the trajectory tracks the cycle-level engine, not setup.
+            let cpu = workload(w);
+            let t0 = Instant::now();
+            let r = simulate_mode(mode, cpu);
+            let secs = t0.elapsed().as_secs_f64();
+            let insts = r.stats.mt_retired;
+            let mips = if secs > 0.0 {
+                insts as f64 / 1e6 / secs
+            } else {
+                0.0
+            };
+            json.begin_object();
+            json.key("workload");
+            json.string(w);
+            json.key("mode");
+            json.string(mode);
+            json.key("insts");
+            json.uint(insts);
+            json.key("cycles");
+            json.uint(r.stats.cycles);
+            json.key("wall_ms");
+            json.float(secs * 1e3);
+            json.key("mips");
+            json.float(mips);
+            json.end_object();
+            rows.push(vec![
+                w.to_string(),
+                mode.to_string(),
+                insts.to_string(),
+                format!("{:.1}", secs * 1e3),
+                format!("{mips:.3}"),
+            ]);
+        }
+    }
+    json.end_array();
+    json.key("total_wall_ms");
+    json.float(wall.elapsed().as_secs_f64() * 1e3);
+    json.end_object();
+
+    let text = json.finish();
+    phelps_telemetry::parse_json(&text).expect("perf JSON must be well-formed");
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print_table(
+        "simulator throughput (simulated MIPS)",
+        &["workload", "mode", "insts", "wall_ms", "mips"],
+        &rows,
+    );
+    println!("[perf] wrote {out_path}");
+}

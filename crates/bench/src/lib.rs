@@ -38,14 +38,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ckpt_support;
+pub mod exec;
 pub mod runner;
+pub mod trace;
 
 use phelps::sim::{simulate, simulate_warmed, Mode, PhelpsFeatures, RunConfig, SimResult};
 use phelps_isa::{Cpu, EmuError};
 use phelps_runahead::{simulate_runahead, BrVariant};
-use phelps_telemetry as tlm;
 use phelps_uarch::config::CoreConfig;
-use std::sync::Mutex;
 
 /// Parses `name` as u64, warning (once per read) when the variable is
 /// set but unparsable instead of silently using the default.
@@ -70,65 +70,6 @@ pub fn region_len() -> u64 {
 /// Epoch length used by the delinquency/construction machinery.
 pub fn epoch_len() -> u64 {
     env_u64("PHELPS_EPOCH", 150_000)
-}
-
-// ---------------------------------------------------------------------
-// Telemetry wiring (PHELPS_TRACE)
-// ---------------------------------------------------------------------
-
-/// Reports harvested so far in this process; the trace file is rewritten
-/// after every run so partial output survives a crash mid-experiment.
-static TRACE_RUNS: Mutex<Vec<tlm::Report>> = Mutex::new(Vec::new());
-
-fn trace_path() -> Option<String> {
-    std::env::var("PHELPS_TRACE").ok().filter(|p| !p.is_empty())
-}
-
-/// Collects a run's harvested report (carried on the [`SimResult`]) and
-/// rewrites the trace JSON and CSV files. Called by the [`runner`] in
-/// cell submission order so the files are deterministic under any
-/// `PHELPS_JOBS`.
-fn trace_finish(result: &SimResult) {
-    let Some(path) = trace_path() else { return };
-    let Some(rep) = result.telemetry.as_deref() else {
-        return;
-    };
-    let mut runs = TRACE_RUNS.lock().unwrap_or_else(|e| e.into_inner());
-    runs.push(rep.clone());
-
-    let mut json = String::from("{\"runs\":[");
-    for (i, r) in runs.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&r.to_json());
-    }
-    json.push_str("]}");
-    if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("warning: cannot write {path}: {e}");
-    }
-
-    // Sibling CSV: every run's epoch series, with a leading label column.
-    let csv_path = match path.strip_suffix(".json") {
-        Some(stem) => format!("{stem}.csv"),
-        None => format!("{path}.csv"),
-    };
-    let mut csv = String::new();
-    for (i, r) in runs.iter().enumerate() {
-        let body = r.epochs_csv();
-        let mut lines = body.lines();
-        if let Some(header) = lines.next() {
-            if i == 0 {
-                csv.push_str(&format!("label,{header}\n"));
-            }
-            for line in lines {
-                csv.push_str(&format!("{},{line}\n", r.label));
-            }
-        }
-    }
-    if let Err(e) = std::fs::write(&csv_path, csv) {
-        eprintln!("warning: cannot write {csv_path}: {e}");
-    }
 }
 
 /// A named list of workload constructors, the shape every figNN binary

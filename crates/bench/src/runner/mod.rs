@@ -21,9 +21,10 @@
 //! back on each [`SimResult`] and are appended to the trace output in
 //! submission order.
 
-mod cache;
+pub mod cache;
 
-use crate::exp_config;
+use crate::exec::{execute_cell, CellRequest, ExecPolicy};
+use crate::{exp_config, trace};
 use phelps::sim::{simulate, Mode, RunConfig, SimResult};
 use phelps_isa::Cpu;
 use phelps_runahead::{simulate_runahead, BrVariant};
@@ -343,7 +344,7 @@ impl Experiment {
             }
         }
 
-        let want_telemetry = self.force_telemetry || crate::trace_path().is_some();
+        let want_telemetry = self.force_telemetry || trace::path().is_some();
         // Telemetry reports are never cached, so a traced run must
         // simulate every cell; it still refreshes the cache on the way.
         let read_cache = self.use_cache && !want_telemetry;
@@ -376,41 +377,29 @@ impl Experiment {
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
                         .expect("each cell is taken exactly once");
-                    let fingerprint = format!(
-                        "{}|{}|{}|{}|v{}",
-                        self.name,
-                        cell.workload,
-                        cell.config,
-                        cell.key,
-                        env!("CARGO_PKG_VERSION")
-                    );
-                    let mut from_cache = false;
-                    let mut result = None;
-                    if read_cache {
-                        if let Some(dir) = cache_dir {
-                            result = cache::load(dir, &fingerprint);
-                            from_cache = result.is_some();
-                        }
-                    }
-                    if result.is_none() {
-                        if want_telemetry {
-                            tlm::install(tlm::Config {
-                                epoch_len,
-                                verbose,
-                                label: format!("{}/{}", cell.workload, cell.config),
-                                ..tlm::Config::default()
-                            });
-                        }
-                        result = (cell.job)();
-                        if let (Some(dir), Some(r)) = (cache_dir, result.as_ref()) {
-                            cache::store(dir, &fingerprint, r);
-                        }
-                    }
+                    let req = CellRequest {
+                        experiment: self.name.clone(),
+                        workload: cell.workload.clone(),
+                        config: cell.config.clone(),
+                        key: cell.key,
+                    };
+                    let policy = ExecPolicy {
+                        cache_dir: cache_dir.map(std::path::Path::to_path_buf),
+                        read_cache,
+                        write_cache,
+                        telemetry: want_telemetry.then(|| tlm::Config {
+                            epoch_len,
+                            verbose,
+                            label: format!("{}/{}", cell.workload, cell.config),
+                            ..tlm::Config::default()
+                        }),
+                    };
+                    let outcome = execute_cell(&req, &policy, cell.job);
                     *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(CellResult {
                         workload: cell.workload,
                         config: cell.config,
-                        result,
-                        from_cache,
+                        result: outcome.result,
+                        from_cache: outcome.from_cache,
                     });
                 });
             }
@@ -425,11 +414,20 @@ impl Experiment {
             })
             .collect();
         // Submission-ordered trace output: identical files for any
-        // PHELPS_JOBS value.
-        for c in &cells {
-            if let Some(r) = &c.result {
-                if !c.from_cache {
-                    crate::trace_finish(r);
+        // PHELPS_JOBS value. The cells are walked in declaration order
+        // after the pool drained, so reserve/submit pairs are already
+        // contiguous; the shared sink is what keeps daemon-submitted
+        // cells (which reserve at queue-pop time) interleaved correctly.
+        if let Some(sink) = trace::global() {
+            for c in &cells {
+                if let Some(rep) = c.result.as_ref().and_then(|r| {
+                    if c.from_cache {
+                        None
+                    } else {
+                        r.telemetry.as_deref()
+                    }
+                }) {
+                    sink.submit(sink.reserve(), rep.clone());
                 }
             }
         }

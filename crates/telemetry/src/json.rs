@@ -285,7 +285,7 @@ impl Parser<'_> {
 /// Call sequence mirrors document structure: `begin_object`, `key`,
 /// value, ..., `end_object`, then [`JsonWriter::finish`].
 #[derive(Debug, Default)]
-pub(crate) struct JsonWriter {
+pub struct JsonWriter {
     out: String,
     /// Per-nesting-level flag: does the current container already hold
     /// an element (so the next one needs a comma)?
@@ -293,7 +293,8 @@ pub(crate) struct JsonWriter {
 }
 
 impl JsonWriter {
-    pub(crate) fn new() -> JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
         JsonWriter::default()
     }
 
@@ -306,29 +307,34 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn begin_object(&mut self) {
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
         self.before_value();
         self.out.push('{');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_object(&mut self) {
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
         self.needs_comma.pop();
         self.out.push('}');
     }
 
-    pub(crate) fn begin_array(&mut self) {
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
         self.before_value();
         self.out.push('[');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_array(&mut self) {
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
         self.needs_comma.pop();
         self.out.push(']');
     }
 
-    pub(crate) fn key(&mut self, k: &str) {
+    /// Writes an object key (escaped) and its `:`.
+    pub fn key(&mut self, k: &str) {
         self.before_value();
         Self::push_escaped(&mut self.out, k);
         self.out.push(':');
@@ -338,22 +344,26 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn string(&mut self, s: &str) {
+    /// Writes an escaped string value.
+    pub fn string(&mut self, s: &str) {
         self.before_value();
         Self::push_escaped(&mut self.out, s);
     }
 
-    pub(crate) fn uint(&mut self, v: u64) {
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
         self.before_value();
         self.out.push_str(&v.to_string());
     }
 
-    pub(crate) fn bool(&mut self, v: bool) {
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
         self.before_value();
         self.out.push_str(if v { "true" } else { "false" });
     }
 
-    pub(crate) fn float(&mut self, v: f64) {
+    /// Writes a finite float (6 decimal places); NaN/Inf become `null`.
+    pub fn float(&mut self, v: f64) {
         self.before_value();
         if v.is_finite() {
             // Enough digits to round-trip the values we emit; plain
@@ -366,7 +376,8 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn finish(self) -> String {
+    /// Returns the accumulated document.
+    pub fn finish(self) -> String {
         self.out
     }
 

@@ -39,10 +39,11 @@
 mod json;
 mod report;
 
-pub use json::{parse as parse_json, JsonValue};
+pub use json::{parse as parse_json, JsonValue, JsonWriter};
 pub use report::{EpochSample, EventRecord, GaugeSummary, HistSummary, Report};
 
 use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 
 /// Monotonic counters, indexed densely by discriminant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -326,6 +327,38 @@ impl EventKind {
 /// Number of log2 buckets per histogram (covers the full u64 range).
 pub const HIST_BUCKETS: usize = 65;
 
+/// A live subscription to epoch samples: the callback runs on the
+/// simulating thread, synchronously, the moment each epoch closes —
+/// before the sample is appended to the report. This is how long-running
+/// consumers (the `phelps-serve` daemon) stream IPC/MPKI series to
+/// clients while the simulation is still in flight instead of waiting
+/// for the export-at-end [`Report`].
+///
+/// The callback MUST NOT call any telemetry record function ([`count`],
+/// [`gauge`], ...) — it runs while the thread's registry is borrowed,
+/// and re-entry would panic. Keep it to channel sends or lock-free
+/// bookkeeping.
+#[derive(Clone)]
+pub struct SampleSink(Arc<dyn Fn(&EpochSample) + Send + Sync>);
+
+impl SampleSink {
+    /// Wraps a callback invoked once per closed epoch.
+    pub fn new(f: impl Fn(&EpochSample) + Send + Sync + 'static) -> SampleSink {
+        SampleSink(Arc::new(f))
+    }
+
+    /// Delivers one sample to the subscriber.
+    pub fn emit(&self, sample: &EpochSample) {
+        (self.0)(sample);
+    }
+}
+
+impl std::fmt::Debug for SampleSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SampleSink")
+    }
+}
+
 /// Configuration for an installed registry.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -337,6 +370,8 @@ pub struct Config {
     pub ring_capacity: usize,
     /// Free-form run label carried into the report (e.g. "fig11/bfs").
     pub label: String,
+    /// Optional live epoch-sample subscription (see [`SampleSink`]).
+    pub epoch_sink: Option<SampleSink>,
 }
 
 impl Default for Config {
@@ -346,6 +381,7 @@ impl Default for Config {
             verbose: false,
             ring_capacity: 65_536,
             label: String::new(),
+            epoch_sink: None,
         }
     }
 }
@@ -482,7 +518,7 @@ impl Registry {
         } else {
             mispredicts as f64 * 1000.0 / retired as f64
         };
-        self.epochs.push(EpochSample {
+        let sample = EpochSample {
             epoch,
             end_cycle: self.cur_cycle,
             cycles,
@@ -496,7 +532,11 @@ impl Registry {
             ifetch_stalls: self.delta(Counter::IfetchStallCycles),
             avg_rob: self.epoch_gauges[Gauge::RobOccupancy as usize].avg(),
             avg_pred_queue: self.epoch_gauges[Gauge::PredQueueDepth as usize].avg(),
-        });
+        };
+        if let Some(sink) = &self.cfg.epoch_sink {
+            sink.emit(&sample);
+        }
+        self.epochs.push(sample);
         self.event(EventKind::EpochEnd, self.cur_cycle, 0, epoch);
         self.epoch_mark = self.counters;
         self.epoch_start_cycle = self.cur_cycle;
@@ -765,6 +805,33 @@ mod tests {
         assert_eq!(h.buckets[64], 1);
         assert_eq!(h.count, 6);
         assert_eq!(h.sum, (1 + 2 + 3 + 1024) as u128 + u64::MAX as u128);
+    }
+
+    #[test]
+    fn epoch_sink_streams_samples_live() {
+        use std::sync::Mutex;
+        drain();
+        let seen: Arc<Mutex<Vec<EpochSample>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        install(Config {
+            epoch_len: 10,
+            epoch_sink: Some(SampleSink::new(move |s| {
+                sink_seen.lock().unwrap().push(s.clone());
+            })),
+            ..Config::default()
+        });
+        for cycle in 0..25u64 {
+            tick(cycle);
+            count(Counter::MtRetired);
+            // The sink must observe epochs as they close, not at harvest.
+            if cycle == 12 {
+                assert_eq!(seen.lock().unwrap().len(), 1, "first epoch streamed live");
+            }
+        }
+        let rep = harvest().unwrap();
+        // 2 full epochs + 1 flushed partial, all streamed, same contents.
+        assert_eq!(rep.epochs.len(), 3);
+        assert_eq!(*seen.lock().unwrap(), rep.epochs);
     }
 
     #[test]

@@ -172,6 +172,7 @@ fn paper_ports_show_bandwidth_pressure_and_l1i_traffic() {
         verbose: false,
         ring_capacity: 1 << 12,
         label: "mem_ports/pressure".to_string(),
+        epoch_sink: None,
     });
     // Paper-default config: L1I enabled, finite port widths everywhere.
     let cfg = RunConfig::quick(Mode::Phelps(PhelpsFeatures::full()), 200_000, 80_000);

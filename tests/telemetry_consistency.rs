@@ -17,6 +17,7 @@ fn install_trace(label: &str) {
         verbose: true,
         ring_capacity: 1 << 20,
         label: label.to_string(),
+        epoch_sink: None,
     });
 }
 
