@@ -7,10 +7,13 @@
 //! `PHELPS_EPOCH` as everywhere else. The cell set is fixed and small —
 //! one graph kernel (bfs), the paper's running example (astar), and one
 //! SPEC idiom (mcf) — under the three headline engines (baseline,
-//! Phelps, Branch Runahead), so the numbers are comparable PR-to-PR.
+//! Phelps, Branch Runahead), plus one checkpoint-sharded baseline run
+//! (`shards=4` on 4 workers) so the wall-clock payoff of splitting a
+//! single run is tracked PR-to-PR against its unsharded sibling.
 
 use phelps::sim::{Mode, PhelpsFeatures, SimResult};
-use phelps_bench::{print_table, run, run_br};
+use phelps_bench::shard::run_sharded_with;
+use phelps_bench::{ckpt_support, exp_config, print_table, run, run_br};
 use phelps_isa::Cpu;
 use phelps_runahead::BrVariant;
 use phelps_workloads::suite;
@@ -18,6 +21,8 @@ use std::time::Instant;
 
 const WORKLOADS: [&str; 3] = ["bfs", "astar", "mcf"];
 const MODES: [&str; 3] = ["baseline", "phelps", "br"];
+/// Shard decomposition and worker count for the sharded trajectory cell.
+const SHARDED: usize = 4;
 
 fn workload(name: &str) -> Cpu {
     suite::gap_workload(name)
@@ -35,6 +40,33 @@ fn simulate_mode(mode: &str, cpu: Cpu) -> SimResult {
     }
 }
 
+struct Cell {
+    workload: String,
+    mode: String,
+    shards: usize,
+    insts: u64,
+    cycles: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+fn cell(workload: &str, mode: &str, shards: usize, r: &SimResult, secs: f64) -> Cell {
+    let insts = r.stats.mt_retired;
+    Cell {
+        workload: workload.to_string(),
+        mode: mode.to_string(),
+        shards,
+        insts,
+        cycles: r.stats.cycles,
+        wall_ms: secs * 1e3,
+        mips: if secs > 0.0 {
+            insts as f64 / 1e6 / secs
+        } else {
+            0.0
+        },
+    }
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_perf.json");
     for a in std::env::args().skip(1) {
@@ -43,18 +75,7 @@ fn main() {
         }
     }
 
-    let mut json = phelps_telemetry::JsonWriter::new();
-    json.begin_object();
-    json.key("schema");
-    json.string("phelps-bench-perf/1");
-    json.key("region");
-    json.uint(phelps_bench::region_len());
-    json.key("epoch");
-    json.uint(phelps_bench::epoch_len());
-    json.key("cells");
-    json.begin_array();
-
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     let wall = Instant::now();
     for w in WORKLOADS {
         for mode in MODES {
@@ -63,35 +84,74 @@ fn main() {
             let cpu = workload(w);
             let t0 = Instant::now();
             let r = simulate_mode(mode, cpu);
-            let secs = t0.elapsed().as_secs_f64();
-            let insts = r.stats.mt_retired;
-            let mips = if secs > 0.0 {
-                insts as f64 / 1e6 / secs
-            } else {
-                0.0
-            };
-            json.begin_object();
-            json.key("workload");
-            json.string(w);
-            json.key("mode");
-            json.string(mode);
-            json.key("insts");
-            json.uint(insts);
-            json.key("cycles");
-            json.uint(r.stats.cycles);
-            json.key("wall_ms");
-            json.float(secs * 1e3);
-            json.key("mips");
-            json.float(mips);
-            json.end_object();
-            rows.push(vec![
-                w.to_string(),
-                mode.to_string(),
-                insts.to_string(),
-                format!("{:.1}", secs * 1e3),
-                format!("{mips:.3}"),
-            ]);
+            cells.push(cell(w, mode, 1, &r, t0.elapsed().as_secs_f64()));
         }
+    }
+
+    // Sharded cell: the same bfs/baseline run split into SHARDED
+    // checkpoint shards on SHARDED workers. Checkpoint capture is
+    // untimed (it is a one-off per store, amortized across every later
+    // run), so the timed span is restore + parallel simulate + merge —
+    // the steady-state cost. Compare against the unsharded bfs/baseline
+    // row for the wall-clock speedup.
+    {
+        let cfg = exp_config(Mode::Baseline);
+        let ckpt = ckpt_support::CkptPolicy::from_env();
+        let cpu = workload("bfs");
+        let starts: Vec<u64> = phelps_bench::shard::shard_plan(cfg.max_mt_insts, SHARDED)
+            .iter()
+            .map(|s| s.skip)
+            .collect();
+        if let Err(e) =
+            ckpt_support::ensure_region_checkpoints_with(&ckpt, "bfs", cpu.clone(), &starts)
+        {
+            eprintln!("warning: perf shard pre-capture failed: {e}");
+        }
+        let t0 = Instant::now();
+        let r = run_sharded_with(&ckpt, SHARDED, SHARDED, "bfs", cpu, &cfg, None);
+        let secs = t0.elapsed().as_secs_f64();
+        match r {
+            Some(r) => cells.push(cell("bfs", "baseline", SHARDED, &r, secs)),
+            None => eprintln!("warning: sharded perf cell failed; omitting it"),
+        }
+    }
+
+    let mut json = phelps_telemetry::JsonWriter::new();
+    json.begin_object();
+    json.key("schema");
+    json.string("phelps-bench-perf/2");
+    json.key("region");
+    json.uint(phelps_bench::region_len());
+    json.key("epoch");
+    json.uint(phelps_bench::epoch_len());
+    json.key("cells");
+    json.begin_array();
+    let mut rows = Vec::new();
+    for c in &cells {
+        json.begin_object();
+        json.key("workload");
+        json.string(&c.workload);
+        json.key("mode");
+        json.string(&c.mode);
+        json.key("shards");
+        json.uint(c.shards as u64);
+        json.key("insts");
+        json.uint(c.insts);
+        json.key("cycles");
+        json.uint(c.cycles);
+        json.key("wall_ms");
+        json.float(c.wall_ms);
+        json.key("mips");
+        json.float(c.mips);
+        json.end_object();
+        rows.push(vec![
+            c.workload.clone(),
+            c.mode.clone(),
+            c.shards.to_string(),
+            c.insts.to_string(),
+            format!("{:.1}", c.wall_ms),
+            format!("{:.3}", c.mips),
+        ]);
     }
     json.end_array();
     json.key("total_wall_ms");
@@ -106,7 +166,7 @@ fn main() {
     }
     print_table(
         "simulator throughput (simulated MIPS)",
-        &["workload", "mode", "insts", "wall_ms", "mips"],
+        &["workload", "mode", "shards", "insts", "wall_ms", "mips"],
         &rows,
     );
     println!("[perf] wrote {out_path}");

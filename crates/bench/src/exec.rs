@@ -88,6 +88,29 @@ pub fn execute_cell(
     policy: &ExecPolicy,
     job: impl FnOnce() -> Option<SimResult>,
 ) -> CellOutcome {
+    execute_cell_prepared(req, policy, |tlm_cfg| {
+        if let Some(cfg) = tlm_cfg {
+            tlm::install(cfg);
+        }
+        job()
+    })
+}
+
+/// [`execute_cell`] for jobs that own their telemetry installation.
+///
+/// The plain entry point installs the policy's registry on the calling
+/// thread before running the job — correct for a single-threaded
+/// simulation, wrong for a sharded one, where each shard needs its own
+/// thread-local registry installed *after* checkpoint positioning (so
+/// nondeterministic restore wall-clock counters stay out of the merged
+/// report). Here the job receives the policy's telemetry config and
+/// decides where and when to install it; everything else (key lock,
+/// cache re-check, atomic store) is identical.
+pub fn execute_cell_prepared(
+    req: &CellRequest,
+    policy: &ExecPolicy,
+    job: impl FnOnce(Option<tlm::Config>) -> Option<SimResult>,
+) -> CellOutcome {
     let fingerprint = req.fingerprint();
     let dir = policy
         .cache_dir
@@ -106,10 +129,7 @@ pub fn execute_cell(
             }
         }
     }
-    if let Some(cfg) = &policy.telemetry {
-        tlm::install(cfg.clone());
-    }
-    let result = job();
+    let result = job(policy.telemetry.clone());
     if policy.write_cache {
         if let (Some(dir), Some(r)) = (dir, result.as_ref()) {
             cache::store(dir, &fingerprint, r);
@@ -119,6 +139,46 @@ pub fn execute_cell(
         result,
         from_cache: false,
     }
+}
+
+/// Runs `job(0..n)` on a pool of `workers` scoped threads and returns
+/// the results in index order — the shard-dispatch primitive shared by
+/// sharded single runs and the SimPoint driver.
+///
+/// Work is claimed from an atomic index, so any worker count yields the
+/// same index→result mapping; with `workers == 1` the indices execute
+/// strictly in order. Each worker is a fresh thread, so thread-local
+/// telemetry registries installed by one shard can never leak into
+/// another (or into the caller).
+pub fn run_indexed<T: Send>(n: usize, workers: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = job(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 pub mod ckpt_support;
 pub mod exec;
 pub mod runner;
+pub mod shard;
 pub mod trace;
 
 use phelps::sim::{simulate, simulate_warmed, Mode, PhelpsFeatures, RunConfig, SimResult};
@@ -70,6 +71,26 @@ pub fn region_len() -> u64 {
 /// Epoch length used by the delinquency/construction machinery.
 pub fn epoch_len() -> u64 {
     env_u64("PHELPS_EPOCH", 150_000)
+}
+
+/// Worker-thread count: `PHELPS_JOBS`, defaulting to the machine's
+/// available parallelism. One knob bounds both the runner's cell pool
+/// and the shard pool ([`shard`], [`run_simpoints`]); it is pure
+/// execution parallelism and never changes any result byte.
+pub fn resolved_jobs() -> usize {
+    match std::env::var("PHELPS_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("warning: PHELPS_JOBS must be >= 1; using 1");
+            1
+        }
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
 /// A named list of workload constructors, the shape every figNN binary
@@ -143,37 +164,109 @@ pub fn run_simpoint_region(
     }
 }
 
-/// Full SimPoint evaluation of a workload factory: profiles one instance,
-/// selects representative regions, simulates each under `mode`, and
-/// returns `(weighted-harmonic-mean IPC, per-point results)`.
+/// The outcome of a full SimPoint evaluation (see [`run_simpoints`]).
+#[derive(Debug)]
+pub struct SimPointRun {
+    /// Weighted-harmonic-mean IPC over the surviving points — the
+    /// paper's per-benchmark aggregate.
+    pub hmean_ipc: f64,
+    /// Per-point results, in point order.
+    pub points: Vec<(phelps_workloads::simpoints::SimPoint, SimResult)>,
+    /// Every per-point result folded through `SimResult::merge` in point
+    /// order: summed counters, spliced telemetry series. `None` when no
+    /// point survived.
+    pub merged: Option<SimResult>,
+}
+
+/// Full SimPoint evaluation of one workload instance: profiles it,
+/// selects representative regions, simulates each region as a shard on
+/// the `PHELPS_JOBS` thread pool, and aggregates — the weighted harmonic
+/// mean of per-point IPCs plus the merged counter/telemetry bundle.
 ///
-/// Missing region checkpoints are captured in one pre-pass over a fresh
-/// instance, so the per-point runs restore instead of fast-forwarding.
+/// Missing region checkpoints are captured in one pre-pass, so the
+/// per-point shards restore instead of fast-forwarding. The prototype
+/// `cpu` is constructed once by the caller and cloned per use (profile
+/// pass, pre-capture pass, one clone per shard) — workload factories are
+/// no longer re-invoked per point.
+///
+/// The output is deterministic in `PHELPS_JOBS`: shards are independent
+/// and fold in point order, so any worker count yields byte-identical
+/// per-point and merged results (CI-enforced; see `scripts/ci.sh`).
 pub fn run_simpoints(
     label: &str,
-    make: &dyn Fn() -> Cpu,
+    cpu: Cpu,
     mode: Mode,
     profile_insts: u64,
     spcfg: &phelps_workloads::simpoints::SimPointConfig,
-) -> (f64, Vec<(phelps_workloads::simpoints::SimPoint, SimResult)>) {
-    let points = phelps_workloads::simpoints::select_simpoints(make(), profile_insts, spcfg);
+) -> SimPointRun {
+    run_simpoints_with(
+        label,
+        cpu,
+        &exp_config(mode),
+        profile_insts,
+        spcfg,
+        &ckpt_support::CkptPolicy::from_env(),
+        resolved_jobs(),
+        None,
+    )
+}
+
+/// [`run_simpoints`] with every policy explicit: the per-region
+/// [`RunConfig`], checkpoint policy, worker count, and an optional
+/// telemetry config installed per shard (after checkpoint positioning,
+/// so nondeterministic restore-time counters stay out of the merged
+/// report). Tests use this to avoid process-global env-var races.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simpoints_with(
+    label: &str,
+    cpu: Cpu,
+    cfg: &RunConfig,
+    profile_insts: u64,
+    spcfg: &phelps_workloads::simpoints::SimPointConfig,
+    ckpt: &ckpt_support::CkptPolicy,
+    workers: usize,
+    telemetry: Option<&phelps_telemetry::Config>,
+) -> SimPointRun {
+    let points = phelps_workloads::simpoints::select_simpoints(cpu.clone(), profile_insts, spcfg);
     let starts: Vec<u64> = points.iter().map(|p| p.start_inst).collect();
-    if let Err(e) = ckpt_support::ensure_region_checkpoints(label, make(), &starts) {
+    if let Err(e) = ckpt_support::ensure_region_checkpoints_with(ckpt, label, cpu.clone(), &starts)
+    {
         eprintln!("warning: checkpoint pre-capture for {label} failed: {e}");
     }
-    let mut results = Vec::new();
-    for p in points {
-        if let Some(r) = run_simpoint_region(label, make(), &p, mode.clone()) {
-            results.push((p, r));
+    let shard_results = exec::run_indexed(points.len(), workers, |i| {
+        let p = &points[i];
+        match shard::run_shard(ckpt, label, cpu.clone(), p.start_inst, cfg, telemetry) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!(
+                    "warning: skipping simpoint at inst {} (weight {:.3}): \
+                     fast-forward failed: {e}",
+                    p.start_inst, p.weight
+                );
+                None
+            }
         }
-    }
-    let ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(
+    });
+    let results: Vec<(phelps_workloads::simpoints::SimPoint, SimResult)> = points
+        .into_iter()
+        .zip(shard_results)
+        .filter_map(|(p, r)| r.map(|r| (p, r)))
+        .collect();
+    let hmean_ipc = phelps_uarch::stats::weighted_harmonic_mean_ipc(
         &results
             .iter()
             .map(|(p, r)| (p.weight, r.stats.ipc()))
             .collect::<Vec<_>>(),
     );
-    (ipc, results)
+    let merged = shard::fold_merge(
+        label,
+        results.iter().map(|(_, r)| Some(r.clone())).collect(),
+    );
+    SimPointRun {
+        hmean_ipc,
+        points: results,
+        merged,
+    }
 }
 
 /// The five standard comparison modes of Fig. 12a.

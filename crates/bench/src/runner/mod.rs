@@ -23,7 +23,7 @@
 
 pub mod cache;
 
-use crate::exec::{execute_cell, CellRequest, ExecPolicy};
+use crate::exec::{execute_cell_prepared, CellRequest, ExecPolicy};
 use crate::{exp_config, trace};
 use phelps::sim::{simulate, Mode, RunConfig, SimResult};
 use phelps_isa::Cpu;
@@ -65,12 +65,15 @@ pub fn parse_cli() -> CliOptions {
 }
 
 /// One unit of work: a (workload, configuration) pair bound to a
-/// simulation thunk and a content fingerprint for caching.
+/// simulation thunk and a content fingerprint for caching. The thunk
+/// receives the cell's telemetry config (if tracing is on) and owns its
+/// installation — single-run cells install on the worker thread,
+/// sharded cells forward it to each shard thread.
 struct Cell {
     workload: String,
     config: String,
     key: String,
-    job: Box<dyn FnOnce() -> Option<SimResult> + Send>,
+    job: Box<dyn FnOnce(Option<tlm::Config>) -> Option<SimResult> + Send>,
 }
 
 /// The outcome of one cell.
@@ -225,6 +228,23 @@ impl Experiment {
         key: String,
         job: impl FnOnce() -> Option<SimResult> + Send + 'static,
     ) {
+        self.cell_prepared(workload, config, key, move |tlm_cfg| {
+            if let Some(cfg) = tlm_cfg {
+                tlm::install(cfg);
+            }
+            job()
+        });
+    }
+
+    /// Adds a cell whose job owns telemetry installation (sharded cells
+    /// install per shard thread instead of on the worker).
+    fn cell_prepared(
+        &mut self,
+        workload: &str,
+        config: &str,
+        key: String,
+        job: impl FnOnce(Option<tlm::Config>) -> Option<SimResult> + Send + 'static,
+    ) {
         self.cells.push(Cell {
             workload: workload.to_string(),
             config: config.to_string(),
@@ -261,6 +281,16 @@ impl Experiment {
     }
 
     /// Adds a simulation cell with an explicit, fully-formed [`RunConfig`].
+    ///
+    /// With `PHELPS_SHARDS=N` (N > 1) the cell runs through
+    /// [`crate::shard::run_sharded_with`]: the run splits into N
+    /// checkpoint shards simulated on their own `PHELPS_JOBS` pool and
+    /// merges deterministically. The shard count changes the result (a
+    /// sharded run is a sampling approximation of the monolithic one),
+    /// so it is part of the cache key. Every figure binary's simulation
+    /// cells inherit sharding through this path; Branch Runahead cells
+    /// ([`Experiment::br_cell`]) use a different engine entry point and
+    /// stay unsharded.
     pub fn cfg_cell(
         &mut self,
         workload: &str,
@@ -268,9 +298,30 @@ impl Experiment {
         cfg: RunConfig,
         make: impl FnOnce() -> Cpu + Send + 'static,
     ) {
-        self.cell(workload, config, format!("{cfg:?}"), move || {
-            Some(simulate(make(), &cfg))
-        });
+        let shards = crate::shard::shard_count();
+        if shards > 1 {
+            let label = workload.to_string();
+            self.cell_prepared(
+                workload,
+                config,
+                format!("{cfg:?}|shards={shards}"),
+                move |tlm_cfg| {
+                    crate::shard::run_sharded_with(
+                        &crate::ckpt_support::CkptPolicy::from_env(),
+                        crate::resolved_jobs(),
+                        shards,
+                        &label,
+                        make(),
+                        &cfg,
+                        tlm_cfg.as_ref(),
+                    )
+                },
+            );
+        } else {
+            self.cell(workload, config, format!("{cfg:?}"), move || {
+                Some(simulate(make(), &cfg))
+            });
+        }
     }
 
     /// Adds a Branch Runahead cell.
@@ -291,22 +342,7 @@ impl Experiment {
     }
 
     fn resolved_jobs(&self) -> usize {
-        if let Some(n) = self.jobs {
-            return n;
-        }
-        match std::env::var("PHELPS_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            Some(n) if n >= 1 => n,
-            Some(_) => {
-                eprintln!("warning: PHELPS_JOBS must be >= 1; using 1");
-                1
-            }
-            None => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        }
+        self.jobs.unwrap_or_else(crate::resolved_jobs)
     }
 
     /// Executes the matrix and collects results in submission order.
@@ -394,7 +430,7 @@ impl Experiment {
                             ..tlm::Config::default()
                         }),
                     };
-                    let outcome = execute_cell(&req, &policy, cell.job);
+                    let outcome = execute_cell_prepared(&req, &policy, cell.job);
                     *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(CellResult {
                         workload: cell.workload,
                         config: cell.config,

@@ -297,14 +297,20 @@ impl CheckpointStore {
 
     /// Persists a snapshot for `key`. Written to a temporary file and
     /// renamed so concurrent readers never observe a torn write (a torn
-    /// temp file would fail CRC anyway). Errors are reported but
-    /// non-fatal — the in-memory snapshot is still usable.
+    /// temp file would fail CRC anyway). The temp name is unique per
+    /// save — pid alone is not enough, since sharded runs save the same
+    /// key from multiple worker threads at once and a shared temp path
+    /// would let one thread's rename steal another's in-progress write.
+    /// Errors are reported but non-fatal — the in-memory snapshot is
+    /// still usable.
     pub fn save(&self, key: &RegionKey, snap: &Snapshot) {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         debug_assert_eq!(key.start_inst, snap.start_inst);
         let path = self.path_of(key);
         let write = || -> std::io::Result<()> {
             std::fs::create_dir_all(&self.dir)?;
-            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
             std::fs::write(&tmp, format::encode(key, snap))?;
             std::fs::rename(&tmp, &path)
         };

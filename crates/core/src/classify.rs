@@ -5,11 +5,11 @@
 //! helper-thread queue and was correct — this bin counts predictions, not
 //! mispredictions), or the reason it was **not** eliminated is recorded.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a main-thread branch misprediction was not eliminated by Phelps
 /// (or that it was eliminated).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MispredictClass {
     /// Prediction came from a queue and was correct (a would-be
     /// misprediction eliminated; counted separately from real
@@ -75,10 +75,13 @@ impl MispredictClass {
     }
 }
 
-/// Accumulates the Fig. 14 breakdown.
+/// Accumulates the Fig. 14 breakdown. The counts live in a `BTreeMap`
+/// so iteration (and `Debug`) order is deterministic — sharded runs
+/// compare merged breakdowns byte-for-byte across worker counts, and a
+/// hash-seeded map order would fail that even with identical contents.
 #[derive(Clone, Debug, Default)]
 pub struct MispredictBreakdown {
-    counts: HashMap<MispredictClass, u64>,
+    counts: BTreeMap<MispredictClass, u64>,
     /// Main-thread instructions retired (for the MPKI denominator).
     pub retired: u64,
 }
@@ -114,6 +117,17 @@ impl MispredictBreakdown {
         } else {
             1000.0 * self.count(class) as f64 / self.retired as f64
         }
+    }
+
+    /// Folds another run's breakdown into this one: per-class counts and
+    /// the retired denominator sum, so per-class MPKI reads as the
+    /// whole-run value. Associative and commutative with an empty
+    /// breakdown as identity (the same laws as `SimStats::merge`).
+    pub fn merge(&mut self, other: &MispredictBreakdown) {
+        for (class, n) in &other.counts {
+            *self.counts.entry(*class).or_insert(0) += n;
+        }
+        self.retired = self.retired.saturating_add(other.retired);
     }
 
     /// Total *residual* (non-eliminated) mispredictions.
@@ -161,6 +175,26 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn merge_sums_counts_and_denominator() {
+        let mut a = MispredictBreakdown::new();
+        a.retired = 1000;
+        a.add(MispredictClass::Eliminated, 3);
+        let mut b = MispredictBreakdown::new();
+        b.retired = 3000;
+        b.add(MispredictClass::Eliminated, 1);
+        b.add(MispredictClass::HtUntimely, 4);
+        a.merge(&b);
+        assert_eq!(a.retired, 4000);
+        assert_eq!(a.count(MispredictClass::Eliminated), 4);
+        assert_eq!(a.count(MispredictClass::HtUntimely), 4);
+        assert!((a.mpki(MispredictClass::HtUntimely) - 1.0).abs() < 1e-12);
+        // Identity.
+        let snapshot = (a.retired, a.count(MispredictClass::Eliminated));
+        a.merge(&MispredictBreakdown::new());
+        assert_eq!(snapshot, (a.retired, a.count(MispredictClass::Eliminated)));
     }
 
     #[test]

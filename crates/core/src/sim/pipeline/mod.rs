@@ -260,6 +260,32 @@ pub struct SimResult {
     pub final_state: Option<Box<FinalState>>,
 }
 
+impl SimResult {
+    /// Folds a later shard's result into this one: stats and the
+    /// misprediction breakdown sum, telemetry reports merge (splicing
+    /// the epoch/event series, see `phelps_telemetry::Report::merge`),
+    /// and a missing telemetry side adopts the present one.
+    ///
+    /// The retire log and final architectural state are positional
+    /// artifacts of one contiguous run — a stitched run has neither, so
+    /// both drop to `None`.
+    pub fn merge(&mut self, other: &SimResult) {
+        self.stats.merge(&other.stats);
+        self.breakdown.merge(&other.breakdown);
+        self.telemetry = match (self.telemetry.take(), other.telemetry.as_deref()) {
+            (Some(mut a), Some(b)) => {
+                a.merge(b);
+                Some(a)
+            }
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(Box::new(b.clone())),
+            (None, None) => None,
+        };
+        self.retire_log = None;
+        self.final_state = None;
+    }
+}
+
 /// Architectural end-state of a run, for differential comparison against
 /// the functional emulator. Captured only when retire logging is on.
 #[derive(Clone, Debug)]

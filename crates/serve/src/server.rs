@@ -38,9 +38,11 @@ use crate::codec::{self, FrameReader};
 use crate::protocol::{
     encode_response, parse_mode, parse_request, Dedup, Request, Response, ServerStats, Submit,
 };
-use phelps::sim::{simulate, RunConfig};
-use phelps_bench::exec::{execute_cell, CellOutcome, CellRequest, ExecPolicy};
+use phelps::sim::RunConfig;
+use phelps_bench::ckpt_support::CkptPolicy;
+use phelps_bench::exec::{execute_cell_prepared, CellOutcome, CellRequest, ExecPolicy};
 use phelps_bench::runner::cache;
+use phelps_bench::shard;
 use phelps_bench::trace;
 use phelps_telemetry as tlm;
 use phelps_workloads::suite;
@@ -157,6 +159,10 @@ struct Job {
     run_cfg: RunConfig,
     workload: String,
     mode_label: String,
+    /// Shard decomposition captured at submit time (`PHELPS_SHARDS`),
+    /// so a mid-session environment change can't split one fingerprint
+    /// across two decompositions.
+    shards: usize,
 }
 
 /// A client subscribed to one job's frame stream.
@@ -458,11 +464,21 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
     let region = sub.region.unwrap_or_else(phelps_bench::region_len).max(1);
     let epoch = sub.epoch.unwrap_or_else(phelps_bench::epoch_len).max(1);
     let run_cfg = RunConfig::quick(mode, region, epoch);
+    // The shard decomposition is part of the result's identity (an
+    // N-shard run is a sampling approximation of the monolithic run),
+    // so it joins the fingerprint — but only when sharding is actually
+    // on, keeping historical unsharded cache entries valid.
+    let shards = shard::shard_count();
+    let key = if shards > 1 {
+        format!("{run_cfg:?}|shards={shards}")
+    } else {
+        format!("{run_cfg:?}")
+    };
     let request = CellRequest {
         experiment: "serve".to_string(),
         workload: sub.workload.clone(),
         config: sub.mode.clone(),
-        key: format!("{run_cfg:?}"),
+        key,
     };
     let fingerprint = request.fingerprint();
     let accepted = Response::Accepted {
@@ -537,6 +553,7 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
                 run_cfg,
                 workload: sub.workload,
                 mode_label: sub.mode,
+                shards,
             });
             shared.queue_cv.notify_one();
             drop(queue);
@@ -605,12 +622,26 @@ fn run_job(shared: &Arc<Shared>, job: Job, ticket: Option<u64>) {
             ..tlm::Config::default()
         }),
     };
-    let outcome = execute_cell(&job.request, &policy, {
+    // Route through the sharded engine: with `shards <= 1` it degrades
+    // to the historical install-then-simulate path on this thread; with
+    // more it fans the run out over the `PHELPS_JOBS` pool, each shard
+    // installing its own registry clone — the shared `SampleSink` then
+    // interleaves per-shard epochs into the live stream.
+    let outcome = execute_cell_prepared(&job.request, &policy, {
         let workload = job.workload.clone();
         let run_cfg = job.run_cfg.clone();
-        move || {
+        let shards = job.shards;
+        move |tlm_cfg| {
             let w = suite::gap_workload(&workload).or_else(|| suite::spec_workload(&workload))?;
-            Some(simulate(w.cpu, &run_cfg))
+            shard::run_sharded_with(
+                &CkptPolicy::from_env(),
+                phelps_bench::resolved_jobs(),
+                shards,
+                &workload,
+                w.cpu,
+                &run_cfg,
+                tlm_cfg.as_ref(),
+            )
         }
     });
 

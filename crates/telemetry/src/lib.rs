@@ -170,6 +170,16 @@ impl Counter {
         Counter::DramQueueStalls,
     ];
 
+    /// How this counter combines when two shards' reports merge (see
+    /// [`Report::merge`]).
+    pub fn merge_kind(self) -> MergeKind {
+        // Every current counter is a monotonic event/cycle/nanosecond
+        // total, so they all sum. A future high-water-mark counter
+        // ("peak X") must declare `MergeKind::Max` here — storing a peak
+        // in a summing counter would silently break shard merging.
+        MergeKind::Sum
+    }
+
     /// Stable snake_case identifier used in exports.
     pub fn name(self) -> &'static str {
         match self {
@@ -212,6 +222,16 @@ impl Counter {
             Counter::DramQueueStalls => "dram_queue_stalls",
         }
     }
+}
+
+/// How one aggregate combines across shard reports in
+/// [`Report::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Totals add (event, cycle, and duration counts).
+    Sum,
+    /// The larger value wins (peaks / high-water marks).
+    Max,
 }
 
 /// Occupancy gauges, sampled once per simulated cycle.
@@ -557,7 +577,7 @@ impl Registry {
             final_cycle: self.cur_cycle,
             counters: self.counters,
             gauges: Gauge::ALL.map(|g| GaugeSummary {
-                avg: self.gauges[g as usize].avg(),
+                sum: self.gauges[g as usize].sum,
                 max: self.gauges[g as usize].max,
                 samples: self.gauges[g as usize].samples,
             }),

@@ -1,7 +1,7 @@
 //! Finalized telemetry reports and their JSON/CSV serializations.
 
 use crate::json::JsonWriter;
-use crate::{Counter, EventKind, Gauge, Hist};
+use crate::{Counter, EventKind, Gauge, Hist, MergeKind};
 
 /// One recorded event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,18 +49,35 @@ pub struct EpochSample {
 }
 
 /// Summary of one gauge over the whole run.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The summary stores the raw sample *sum*, not the mean: a stored mean
+/// is a derived ratio, and averaging two shards' means is neither exact
+/// nor associative. The mean is computed at read time by [`avg`].
+///
+/// [`avg`]: GaugeSummary::avg
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct GaugeSummary {
-    /// Mean of all samples.
-    pub avg: f64,
+    /// Sum of all samples.
+    pub sum: u128,
     /// Largest sample.
     pub max: u64,
     /// Number of samples.
     pub samples: u64,
 }
 
+impl GaugeSummary {
+    /// Mean of all samples (0.0 when none were recorded).
+    pub fn avg(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
 /// Summary of one log2 histogram.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct HistSummary {
     /// Bucket `i` counts values whose bit length is `i` (bucket 0 is the
     /// value 0).
@@ -71,8 +88,10 @@ pub struct HistSummary {
     pub sum: u128,
 }
 
-/// An immutable, finished telemetry report for one simulated run.
-#[derive(Clone, Debug)]
+/// An immutable, finished telemetry report for one simulated run (or,
+/// after [`Report::merge`], for a sequence of shard runs stitched into
+/// one logical run).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// Run label from the installed config.
     pub label: String,
@@ -96,10 +115,130 @@ pub struct Report {
     pub events_dropped: u64,
 }
 
+impl Default for Report {
+    /// The empty report: zero everywhere, no label. This is the identity
+    /// of [`Report::merge`].
+    fn default() -> Report {
+        Report {
+            label: String::new(),
+            epoch_len: 0,
+            verbose: false,
+            final_cycle: 0,
+            counters: [0; Counter::COUNT],
+            gauges: [GaugeSummary::default(); Gauge::COUNT],
+            hists: std::array::from_fn(|_| HistSummary::default()),
+            epochs: Vec::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+}
+
 impl Report {
     /// Total for one counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters[c as usize]
+    }
+
+    /// Folds a later shard's report into this one, stitching two runs
+    /// whose cycle clocks both start at zero into one logical run.
+    ///
+    /// Per-aggregate semantics:
+    ///
+    /// * **counters** combine by [`Counter::merge_kind`] — a saturating
+    ///   sum for every current kind; a future high-water-mark counter
+    ///   would declare [`MergeKind::Max`];
+    /// * **gauges** — `sum` and `samples` add, `max` takes the larger,
+    ///   so the read-time [`GaugeSummary::avg`] is the exact sample mean
+    ///   over both runs;
+    /// * **log2 histograms** add bucketwise (plus their count/sum
+    ///   totals);
+    /// * the **epoch series** splices: `other`'s epochs are appended
+    ///   with indices renumbered to their position in the combined
+    ///   series and `end_cycle` re-based by this report's
+    ///   `final_cycle`, recovering one continuous timeline;
+    /// * **events** interleave by re-based cycle (stable: on equal
+    ///   cycles this report's events come first). *Capacity policy:*
+    ///   the ring bound applies per run while recording; the merge
+    ///   keeps every surviving event from both sides — a merged report
+    ///   holds up to `shards × ring_capacity` events — and
+    ///   `events_dropped` sums;
+    /// * `final_cycle` adds, `verbose` ORs, `epoch_len` takes the max,
+    ///   and an empty label adopts `other`'s.
+    ///
+    /// The merge is associative with `Report::default()` as identity,
+    /// and commutative for every unordered aggregate (counters, gauges,
+    /// histograms, `final_cycle`, `events_dropped`). The epoch and
+    /// event series are order-defined splices, so shards must fold in
+    /// shard order for byte-identical series. These laws are pinned by
+    /// `tests/prop_report_merge.rs`.
+    pub fn merge(&mut self, other: &Report) {
+        if self.label.is_empty() {
+            self.label = other.label.clone();
+        }
+        self.epoch_len = self.epoch_len.max(other.epoch_len);
+        self.verbose |= other.verbose;
+        for c in Counter::ALL {
+            let i = c as usize;
+            self.counters[i] = match c.merge_kind() {
+                MergeKind::Sum => self.counters[i].saturating_add(other.counters[i]),
+                MergeKind::Max => self.counters[i].max(other.counters[i]),
+            };
+        }
+        for i in 0..Gauge::COUNT {
+            let b = &other.gauges[i];
+            let a = &mut self.gauges[i];
+            a.sum = a.sum.saturating_add(b.sum);
+            a.samples = a.samples.saturating_add(b.samples);
+            a.max = a.max.max(b.max);
+        }
+        for i in 0..Hist::COUNT {
+            let b = &other.hists[i];
+            let a = &mut self.hists[i];
+            if a.buckets.len() < b.buckets.len() {
+                a.buckets.resize(b.buckets.len(), 0);
+            }
+            for (x, &y) in a.buckets.iter_mut().zip(&b.buckets) {
+                *x = x.saturating_add(y);
+            }
+            a.count = a.count.saturating_add(b.count);
+            a.sum = a.sum.saturating_add(b.sum);
+        }
+        let cycle_base = self.final_cycle;
+        let epoch_base = self.epochs.len() as u64;
+        self.epochs
+            .extend(other.epochs.iter().enumerate().map(|(j, e)| EpochSample {
+                epoch: epoch_base + j as u64,
+                end_cycle: cycle_base.saturating_add(e.end_cycle),
+                ..e.clone()
+            }));
+        let mut merged = Vec::with_capacity(self.events.len() + other.events.len());
+        let mut ours = std::mem::take(&mut self.events).into_iter().peekable();
+        let mut theirs = other
+            .events
+            .iter()
+            .map(|ev| EventRecord {
+                cycle: cycle_base.saturating_add(ev.cycle),
+                ..*ev
+            })
+            .peekable();
+        loop {
+            match (ours.peek(), theirs.peek()) {
+                (Some(a), Some(b)) => {
+                    if a.cycle <= b.cycle {
+                        merged.push(ours.next().unwrap());
+                    } else {
+                        merged.push(theirs.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.push(ours.next().unwrap()),
+                (None, Some(_)) => merged.push(theirs.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        self.events = merged;
+        self.events_dropped = self.events_dropped.saturating_add(other.events_dropped);
+        self.final_cycle = cycle_base.saturating_add(other.final_cycle);
     }
 
     /// Number of recorded events of `kind`.
@@ -134,8 +273,10 @@ impl Report {
             let s = &self.gauges[g as usize];
             w.key(g.name());
             w.begin_object();
+            // "avg" is computed here from the stored sum/samples; the
+            // summary itself never stores a ratio (see [`GaugeSummary`]).
             w.key("avg");
-            w.float(s.avg);
+            w.float(s.avg());
             w.key("max");
             w.uint(s.max);
             w.key("samples");

@@ -90,6 +90,100 @@ impl SimStats {
         SimStats::default()
     }
 
+    /// Folds another run's counters into this one.
+    ///
+    /// Every field of [`SimStats`] is a pure event count, so the merge is
+    /// a per-field saturating sum — associative and commutative, with
+    /// `SimStats::default()` as the identity (the merge-law property
+    /// tests in `tests/prop_stats_merge.rs` pin all three). Derived
+    /// quantities (IPC, MPKI, accuracy, overhead ratios) are *methods*
+    /// computed from the raw counters at read time, never stored, so
+    /// merging can never average a ratio; the audit note below keeps it
+    /// that way.
+    ///
+    /// This is the aggregation primitive behind checkpoint-sharded
+    /// simulation: per-shard stats fold into one bundle whose derived
+    /// ratios are then exactly the whole-run ratios.
+    ///
+    /// **Field audit (enforced by convention):** any future field must be
+    /// a monotonic event/cycle count. Ratios, averages, and
+    /// last-writer-wins scalars (e.g. "final queue depth") are not
+    /// mergeable and belong in derived methods or the telemetry gauges
+    /// (which store sum + sample-count precisely so *their* merge stays
+    /// associative).
+    pub fn merge(&mut self, other: &SimStats) {
+        let SimStats {
+            cycles,
+            mt_retired,
+            ht_retired,
+            mt_cond_branches,
+            mt_mispredicts,
+            mispredicts_from_queue,
+            preds_from_queue,
+            queue_untimely,
+            load_violations,
+            triggers,
+            terminations,
+            l1i_accesses,
+            l1i_misses,
+            l1d_accesses,
+            l1d_misses,
+            l1d_store_accesses,
+            l1d_store_misses,
+            l2_misses,
+            l3_misses,
+            prefetches_issued,
+            prefetch_hits,
+            mt_fetch_stall_mispredict,
+            mt_fetch_stall_trigger,
+            mt_fetch_stall_ifetch,
+            l1i_port_stalls,
+            l1d_port_stalls,
+            l2_port_stalls,
+            l3_port_stalls,
+            dram_queue_stalls,
+        } = other;
+        // Exhaustive destructuring: adding a SimStats field without
+        // deciding its merge behavior fails to compile here.
+        self.cycles = self.cycles.saturating_add(*cycles);
+        self.mt_retired = self.mt_retired.saturating_add(*mt_retired);
+        self.ht_retired = self.ht_retired.saturating_add(*ht_retired);
+        self.mt_cond_branches = self.mt_cond_branches.saturating_add(*mt_cond_branches);
+        self.mt_mispredicts = self.mt_mispredicts.saturating_add(*mt_mispredicts);
+        self.mispredicts_from_queue = self
+            .mispredicts_from_queue
+            .saturating_add(*mispredicts_from_queue);
+        self.preds_from_queue = self.preds_from_queue.saturating_add(*preds_from_queue);
+        self.queue_untimely = self.queue_untimely.saturating_add(*queue_untimely);
+        self.load_violations = self.load_violations.saturating_add(*load_violations);
+        self.triggers = self.triggers.saturating_add(*triggers);
+        self.terminations = self.terminations.saturating_add(*terminations);
+        self.l1i_accesses = self.l1i_accesses.saturating_add(*l1i_accesses);
+        self.l1i_misses = self.l1i_misses.saturating_add(*l1i_misses);
+        self.l1d_accesses = self.l1d_accesses.saturating_add(*l1d_accesses);
+        self.l1d_misses = self.l1d_misses.saturating_add(*l1d_misses);
+        self.l1d_store_accesses = self.l1d_store_accesses.saturating_add(*l1d_store_accesses);
+        self.l1d_store_misses = self.l1d_store_misses.saturating_add(*l1d_store_misses);
+        self.l2_misses = self.l2_misses.saturating_add(*l2_misses);
+        self.l3_misses = self.l3_misses.saturating_add(*l3_misses);
+        self.prefetches_issued = self.prefetches_issued.saturating_add(*prefetches_issued);
+        self.prefetch_hits = self.prefetch_hits.saturating_add(*prefetch_hits);
+        self.mt_fetch_stall_mispredict = self
+            .mt_fetch_stall_mispredict
+            .saturating_add(*mt_fetch_stall_mispredict);
+        self.mt_fetch_stall_trigger = self
+            .mt_fetch_stall_trigger
+            .saturating_add(*mt_fetch_stall_trigger);
+        self.mt_fetch_stall_ifetch = self
+            .mt_fetch_stall_ifetch
+            .saturating_add(*mt_fetch_stall_ifetch);
+        self.l1i_port_stalls = self.l1i_port_stalls.saturating_add(*l1i_port_stalls);
+        self.l1d_port_stalls = self.l1d_port_stalls.saturating_add(*l1d_port_stalls);
+        self.l2_port_stalls = self.l2_port_stalls.saturating_add(*l2_port_stalls);
+        self.l3_port_stalls = self.l3_port_stalls.saturating_add(*l3_port_stalls);
+        self.dram_queue_stalls = self.dram_queue_stalls.saturating_add(*dram_queue_stalls);
+    }
+
     /// Main-thread instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -149,15 +243,30 @@ pub fn speedup(baseline: &SimStats, test: &SimStats) -> f64 {
 /// assert!((ipc - 8.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn weighted_harmonic_mean_ipc(points: &[(f64, f64)]) -> f64 {
-    let total_w: f64 = points.iter().map(|(w, _)| w).sum();
+    let mut total_w = 0.0_f64;
+    let mut denom = 0.0_f64;
+    for &(w, ipc) in points {
+        // Non-finite or negative inputs would silently poison the whole
+        // mean (NaN propagates through sums); drop the point with a
+        // warning instead so figure output stays numeric.
+        if !w.is_finite() || !ipc.is_finite() || w < 0.0 || ipc < 0.0 {
+            eprintln!(
+                "warning: weighted_harmonic_mean_ipc: ignoring degenerate \
+                 point (weight {w}, ipc {ipc})"
+            );
+            continue;
+        }
+        total_w += w;
+        if ipc > 0.0 {
+            denom += w / ipc;
+        }
+    }
     if total_w == 0.0 {
+        if !points.is_empty() {
+            eprintln!("warning: weighted_harmonic_mean_ipc: zero total weight; reporting 0.0");
+        }
         return 0.0;
     }
-    let denom: f64 = points
-        .iter()
-        .filter(|(_, ipc)| *ipc > 0.0)
-        .map(|(w, ipc)| w / ipc)
-        .sum();
     if denom == 0.0 {
         0.0
     } else {
@@ -290,6 +399,69 @@ mod tests {
         let m = weighted_harmonic_mean_ipc(&[(0.5, 0.0), (0.5, 2.0)]);
         assert!(m.is_finite());
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_ignores_non_finite_points() {
+        let m = weighted_harmonic_mean_ipc(&[(f64::NAN, 2.0), (1.0, f64::INFINITY), (1.0, 2.0)]);
+        assert!((m - 2.0).abs() < 1e-12, "finite point survives: {m}");
+        assert_eq!(weighted_harmonic_mean_ipc(&[(f64::NAN, 1.0)]), 0.0);
+        assert_eq!(weighted_harmonic_mean_ipc(&[(1.0, f64::NAN)]), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_preserves_derived_ratios() {
+        let a = SimStats {
+            cycles: 1000,
+            mt_retired: 2000,
+            mt_cond_branches: 100,
+            mt_mispredicts: 10,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            cycles: 3000,
+            mt_retired: 3000,
+            mt_cond_branches: 300,
+            mt_mispredicts: 30,
+            ..SimStats::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, 4000);
+        assert_eq!(m.mt_retired, 5000);
+        // The merged IPC is the whole-run IPC (total insts / total
+        // cycles), not the average of the two per-shard IPCs.
+        assert!((m.ipc() - 5000.0 / 4000.0).abs() < 1e-12);
+        assert!((m.mpki() - 1000.0 * 40.0 / 5000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let a = SimStats {
+            cycles: 123,
+            mt_retired: 456,
+            l3_misses: 7,
+            ..SimStats::default()
+        };
+        let mut left = SimStats::default();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge(&SimStats::default());
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = SimStats {
+            cycles: u64::MAX - 1,
+            ..SimStats::default()
+        };
+        a.merge(&SimStats {
+            cycles: 5,
+            ..SimStats::default()
+        });
+        assert_eq!(a.cycles, u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Merge-law property tests for [`SimStats::merge`].
+//!
+//! Checkpoint-sharded simulation folds per-shard stats through `merge`
+//! in shard order and relies on the result being independent of how the
+//! folds associate (worker count must never change the merged bytes).
+//! That requires the merge to be associative and commutative with
+//! `SimStats::default()` as identity — pinned here over the full `u64`
+//! range, including values near `u64::MAX` so the saturating-sum path is
+//! exercised.
+
+use phelps_uarch::stats::SimStats;
+use proptest::prelude::*;
+
+/// Number of counter fields in [`SimStats`]; `from_fields` and `fields`
+/// destructure exhaustively, so adding a field breaks this test until
+/// the new field gets a merge decision *and* coverage here.
+const NFIELDS: usize = 29;
+
+fn from_fields(v: &[u64; NFIELDS]) -> SimStats {
+    let [cycles, mt_retired, ht_retired, mt_cond_branches, mt_mispredicts, mispredicts_from_queue, preds_from_queue, queue_untimely, load_violations, triggers, terminations, l1i_accesses, l1i_misses, l1d_accesses, l1d_misses, l1d_store_accesses, l1d_store_misses, l2_misses, l3_misses, prefetches_issued, prefetch_hits, mt_fetch_stall_mispredict, mt_fetch_stall_trigger, mt_fetch_stall_ifetch, l1i_port_stalls, l1d_port_stalls, l2_port_stalls, l3_port_stalls, dram_queue_stalls] =
+        *v;
+    SimStats {
+        cycles,
+        mt_retired,
+        ht_retired,
+        mt_cond_branches,
+        mt_mispredicts,
+        mispredicts_from_queue,
+        preds_from_queue,
+        queue_untimely,
+        load_violations,
+        triggers,
+        terminations,
+        l1i_accesses,
+        l1i_misses,
+        l1d_accesses,
+        l1d_misses,
+        l1d_store_accesses,
+        l1d_store_misses,
+        l2_misses,
+        l3_misses,
+        prefetches_issued,
+        prefetch_hits,
+        mt_fetch_stall_mispredict,
+        mt_fetch_stall_trigger,
+        mt_fetch_stall_ifetch,
+        l1i_port_stalls,
+        l1d_port_stalls,
+        l2_port_stalls,
+        l3_port_stalls,
+        dram_queue_stalls,
+    }
+}
+
+fn fields(s: &SimStats) -> [u64; NFIELDS] {
+    let SimStats {
+        cycles,
+        mt_retired,
+        ht_retired,
+        mt_cond_branches,
+        mt_mispredicts,
+        mispredicts_from_queue,
+        preds_from_queue,
+        queue_untimely,
+        load_violations,
+        triggers,
+        terminations,
+        l1i_accesses,
+        l1i_misses,
+        l1d_accesses,
+        l1d_misses,
+        l1d_store_accesses,
+        l1d_store_misses,
+        l2_misses,
+        l3_misses,
+        prefetches_issued,
+        prefetch_hits,
+        mt_fetch_stall_mispredict,
+        mt_fetch_stall_trigger,
+        mt_fetch_stall_ifetch,
+        l1i_port_stalls,
+        l1d_port_stalls,
+        l2_port_stalls,
+        l3_port_stalls,
+        dram_queue_stalls,
+    } = s.clone();
+    [
+        cycles,
+        mt_retired,
+        ht_retired,
+        mt_cond_branches,
+        mt_mispredicts,
+        mispredicts_from_queue,
+        preds_from_queue,
+        queue_untimely,
+        load_violations,
+        triggers,
+        terminations,
+        l1i_accesses,
+        l1i_misses,
+        l1d_accesses,
+        l1d_misses,
+        l1d_store_accesses,
+        l1d_store_misses,
+        l2_misses,
+        l3_misses,
+        prefetches_issued,
+        prefetch_hits,
+        mt_fetch_stall_mispredict,
+        mt_fetch_stall_trigger,
+        mt_fetch_stall_ifetch,
+        l1i_port_stalls,
+        l1d_port_stalls,
+        l2_port_stalls,
+        l3_port_stalls,
+        dram_queue_stalls,
+    ]
+}
+
+/// Counter values spanning the interesting range: ordinary magnitudes
+/// plus values close enough to `u64::MAX` that two or three of them
+/// saturate when summed.
+fn counter_value() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..1_000_000, (u64::MAX - 1_000)..=u64::MAX, any::<u64>(),]
+}
+
+fn stats() -> impl Strategy<Value = SimStats> {
+    prop::collection::vec(counter_value(), NFIELDS..NFIELDS + 1).prop_map(|v| {
+        let mut a = [0u64; NFIELDS];
+        a.copy_from_slice(&v);
+        from_fields(&a)
+    })
+}
+
+fn merged(a: &SimStats, b: &SimStats) -> SimStats {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #[test]
+    fn merge_is_per_field_saturating_sum(a in stats(), b in stats()) {
+        let m = fields(&merged(&a, &b));
+        let (fa, fb) = (fields(&a), fields(&b));
+        for i in 0..NFIELDS {
+            prop_assert_eq!(m[i], fa[i].saturating_add(fb[i]), "field {}", i);
+        }
+    }
+
+    #[test]
+    fn default_is_identity(a in stats()) {
+        prop_assert_eq!(merged(&a, &SimStats::default()), a.clone());
+        prop_assert_eq!(merged(&SimStats::default(), &a), a);
+    }
+
+    #[test]
+    fn merge_commutes(a in stats(), b in stats()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_associates(a in stats(), b in stats(), c in stats()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+}

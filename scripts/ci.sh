@@ -94,32 +94,45 @@ rm -rf "$serve_cache" "$serve_log"
 echo "==> perf trajectory (simulated MIPS per mode -> BENCH_perf.json)"
 cargo build --release -q -p phelps-bench --bin perf
 PHELPS_REGION=200000 PHELPS_EPOCH=50000 ./target/release/perf --out=BENCH_perf.json
-grep -q '"schema":"phelps-bench-perf/1"' BENCH_perf.json || {
+grep -q '"schema":"phelps-bench-perf/2"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json missing or malformed" >&2; exit 1; }
 
 echo "==> checkpoint restore-equivalence oracle (fixed seeds, all modes)"
 cargo test --release -q -p phelps-verify --test restore_equivalence
 
-echo "==> checkpoint round-trip smoke test (simpoints: cold save, warm restore)"
-# First run captures region checkpoints into a fresh store; the second
-# restores them. The result cache is disabled so the second run really
-# simulates, and stdout (every table and IPC line) must be identical —
-# the SimStats equality half of the checkpoint guarantee. The [ckpt]
-# stderr counters then prove the fast-forward wall-clock collapsed.
+echo "==> checkpoint round-trip + sharded-equivalence smoke test (simpoints)"
+# First run (4 workers) captures region checkpoints into a fresh store;
+# the second (1 worker) restores them. The result cache is disabled so
+# the second run really simulates. Two invariants ride on the diff pair:
+#   1. stdout (every table and IPC line) and the --merged-out JSON
+#      (merged SimStats + spliced telemetry) must be byte-identical
+#      across worker counts — PHELPS_JOBS is pure execution parallelism
+#      and may never leak into a result;
+#   2. the restored run must match the cold run exactly — the SimStats
+#      equality half of the checkpoint guarantee.
+# The [ckpt] stderr counters then prove the fast-forward wall-clock
+# collapsed.
 cargo build --release -q -p phelps-bench --bin simpoints
 ckpt_dir=$(mktemp -d)
 cold_out=$(mktemp); cold_err=$(mktemp); warm_out=$(mktemp); warm_err=$(mktemp)
-PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+cold_merged=$(mktemp); warm_merged=$(mktemp)
+PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 PHELPS_JOBS=4 \
     PHELPS_CKPT_DIR="$ckpt_dir" \
-    ./target/release/simpoints >"$cold_out" 2>"$cold_err"
-PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    ./target/release/simpoints --merged-out="$cold_merged" \
+    >"$cold_out" 2>"$cold_err"
+PHELPS_NO_CACHE=1 PHELPS_REGION=20000 PHELPS_EPOCH=10000 PHELPS_JOBS=1 \
     PHELPS_CKPT_DIR="$ckpt_dir" \
-    ./target/release/simpoints >"$warm_out" 2>"$warm_err"
+    ./target/release/simpoints --merged-out="$warm_merged" \
+    >"$warm_out" 2>"$warm_err"
 ckpt_field() { grep '^\[ckpt\]' "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"; }
 echo "    cold: $(grep '^\[ckpt\]' "$cold_err")"
 echo "    warm: $(grep '^\[ckpt\]' "$warm_err")"
 diff "$cold_out" "$warm_out" || {
     echo "ci.sh: restored simpoints run diverged from the cold run" >&2; exit 1; }
+diff "$cold_merged" "$warm_merged" || {
+    echo "ci.sh: merged stats/telemetry depend on PHELPS_JOBS" >&2; exit 1; }
+grep -q '"schema":"phelps-simpoints-merged/1"' "$cold_merged" || {
+    echo "ci.sh: simpoints --merged-out JSON missing or malformed" >&2; exit 1; }
 [ "$(ckpt_field "$cold_err" saves)" -gt 0 ] || {
     echo "ci.sh: cold run saved no checkpoints" >&2; exit 1; }
 [ "$(ckpt_field "$warm_err" hits)" -gt 0 ] || {
@@ -133,6 +146,7 @@ awk "BEGIN { exit !($cold_ff >= 5 * ($warm_ff + $warm_restore + 1)) }" || {
     echo "ci.sh: checkpoint restore saved <5x fast-forward time" \
          "(cold ff ${cold_ff}ns vs warm ff ${warm_ff}ns + restore ${warm_restore}ns)" >&2
     exit 1; }
-rm -rf "$ckpt_dir" "$cold_out" "$cold_err" "$warm_out" "$warm_err"
+rm -rf "$ckpt_dir" "$cold_out" "$cold_err" "$warm_out" "$warm_err" \
+    "$cold_merged" "$warm_merged"
 
 echo "==> ci.sh: all green"
