@@ -58,16 +58,20 @@ impl<E: PreExecEngine> Pipeline<E> {
             self.ctx.cfg.lanes_mem as i32,
             self.ctx.cfg.lanes_complex as i32,
         ];
-        // Oldest-first selection.
-        let mut candidates: Vec<u64> = self.ctx.iq.clone();
-        candidates.sort_unstable();
-        let mut issued: Vec<u64> = Vec::new();
-        for seq in candidates {
+        // Oldest-first selection: the IQ is kept sorted ascending at
+        // dispatch, so walking it in order *is* oldest-first. The walk
+        // runs over a reused scratch snapshot because `execute` can
+        // mutate the IQ mid-walk (side squash / terminate); entries that
+        // issue leave `Stage::InIq`, so one retain pass at the end prunes
+        // them in O(n) without the old per-entry `issued.contains` scan.
+        let mut scratch = std::mem::take(&mut self.ctx.issue_scratch);
+        scratch.clear();
+        scratch.extend_from_slice(&self.ctx.iq);
+        for &seq in &scratch {
             if budget.iter().all(|b| *b <= 0) {
                 break;
             }
             let Some(di) = self.ctx.insts.get(&seq) else {
-                issued.push(seq);
                 continue;
             };
             let lane_idx = match di.lane {
@@ -98,10 +102,13 @@ impl<E: PreExecEngine> Pipeline<E> {
                 continue;
             }
             budget[lane_idx] -= 1;
-            issued.push(seq);
             self.execute(seq);
         }
-        self.ctx.iq.retain(|s| !issued.contains(s));
+        self.ctx.issue_scratch = scratch;
+        let insts = &self.ctx.insts;
+        self.ctx
+            .iq
+            .retain(|s| insts.get(s).is_some_and(|di| matches!(di.stage, Stage::InIq)));
         self.ctx.thread_priority = (self.ctx.thread_priority + 1) % NUM_THREADS;
     }
 

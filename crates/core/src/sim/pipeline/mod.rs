@@ -335,8 +335,15 @@ struct SimContext {
     store_cache: StoreCache,
     threads: Vec<ThreadCtx>,
     insts: HashMap<u64, DynInst>,
-    /// Shared issue queue: seqs.
+    /// Shared issue queue: seqs, kept sorted ascending (oldest first) by
+    /// binary-search insertion at dispatch, so issue selection walks it
+    /// directly instead of cloning and sorting every cycle.
     iq: Vec<u64>,
+    /// Reused scratch for the per-cycle issue walk: `issue` snapshots the
+    /// IQ here so selection survives mid-walk IQ mutation (a side-thread
+    /// squash triggered by an executing branch) without a fresh
+    /// allocation every cycle.
+    issue_scratch: Vec<u64>,
     next_seq: u64,
     cycle: u64,
     /// Engine-triggered state.
@@ -422,6 +429,7 @@ impl<E: PreExecEngine> Pipeline<E> {
             threads,
             insts: HashMap::new(),
             iq: Vec::new(),
+            issue_scratch: Vec::new(),
             next_seq: 0,
             cycle: 0,
             preexec_active: false,

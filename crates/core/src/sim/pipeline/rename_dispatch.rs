@@ -103,7 +103,14 @@ impl SimContext {
                     di.stage = Stage::InIq;
                     di.mem_done = 0;
                 }
-                self.iq.push(seq);
+                // Keep the IQ sorted ascending (issue walks it oldest
+                // first). Seqs are allocated monotonically, so inserts
+                // land at or near the tail; only cross-thread dispatch
+                // interleaving ever shifts elements.
+                match self.iq.binary_search(&seq) {
+                    Err(pos) => self.iq.insert(pos, seq),
+                    Ok(_) => unreachable!("seq {seq} dispatched twice"),
+                }
                 self.threads[tid].frontend -= 1;
                 dispatched += 1;
             }
