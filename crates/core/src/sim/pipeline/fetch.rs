@@ -1,7 +1,7 @@
 //! Fetch stage: main-thread trace fetch (with branch prediction and
 //! prediction-queue consumption) and engine-driven side-thread fetch.
 
-use super::{lane_of, DynInst, Pipeline, PredFrom, SimContext, Stage};
+use super::{exec_latency, lane_of, DynInst, InstMeta, Pipeline, PredFrom, SimContext, Stage};
 use crate::sim::types::{PreExecEngine, QueueLookup, HT_A, HT_B, MT};
 use phelps_isa::{ExecRecord, Inst};
 use phelps_telemetry as tlm;
@@ -80,10 +80,6 @@ impl<E: PreExecEngine> Pipeline<E> {
                 tid: MT,
                 pc: rec.pc,
                 inst: rec.inst,
-                stage: Stage::Frontend,
-                lane: lane_of(&rec.inst),
-                deps: Vec::new(),
-                pred_deps: [None; 2],
                 rec,
                 predicted: None,
                 default_pred: None,
@@ -97,7 +93,6 @@ impl<E: PreExecEngine> Pipeline<E> {
                 mem_addr: rec.mem_addr,
                 enabled: true,
                 mem_done: 0,
-                dead: false,
             };
 
             let mut stop_after = rec.inst.is_control() && rec.next_pc != rec.pc + 4;
@@ -187,10 +182,6 @@ impl<E: PreExecEngine> Pipeline<E> {
                 tid,
                 pc: side.pc,
                 inst: side.inst,
-                stage: Stage::Frontend,
-                lane: lane_of(&side.inst),
-                deps: Vec::new(),
-                pred_deps: [None; 2],
                 rec: ExecRecord {
                     pc: side.pc,
                     inst: side.inst,
@@ -212,7 +203,6 @@ impl<E: PreExecEngine> Pipeline<E> {
                 mem_addr: 0,
                 enabled: true,
                 mem_done: 0,
-                dead: false,
             };
             self.ctx.push_fetched(tid, di);
         }
@@ -221,15 +211,14 @@ impl<E: PreExecEngine> Pipeline<E> {
 
 impl SimContext {
     pub(super) fn push_fetched(&mut self, tid: usize, mut di: DynInst) {
-        di.stage = Stage::Frontend;
-        let ready = self.cycle + self.cfg.frontend_stages() as u64;
-        // Encode dispatch-ready cycle in mem_done temporarily? No: keep a
-        // side map — simpler: reuse `mem_done` field before execute.
-        di.mem_done = ready;
+        // `mem_done` carries the frontend-pipe exit cycle until dispatch.
+        di.mem_done = self.cycle + self.cfg.frontend_stages() as u64;
         let seq = di.seq;
+        let meta = InstMeta::new(lane_of(&di.inst), tid, exec_latency(&di.inst), &di.inst);
         self.threads[tid].rob.push_back(seq);
+        self.threads[tid].track_fetched(seq, &meta);
         self.threads[tid].frontend += 1;
-        self.insts.insert(seq, di);
+        self.insts.insert(di, Stage::Frontend, meta);
         #[cfg(feature = "debug-invariants")]
         assert!(
             self.threads[tid].rob.len() as u32 <= self.threads[tid].rob_cap,

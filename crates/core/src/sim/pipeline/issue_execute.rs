@@ -2,44 +2,71 @@
 //! queue under per-lane budgets, trace-fed main-thread execution (with
 //! branch resolution), and real-value side-thread execution (predicate
 //! evaluation, store-cache-backed loads, engine steering).
+//!
+//! Readiness is a broadcast-maintained counter, not a per-cycle re-check:
+//! every instruction carries a ready-dep count in the slab's meta column,
+//! and the completion sweep decrements the counts of in-queue consumers
+//! when a producer turns `Done`. Select then tests a single byte per
+//! candidate.
 
-use super::{exec_latency, Lane, Pipeline, SimContext, Stage};
+use super::{Pipeline, SimContext, Stage, NO_DEP};
 use crate::sim::types::{ExecInfo, PreExecEngine, SideAction, SideKind, MT, NUM_THREADS};
 use phelps_isa::{Inst, MemWidth, Reg};
 use phelps_uarch::bpred::DirectionPredictor;
 use phelps_uarch::mem::MemRequest;
 
 impl SimContext {
-    pub(super) fn dep_ready(&self, dep: Option<u64>) -> bool {
-        match dep {
-            None => true,
-            Some(p) => match self.insts.get(&p) {
-                None => true, // producer retired
-                Some(di) => matches!(di.stage, Stage::Done),
-            },
-        }
+    /// Whether a dep slot is satisfied right now (dispatch-time seeding
+    /// of the ready-dep count; steady-state readiness is maintained by
+    /// [`SimContext::wakeup_consumers`]).
+    pub(super) fn dep_slot_ready(&self, dep: u64) -> bool {
+        // A reclaimed seq (stage None) means the producer retired: its
+        // value is architecturally committed, hence ready.
+        dep == NO_DEP || matches!(self.insts.stage(dep), None | Some(Stage::Done))
     }
 
-    pub(super) fn dep_value(&self, tid: usize, reg: Reg, dep: Option<u64>) -> u64 {
+    pub(super) fn dep_value(&self, tid: usize, reg: Reg, dep: u64) -> u64 {
         if reg.is_zero() {
             return 0;
         }
-        match dep {
-            Some(p) => match self.insts.get(&p) {
-                Some(di) => di.result,
-                None => self.threads[tid].regs[reg.index()],
-            },
-            None => self.threads[tid].regs[reg.index()],
+        if dep != NO_DEP {
+            if let Some(di) = self.insts.get(dep) {
+                return di.result;
+            }
         }
+        self.threads[tid].regs[reg.index()]
     }
 
     pub(super) fn complete_execution(&mut self) {
         let now = self.cycle;
-        for di in self.insts.values_mut() {
-            if let Stage::Exec { done } = di.stage {
-                if done <= now {
-                    di.stage = Stage::Done;
-                }
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        completed.clear();
+        self.insts.sweep_completed(now, &mut completed);
+        for &p in &completed {
+            self.wakeup_consumers(p);
+        }
+        self.completed_scratch = completed;
+    }
+
+    /// Wakeup broadcast: a producer turned `Done`; decrement the
+    /// ready-dep count of every in-queue consumer whose dep slots name
+    /// it. Each slot is accounted exactly once (the transition to `Done`
+    /// is unique per seq), so the counts cannot underflow.
+    pub(super) fn wakeup_consumers(&mut self, producer: u64) {
+        let iq = &self.iq;
+        let insts = &mut self.insts;
+        for &c in iq {
+            let Some(m) = insts.meta_mut(c) else { continue };
+            let hits = m.deps.iter().filter(|&&d| d == producer).count()
+                + m.pred_deps.iter().filter(|&&d| d == producer).count();
+            if hits > 0 {
+                #[cfg(feature = "debug-invariants")]
+                assert!(
+                    m.unready as usize >= hits,
+                    "seq {c}: wakeup underflow (unready {} < hits {hits})",
+                    m.unready
+                );
+                m.unready -= hits as u8;
             }
         }
     }
@@ -71,27 +98,24 @@ impl<E: PreExecEngine> Pipeline<E> {
             if budget.iter().all(|b| *b <= 0) {
                 break;
             }
-            let Some(di) = self.ctx.insts.get(&seq) else {
+            let Some(m) = self.ctx.insts.meta(seq) else {
                 continue;
             };
-            let lane_idx = match di.lane {
-                Lane::Alu => 0,
-                Lane::Mem => 1,
-                Lane::Complex => 2,
-            };
+            let lane_idx = m.lane.index();
             if budget[lane_idx] <= 0 {
                 continue;
             }
-            if !di.deps.iter().all(|d| self.ctx.dep_ready(*d)) {
+            if m.unready > 0 {
                 continue;
             }
-            if !di.pred_deps.iter().all(|d| self.ctx.dep_ready(*d)) {
-                continue;
-            }
-            if di.inst.is_load()
-                && di.tid == MT
-                && self.ctx.violating_loads.contains(&di.pc)
-                && !self.ctx.older_stores_resolved(di.tid, seq)
+            if m.is_load()
+                && m.tid as usize == MT
+                && self
+                    .ctx
+                    .insts
+                    .get(seq)
+                    .is_some_and(|di| self.ctx.violating_loads.contains(&di.pc))
+                && !self.ctx.older_stores_resolved(MT, seq)
             {
                 // MT store-set-style predictor: loads that violated before
                 // wait for older stores' addresses. Side-thread loads issue
@@ -108,16 +132,18 @@ impl<E: PreExecEngine> Pipeline<E> {
         let insts = &self.ctx.insts;
         self.ctx
             .iq
-            .retain(|s| insts.get(s).is_some_and(|di| matches!(di.stage, Stage::InIq)));
+            .retain(|&s| matches!(insts.stage(s), Some(Stage::InIq)));
         self.ctx.thread_priority = (self.ctx.thread_priority + 1) % NUM_THREADS;
     }
 
     fn execute(&mut self, seq: u64) {
-        let di = self.ctx.insts.get(&seq).expect("issuing");
-        let tid = di.tid;
-        if di.dead {
-            let di = self.ctx.insts.get_mut(&seq).expect("present");
-            di.stage = Stage::Done;
+        let m = self.ctx.insts.meta(seq).expect("issuing");
+        let tid = m.tid as usize;
+        if m.is_dead() {
+            // Dead instructions drain without effects; they still
+            // broadcast so consumers waiting on them wake up.
+            self.ctx.insts.set_stage(seq, Stage::Done);
+            self.ctx.wakeup_consumers(seq);
             return;
         }
         if tid == MT {
@@ -129,8 +155,9 @@ impl<E: PreExecEngine> Pipeline<E> {
 
     fn execute_mt(&mut self, seq: u64) {
         let now = self.ctx.cycle;
+        let latency = self.ctx.insts.meta(seq).expect("issuing").latency;
         let (inst, pc, addr) = {
-            let di = &self.ctx.insts[&seq];
+            let di = self.ctx.insts.get(seq).expect("issuing");
             (di.inst, di.pc, di.rec.mem_addr)
         };
         let done = if inst.is_load() {
@@ -150,12 +177,9 @@ impl<E: PreExecEngine> Pipeline<E> {
                 r.done_cycle
             }
         } else {
-            now + exec_latency(&inst) as u64
+            now + latency as u64
         };
-        {
-            let di = self.ctx.insts.get_mut(&seq).expect("present");
-            di.stage = Stage::Exec { done };
-        }
+        self.ctx.insts.set_stage(seq, Stage::Exec { done });
         if inst.is_store() {
             self.check_load_violation(MT, seq, addr);
         }
@@ -168,7 +192,7 @@ impl<E: PreExecEngine> Pipeline<E> {
 
     fn resolve_mt_branch(&mut self, seq: u64, done: u64) {
         let (mispredicted, taken, bp_ckpt, engine_ckpt, pc) = {
-            let di = &self.ctx.insts[&seq];
+            let di = self.ctx.insts.get(seq).expect("issuing");
             (
                 di.mispredicted,
                 di.rec.taken,
@@ -199,8 +223,9 @@ impl<E: PreExecEngine> Pipeline<E> {
 
     fn execute_side(&mut self, seq: u64) {
         let now = self.ctx.cycle;
+        let meta = *self.ctx.insts.meta(seq).expect("issuing");
         let (inst, tid, side) = {
-            let di = &self.ctx.insts[&seq];
+            let di = self.ctx.insts.get(seq).expect("issuing");
             (di.inst, di.tid, di.side.expect("side inst"))
         };
 
@@ -212,10 +237,11 @@ impl<E: PreExecEngine> Pipeline<E> {
             if regs[0].is_none() {
                 true // PredSource::Always
             } else {
-                let deps = self.ctx.insts[&seq].pred_deps;
                 let eval_one = |slot: usize| -> Option<bool> {
                     let (reg, direction) = regs[slot]?;
-                    Some(match deps[slot].and_then(|p| self.ctx.insts.get(&p)) {
+                    let dep = meta.pred_deps[slot];
+                    let prod = (dep != NO_DEP).then(|| self.ctx.insts.get(dep)).flatten();
+                    Some(match prod {
                         Some(prod) => prod.enabled && prod.taken == direction,
                         None => {
                             // Producer already retired: read the committed
@@ -230,19 +256,18 @@ impl<E: PreExecEngine> Pipeline<E> {
             }
         };
 
-        // Gather source values.
-        let srcs: Vec<Reg> = inst.srcs().into_iter().collect();
-        let deps = self.ctx.insts[&seq].deps.clone();
-        let vals: Vec<u64> = srcs
-            .iter()
-            .zip(deps.iter())
-            .map(|(r, d)| self.ctx.dep_value(tid, *r, *d))
-            .collect();
+        // Gather source values through the dep slots — no allocation on
+        // the wakeup path (the slots are a fixed-size meta column).
+        let srcs = inst.srcs();
+        let mut vals = [0u64; 2];
+        for (i, r) in srcs.iter().enumerate() {
+            vals[i] = self.ctx.dep_value(tid, r, meta.deps[i]);
+        }
 
         let mut result: u64 = 0;
         let mut taken = false;
         let mut mem_addr: u64 = 0;
-        let mut done = now + exec_latency(&inst) as u64;
+        let mut done = now + meta.latency as u64;
 
         match inst {
             Inst::Alu { op, .. } => result = op.eval(vals[0], vals[1]),
@@ -277,7 +302,7 @@ impl<E: PreExecEngine> Pipeline<E> {
                     );
                 }
                 if let Some(fseq) = fwd {
-                    let f = &self.ctx.insts[&fseq];
+                    let f = self.ctx.insts.get(fseq).expect("forwarding store");
                     // Forward only enabled stores; a disabled store is a
                     // no-op, so fall through to older state.
                     if f.enabled {
@@ -314,13 +339,13 @@ impl<E: PreExecEngine> Pipeline<E> {
         }
 
         {
-            let di = self.ctx.insts.get_mut(&seq).expect("present");
+            let di = self.ctx.insts.get_mut(seq).expect("present");
             di.result = result;
             di.taken = taken;
             di.mem_addr = mem_addr;
             di.enabled = enabled;
-            di.stage = Stage::Exec { done };
         }
+        self.ctx.insts.set_stage(seq, Stage::Exec { done });
 
         let info = ExecInfo {
             value: result,

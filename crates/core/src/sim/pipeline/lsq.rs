@@ -10,20 +10,22 @@ use phelps_telemetry as tlm;
 
 impl SimContext {
     /// The youngest older executed store to the same doubleword, if any.
+    /// Walks the thread's store index list (SQ-bounded), not the ROB.
     pub(super) fn forwarding_store(&self, tid: usize, seq: u64, addr: u64) -> Option<u64> {
         let t = &self.threads[tid];
         let mut best: Option<u64> = None;
-        for &s in &t.rob {
+        for &s in &t.stores {
             if s >= seq {
                 break;
             }
-            let Some(di) = self.insts.get(&s) else {
+            let Some(m) = self.insts.meta(s) else {
                 continue;
             };
-            if di.dead || !di.inst.is_store() {
+            if m.is_dead() {
                 continue;
             }
-            if let Stage::Exec { .. } | Stage::Done = di.stage {
+            if let Some(Stage::Exec { .. } | Stage::Done) = self.insts.stage(s) {
+                let di = self.insts.get(s).expect("live store");
                 let saddr = if tid == MT {
                     di.rec.mem_addr
                 } else {
@@ -40,13 +42,13 @@ impl SimContext {
     /// Whether every older in-flight store of `tid` has computed its
     /// address (issued to execute).
     pub(super) fn older_stores_resolved(&self, tid: usize, seq: u64) -> bool {
-        self.threads[tid].rob.iter().all(|&s| {
+        self.threads[tid].stores.iter().all(|&s| {
             if s >= seq {
                 return true;
             }
-            match self.insts.get(&s) {
-                Some(di) if di.inst.is_store() && !di.dead => {
-                    matches!(di.stage, Stage::Exec { .. } | Stage::Done)
+            match (self.insts.stage(s), self.insts.meta(s)) {
+                (Some(st), Some(m)) if !m.is_dead() => {
+                    matches!(st, Stage::Exec { .. } | Stage::Done)
                 }
                 _ => true,
             }
@@ -60,24 +62,30 @@ impl<E: PreExecEngine> Pipeline<E> {
     pub(super) fn check_load_violation(&mut self, tid: usize, store_seq: u64, addr: u64) {
         let victim = {
             let t = &self.ctx.threads[tid];
-            t.rob.iter().copied().filter(|&s| s > store_seq).find(|&s| {
-                self.ctx.insts.get(&s).is_some_and(|di| {
-                    !di.dead
-                        && di.inst.is_load()
-                        && !matches!(di.stage, Stage::Frontend | Stage::InIq)
-                        && (if tid == MT {
+            // Loads list is sorted ascending; start at the first load
+            // younger than the store.
+            let start = t.loads.partition_point(|&s| s <= store_seq);
+            t.loads.range(start..).copied().find(|&s| {
+                let executed = matches!(
+                    self.ctx.insts.stage(s),
+                    Some(Stage::Exec { .. } | Stage::Done)
+                );
+                executed
+                    && self.ctx.insts.meta(s).is_some_and(|m| !m.is_dead())
+                    && self.ctx.insts.get(s).is_some_and(|di| {
+                        (if tid == MT {
                             di.rec.mem_addr
                         } else {
                             di.mem_addr
                         }) >> 3
                             == addr >> 3
-                })
+                    })
             })
         };
         if let Some(load_seq) = victim {
             self.ctx.stats.load_violations += 1;
             tlm::count(tlm::Counter::LoadViolations);
-            if let Some(load) = self.ctx.insts.get(&load_seq) {
+            if let Some(load) = self.ctx.insts.get(load_seq) {
                 self.ctx.violating_loads.insert(load.pc);
             }
             if tid == MT {

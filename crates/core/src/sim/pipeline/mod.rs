@@ -40,6 +40,7 @@ mod issue_execute;
 mod lsq;
 mod rename_dispatch;
 mod retire;
+mod slab;
 mod squash;
 
 use crate::classify::MispredictBreakdown;
@@ -54,14 +55,7 @@ use phelps_uarch::stats::SimStats;
 use std::collections::{HashMap, VecDeque};
 
 use crate::sim::types::EngineCkpt;
-
-/// Lane class an instruction issues to.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Lane {
-    Alu,
-    Mem,
-    Complex,
-}
+use slab::{InstMeta, InstSlab, Lane, NO_DEP};
 
 fn lane_of(inst: &Inst) -> Lane {
     match inst {
@@ -99,19 +93,15 @@ enum PredFrom {
     None,
 }
 
+/// Cold per-instruction payload, stored in the slab's slot column. The
+/// per-cycle scalar state (stage, lane, dep slots, ready-dep count,
+/// flags) lives in the slab's hot columns — see [`slab`].
 #[derive(Clone, Debug)]
 struct DynInst {
     seq: u64,
     tid: usize,
     pc: u64,
     inst: Inst,
-    stage: Stage,
-    lane: Lane,
-    /// Producer seqs for register sources (parallel to `inst.srcs()`).
-    deps: Vec<Option<u64>>,
-    /// Producer seqs of the predicate source's registers (side threads;
-    /// two slots for OR-guards, paper §V-K).
-    pred_deps: [Option<u64>; 2],
     /// MT: the trace record. Side: stub filled at execute.
     rec: ExecRecord,
     /// MT conditional branches: prediction consumed at fetch.
@@ -133,10 +123,9 @@ struct DynInst {
     mem_addr: u64,
     /// Predicate evaluation result.
     enabled: bool,
-    /// Load completed its memory access at this cycle.
+    /// Frontend-pipe exit cycle while in [`Stage::Frontend`]; cleared at
+    /// dispatch.
     mem_done: u64,
-    /// Squashed (dead) — drains without effects.
-    dead: bool,
 }
 
 impl DynInst {
@@ -180,6 +169,13 @@ impl TraceSource {
 struct ThreadCtx {
     /// In-flight seqs in program order (frontend + ROB).
     rob: VecDeque<u64>,
+    /// In-flight load seqs, program order (the loads of `rob`). Keeps
+    /// ordering-violation search off the full ROB scan.
+    loads: VecDeque<u64>,
+    /// In-flight store seqs, program order (the stores of `rob`).
+    /// Store-to-load forwarding and the store-set check walk this
+    /// SQ-bounded list instead of the whole ROB.
+    stores: VecDeque<u64>,
     /// Seqs in the frontend pipe (prefix of `rob`).
     frontend: usize,
     /// Rename map: logical reg -> producing seq.
@@ -219,6 +215,8 @@ impl ThreadCtx {
     fn new() -> ThreadCtx {
         ThreadCtx {
             rob: VecDeque::new(),
+            loads: VecDeque::new(),
+            stores: VecDeque::new(),
             frontend: 0,
             rmt: [None; NUM_REGS],
             pred_rmt: [None; 17],
@@ -238,6 +236,44 @@ impl ThreadCtx {
             waiting_mt_release: false,
             active: false,
         }
+    }
+
+    /// Records a fetched instruction in the load/store index lists.
+    fn track_fetched(&mut self, seq: u64, meta: &InstMeta) {
+        if meta.is_load() {
+            self.loads.push_back(seq);
+        }
+        if meta.is_store() {
+            self.stores.push_back(seq);
+        }
+    }
+
+    /// Drops a removed instruction from the load/store index lists. The
+    /// lists are sorted (program order), so off-head removal is a binary
+    /// search; the common retire case pops the front.
+    fn forget_tracked(&mut self, seq: u64, meta: &InstMeta) {
+        fn drop_seq(q: &mut VecDeque<u64>, seq: u64) {
+            if q.front() == Some(&seq) {
+                q.pop_front();
+            } else if let Ok(i) = q.binary_search(&seq) {
+                q.remove(i);
+            }
+        }
+        if meta.is_load() {
+            drop_seq(&mut self.loads, seq);
+        }
+        if meta.is_store() {
+            drop_seq(&mut self.stores, seq);
+        }
+    }
+
+    /// Truncates the load/store index lists at a squash boundary
+    /// (removes every seq >= `from`).
+    fn truncate_tracked_from(&mut self, from: u64) {
+        let cut = self.loads.partition_point(|&s| s < from);
+        self.loads.truncate(cut);
+        let cut = self.stores.partition_point(|&s| s < from);
+        self.stores.truncate(cut);
     }
 }
 
@@ -334,7 +370,9 @@ struct SimContext {
     timing_mem: Memory,
     store_cache: StoreCache,
     threads: Vec<ThreadCtx>,
-    insts: HashMap<u64, DynInst>,
+    /// In-flight instruction table: seq-indexed slab with hot
+    /// structure-of-arrays columns (see [`slab`]).
+    insts: InstSlab,
     /// Shared issue queue: seqs, kept sorted ascending (oldest first) by
     /// binary-search insertion at dispatch, so issue selection walks it
     /// directly instead of cloning and sorting every cycle.
@@ -344,6 +382,11 @@ struct SimContext {
     /// squash triggered by an executing branch) without a fresh
     /// allocation every cycle.
     issue_scratch: Vec<u64>,
+    /// Reused scratch for the completion sweep (seqs that turned Done
+    /// this cycle, pending wakeup broadcast).
+    completed_scratch: Vec<u64>,
+    /// Reused scratch for loose side retirement.
+    loose_scratch: Vec<u64>,
     next_seq: u64,
     cycle: u64,
     /// Engine-triggered state.
@@ -427,9 +470,11 @@ impl<E: PreExecEngine> Pipeline<E> {
             timing_mem,
             store_cache: StoreCache::paper_default(),
             threads,
-            insts: HashMap::new(),
+            insts: InstSlab::new(),
             iq: Vec::new(),
             issue_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            loose_scratch: Vec::new(),
             next_seq: 0,
             cycle: 0,
             preexec_active: false,
@@ -655,7 +700,9 @@ impl SimContext {
     /// modules and in `phelps-uarch`.
     #[cfg(feature = "debug-invariants")]
     fn check_invariants(&self) {
+        let mut rob_total = 0usize;
         for (tid, t) in self.threads.iter().enumerate() {
+            rob_total += t.rob.len();
             assert!(
                 t.rob.len() as u32 <= t.rob_cap || t.rob_cap == 0,
                 "tid {tid}: ROB occupancy {} exceeds partition cap {}",
@@ -680,26 +727,44 @@ impl SimContext {
             }
             // Recompute resource usage from the live post-dispatch
             // instructions; the incremental counters must agree exactly.
+            // The load/store index lists must also be exactly the ROB
+            // filtered by the meta flags — a drifting list would make
+            // forwarding or the store-set check miss a store.
             let (mut lq, mut sq, mut prf) = (0u32, 0u32, 0u32);
-            for s in &t.rob {
-                let Some(di) = self.insts.get(s) else {
+            let (mut loads, mut stores) = (Vec::new(), Vec::new());
+            for &s in &t.rob {
+                let Some(m) = self.insts.meta(s) else {
                     continue;
                 };
-                if matches!(di.stage, Stage::Frontend) {
+                if m.is_load() {
+                    loads.push(s);
+                }
+                if m.is_store() {
+                    stores.push(s);
+                }
+                if matches!(self.insts.stage(s), Some(Stage::Frontend)) {
                     continue;
                 }
-                lq += u32::from(di.inst.is_load());
-                sq += u32::from(di.inst.is_store());
-                prf += u32::from(di.inst.dst().is_some());
+                lq += u32::from(m.is_load());
+                sq += u32::from(m.is_store());
+                prf += u32::from(m.has_dst());
             }
             assert_eq!(
                 (t.lq_used, t.sq_used, t.prf_used),
                 (lq, sq, prf),
                 "tid {tid}: resource usage counters (lq, sq, prf) drifted from live instructions"
             );
+            assert!(
+                t.loads.iter().copied().eq(loads.iter().copied()),
+                "tid {tid}: load index list drifted from the ROB"
+            );
+            assert!(
+                t.stores.iter().copied().eq(stores.iter().copied()),
+                "tid {tid}: store index list drifted from the ROB"
+            );
             for (r, slot) in t.rmt.iter().enumerate() {
                 let Some(seq) = slot else { continue };
-                let di = self.insts.get(seq).unwrap_or_else(|| {
+                let di = self.insts.get(*seq).unwrap_or_else(|| {
                     panic!("tid {tid}: rmt[{r}] -> seq {seq} which is no longer in flight")
                 });
                 assert_eq!(di.tid, tid, "rmt[{r}] crosses threads");
@@ -711,7 +776,7 @@ impl SimContext {
             }
             for (p, slot) in t.pred_rmt.iter().enumerate() {
                 let Some(seq) = slot else { continue };
-                let di = self.insts.get(seq).unwrap_or_else(|| {
+                let di = self.insts.get(*seq).unwrap_or_else(|| {
                     panic!("tid {tid}: pred_rmt[{p}] -> seq {seq} which is no longer in flight")
                 });
                 assert_eq!(di.tid, tid, "pred_rmt[{p}] crosses threads");
@@ -725,14 +790,35 @@ impl SimContext {
                 );
             }
         }
-        for s in &self.iq {
-            let di = self.insts.get(s).unwrap_or_else(|| {
+        // Every slab entry is in exactly one ROB and vice versa.
+        assert_eq!(
+            self.insts.live(),
+            rob_total,
+            "slab live count drifted from ROB membership"
+        );
+        for &s in &self.iq {
+            let stage = self.insts.stage(s).unwrap_or_else(|| {
                 panic!("issue queue holds seq {s} which is no longer in flight")
             });
             assert!(
-                matches!(di.stage, Stage::InIq),
-                "issue queue holds seq {s} in stage {:?}",
-                di.stage
+                matches!(stage, Stage::InIq),
+                "issue queue holds seq {s} in stage {stage:?}"
+            );
+            // The broadcast-maintained ready-dep count must equal the
+            // count recomputed from the dep slots: a drift here is a
+            // missed or double wakeup.
+            let m = self.insts.meta(s).expect("live iq entry");
+            let unready = m
+                .deps
+                .iter()
+                .chain(m.pred_deps.iter())
+                .filter(|&&d| {
+                    d != NO_DEP && !matches!(self.insts.stage(d), None | Some(Stage::Done))
+                })
+                .count() as u8;
+            assert_eq!(
+                m.unready, unready,
+                "seq {s}: ready-dep count drifted from dep-slot stages"
             );
         }
     }

@@ -5,9 +5,8 @@
 //! Dispatch never consults the pre-execution engine, so the whole stage
 //! lives on [`SimContext`].
 
-use super::{SimContext, Stage};
+use super::{SimContext, Stage, NO_DEP};
 use crate::sim::types::{SideKind, NUM_THREADS};
-use phelps_isa::Reg;
 
 impl SimContext {
     pub(super) fn dispatch(&mut self) {
@@ -21,7 +20,7 @@ impl SimContext {
             while dispatched < width && self.threads[tid].frontend > 0 {
                 let idx = self.threads[tid].rob.len() - self.threads[tid].frontend;
                 let seq = self.threads[tid].rob[idx];
-                let Some(di) = self.insts.get(&seq) else {
+                let Some(di) = self.insts.get(seq) else {
                     break;
                 };
                 if di.mem_done > self.cycle {
@@ -32,47 +31,59 @@ impl SimContext {
                     break;
                 }
                 let t = &self.threads[tid];
-                let is_load = di.inst.is_load();
-                let is_store = di.inst.is_store();
-                let has_dst = di.inst.dst().is_some();
-                if is_load && t.lq_used >= t.lq_cap {
+                let meta = *self.insts.meta(seq).expect("live frontend inst");
+                if meta.is_load() && t.lq_used >= t.lq_cap {
                     break;
                 }
-                if is_store && t.sq_used >= t.sq_cap {
+                if meta.is_store() && t.sq_used >= t.sq_cap {
                     break;
                 }
-                if has_dst && t.prf_used >= t.prf_cap {
+                if meta.has_dst() && t.prf_used >= t.prf_cap {
                     break;
                 }
-                // Rename.
-                let srcs: Vec<Reg> = self.insts[&seq].inst.srcs().into_iter().collect();
-                let deps: Vec<Option<u64>> = srcs
-                    .iter()
-                    .map(|r| {
-                        if r.is_zero() {
-                            None
-                        } else {
-                            self.threads[tid].rmt[r.index()]
+                // Rename: bind each source operand to its in-flight
+                // producer (NO_DEP when the value is architectural).
+                let srcs = di.inst.srcs();
+                let dst = di.inst.dst();
+                let pred_src = di.side.as_ref().map(|s| s.pred_src);
+                let pred_dest = match di.side.as_ref().map(|s| s.kind) {
+                    Some(SideKind::PredProducer { dest }) => Some(dest),
+                    _ => None,
+                };
+                let mut deps = [NO_DEP; 2];
+                for (slot, r) in deps.iter_mut().zip(srcs.iter()) {
+                    if !r.is_zero() {
+                        if let Some(p) = self.threads[tid].rmt[r.index()] {
+                            *slot = p;
                         }
-                    })
-                    .collect();
-                let mut pred_deps = [None; 2];
-                if let Some(src) = self.insts[&seq].side.as_ref().map(|s| s.pred_src) {
+                    }
+                }
+                let mut pred_deps = [NO_DEP; 2];
+                if let Some(src) = pred_src {
                     for (slot, r) in pred_deps.iter_mut().zip(src.regs()) {
                         if let Some((reg, _)) = r {
-                            *slot = self.threads[tid].pred_rmt[reg as usize];
+                            if let Some(p) = self.threads[tid].pred_rmt[reg as usize] {
+                                *slot = p;
+                            }
                         }
                     }
                 }
+                // Initial ready-dep count; the completion broadcast
+                // decrements it as producers finish.
+                let unready = deps
+                    .iter()
+                    .chain(pred_deps.iter())
+                    .filter(|&&d| !self.dep_slot_ready(d))
+                    .count() as u8;
                 {
                     let t = &mut self.threads[tid];
-                    if is_load {
+                    if meta.is_load() {
                         t.lq_used += 1;
                     }
-                    if is_store {
+                    if meta.is_store() {
                         t.sq_used += 1;
                     }
-                    if has_dst {
+                    if meta.has_dst() {
                         t.prf_used += 1;
                     }
                     #[cfg(feature = "debug-invariants")]
@@ -87,22 +98,21 @@ impl SimContext {
                         t.prf_used,
                         t.prf_cap
                     );
-                }
-                if let Some(dst) = self.insts[&seq].inst.dst() {
-                    self.threads[tid].rmt[dst.index()] = Some(seq);
-                }
-                if let Some(SideKind::PredProducer { dest }) =
-                    self.insts[&seq].side.as_ref().map(|s| s.kind)
-                {
-                    self.threads[tid].pred_rmt[dest as usize] = Some(seq);
+                    if let Some(dst) = dst {
+                        t.rmt[dst.index()] = Some(seq);
+                    }
+                    if let Some(dest) = pred_dest {
+                        t.pred_rmt[dest as usize] = Some(seq);
+                    }
                 }
                 {
-                    let di = self.insts.get_mut(&seq).expect("present");
-                    di.deps = deps;
-                    di.pred_deps = pred_deps;
-                    di.stage = Stage::InIq;
-                    di.mem_done = 0;
+                    let m = self.insts.meta_mut(seq).expect("live frontend inst");
+                    m.deps = deps;
+                    m.pred_deps = pred_deps;
+                    m.unready = unready;
                 }
+                self.insts.set_stage(seq, Stage::InIq);
+                self.insts.get_mut(seq).expect("present").mem_done = 0;
                 // Keep the IQ sorted ascending (issue walks it oldest
                 // first). Seqs are allocated monotonically, so inserts
                 // land at or near the tail; only cross-thread dispatch

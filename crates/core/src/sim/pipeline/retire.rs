@@ -3,6 +3,7 @@
 //! (strict or loose order, predicated store-cache commit), and resource
 //! reclamation.
 
+use super::slab::RemovedInst;
 use super::{DynInst, Pipeline, PredFrom, SimContext};
 use crate::classify::MispredictClass;
 use crate::sim::types::{EngineCmd, ExecInfo, PreExecEngine, SideKind, HT_A, HT_B, MT};
@@ -32,17 +33,19 @@ impl<E: PreExecEngine> Pipeline<E> {
             let Some(&seq) = self.ctx.threads[MT].rob.front() else {
                 return;
             };
-            let Some(di) = self.ctx.insts.get(&seq) else {
-                self.ctx.threads[MT].rob.pop_front();
-                continue;
-            };
-            if !matches!(di.stage, Stage::Done) {
-                return;
+            match self.ctx.insts.stage(seq) {
+                None => {
+                    self.ctx.threads[MT].rob.pop_front();
+                    continue;
+                }
+                Some(Stage::Done) => {}
+                Some(_) => return,
             }
-            let di = self.ctx.insts.remove(&seq).expect("present");
+            let r = self.ctx.insts.remove(seq).expect("present");
             self.ctx.threads[MT].rob.pop_front();
-            self.ctx.release_resources(MT, &di);
-            self.finish_mt_retire(di);
+            self.ctx.threads[MT].forget_tracked(seq, &r.meta);
+            self.ctx.release_resources(MT, &r);
+            self.finish_mt_retire(r.di);
             if self.ctx.finished {
                 return;
             }
@@ -151,51 +154,61 @@ impl<E: PreExecEngine> Pipeline<E> {
             let Some(&seq) = self.ctx.threads[tid].rob.front() else {
                 return;
             };
-            let Some(di) = self.ctx.insts.get(&seq) else {
-                self.ctx.threads[tid].rob.pop_front();
-                continue;
-            };
-            if !matches!(di.stage, Stage::Done) {
-                if loose {
-                    // Loose mode: skip stalled head, retire any Done insts
-                    // behind it (chains have no program-order semantics).
-                    let done_seqs: Vec<u64> = self.ctx.threads[tid]
-                        .rob
-                        .iter()
-                        .copied()
-                        .filter(|s| {
-                            self.ctx
-                                .insts
-                                .get(s)
-                                .is_some_and(|d| matches!(d.stage, Stage::Done))
-                        })
-                        .take(width.saturating_sub(n) as usize)
-                        .collect();
-                    if done_seqs.is_empty() {
-                        return;
-                    }
-                    for s in done_seqs {
-                        self.ctx.threads[tid].rob.retain(|&x| x != s);
-                        let d = self.ctx.insts.remove(&s).expect("present");
-                        self.ctx.release_resources(tid, &d);
-                        self.finish_side_retire(tid, d);
+            match self.ctx.insts.stage(seq) {
+                None => {
+                    self.ctx.threads[tid].rob.pop_front();
+                    continue;
+                }
+                Some(Stage::Done) => {}
+                Some(_) => {
+                    if loose {
+                        // Loose mode: skip stalled head, retire any Done insts
+                        // behind it (chains have no program-order semantics).
+                        self.retire_side_loose(tid, width.saturating_sub(n) as usize);
                     }
                     return;
                 }
-                return;
             }
-            let di = self.ctx.insts.remove(&seq).expect("present");
+            let r = self.ctx.insts.remove(seq).expect("present");
             self.ctx.threads[tid].rob.pop_front();
-            self.ctx.release_resources(tid, &di);
-            self.finish_side_retire(tid, di);
+            self.ctx.threads[tid].forget_tracked(seq, &r.meta);
+            self.ctx.release_resources(tid, &r);
+            self.finish_side_retire(tid, r);
             n += 1;
         }
     }
 
-    fn finish_side_retire(&mut self, tid: usize, di: DynInst) {
-        if di.dead {
+    fn retire_side_loose(&mut self, tid: usize, budget: usize) {
+        let mut scratch = std::mem::take(&mut self.ctx.loose_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.ctx.threads[tid]
+                .rob
+                .iter()
+                .copied()
+                .filter(|&s| matches!(self.ctx.insts.stage(s), Some(Stage::Done)))
+                .take(budget),
+        );
+        for &s in &scratch {
+            let r = self.ctx.insts.remove(s).expect("present");
+            self.ctx.threads[tid].forget_tracked(s, &r.meta);
+            self.ctx.release_resources(tid, &r);
+            self.finish_side_retire(tid, r);
+        }
+        if !scratch.is_empty() {
+            // One retain pass over the (small, partition-capped) side ROB
+            // instead of a retain per retired seq; scratch is at most the
+            // retire width, so `contains` stays trivially cheap.
+            self.ctx.threads[tid].rob.retain(|s| !scratch.contains(s));
+        }
+        self.ctx.loose_scratch = scratch;
+    }
+
+    fn finish_side_retire(&mut self, tid: usize, r: RemovedInst) {
+        if r.meta.is_dead() {
             return;
         }
+        let di = r.di;
         self.ctx.stats.ht_retired += 1;
         let Some(side) = di.side else { return };
 
@@ -204,7 +217,7 @@ impl<E: PreExecEngine> Pipeline<E> {
             self.ctx.threads[tid].regs[dst.index()] = di.result;
         }
         // Commit predicate values for late consumers.
-        if let Some(SideKind::PredProducer { dest }) = side_kind_of(&di) {
+        if let SideKind::PredProducer { dest } = side.kind {
             self.ctx.threads[tid].pred_vals[dest as usize] = (di.enabled, di.taken);
         }
         if di.inst.is_store() {
@@ -245,37 +258,46 @@ impl<E: PreExecEngine> Pipeline<E> {
 }
 
 impl SimContext {
-    pub(super) fn release_resources(&mut self, tid: usize, di: &DynInst) {
+    pub(super) fn release_resources(&mut self, tid: usize, r: &RemovedInst) {
+        let seq = r.di.seq;
         let t = &mut self.threads[tid];
         // LQ/SQ/PRF shares are allocated at dispatch, so a squashed
         // instruction still in the frontend pipe holds none. Releasing it
         // anyway would under-count live usage (the saturating_sub floors
         // at zero) and let later dispatch oversubscribe the partition.
-        if !matches!(di.stage, Stage::Frontend) {
-            if di.inst.is_load() {
+        if !matches!(r.stage, Stage::Frontend) {
+            if r.meta.is_load() {
                 t.lq_used = t.lq_used.saturating_sub(1);
             }
-            if di.inst.is_store() {
+            if r.meta.is_store() {
                 t.sq_used = t.sq_used.saturating_sub(1);
             }
-            if di.inst.dst().is_some() {
+            if r.meta.has_dst() {
                 t.prf_used = t.prf_used.saturating_sub(1);
             }
         }
-        // Repair RMT entries that point at this seq.
-        for slot in t.rmt.iter_mut() {
-            if *slot == Some(di.seq) {
-                *slot = None;
+        // Repair rename entries that point at this seq. Only the slots this
+        // instruction wrote at dispatch can name it, so the repair is O(1).
+        if let Some(dst) = r.di.inst.dst() {
+            if t.rmt[dst.index()] == Some(seq) {
+                t.rmt[dst.index()] = None;
             }
         }
-        for slot in t.pred_rmt.iter_mut() {
-            if *slot == Some(di.seq) {
-                *slot = None;
+        if let Some(SideKind::PredProducer { dest }) = r.di.side.as_ref().map(|s| s.kind) {
+            if t.pred_rmt[dest as usize] == Some(seq) {
+                t.pred_rmt[dest as usize] = None;
             }
+        }
+        #[cfg(feature = "debug-invariants")]
+        {
+            assert!(
+                !t.rmt.contains(&Some(seq)),
+                "tid {tid}: rename map still names released seq {seq}"
+            );
+            assert!(
+                !t.pred_rmt.contains(&Some(seq)),
+                "tid {tid}: predicate rename map still names released seq {seq}"
+            );
         }
     }
-}
-
-fn side_kind_of(di: &DynInst) -> Option<SideKind> {
-    di.side.as_ref().map(|s| s.kind)
 }

@@ -1,0 +1,426 @@
+//! Data-oriented in-flight instruction table.
+//!
+//! Sequence numbers are dense and monotonically allocated, so the
+//! in-flight window is a contiguous seq range at all times. [`InstSlab`]
+//! exploits that: a `VecDeque`-backed slab indexed by `seq - base` gives
+//! O(1) lookup with no hashing, and in-order reclamation at retire (the
+//! front of the deque pops as soon as the oldest slots die, so the slab
+//! length stays bounded by the in-flight window plus transient holes
+//! from out-of-order side-thread removal).
+//!
+//! The hot per-cycle scalar state is split out of the payload into two
+//! structure-of-arrays columns kept parallel to the slots:
+//!
+//! * the **stage column** ([`Stage`], with the exec-done cycle inline) —
+//!   the completion sweep walks it contiguously instead of chasing a
+//!   hash map;
+//! * the **meta column** ([`InstMeta`]: lane, thread id, latency, the
+//!   ready-dep count, flag bits, and the four producer-seq dep slots) —
+//!   issue select reads one 48-byte record per candidate and the wakeup
+//!   broadcast decrements ready-dep counts without touching payloads.
+//!
+//! The payload ([`DynInst`]: trace record, checkpoints, side metadata,
+//! results) is touched only when an instruction actually executes or
+//! retires.
+
+use super::{DynInst, Stage};
+use std::collections::VecDeque;
+
+/// Sentinel for an empty/ready dep slot (never a valid seq: allocation
+/// starts at 1 and a simulation retires far fewer than 2^64 records).
+pub(super) const NO_DEP: u64 = u64::MAX;
+
+/// Issue lane class, with a stable index for the budget array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(super) enum Lane {
+    Alu = 0,
+    Mem = 1,
+    Complex = 2,
+}
+
+impl Lane {
+    pub(super) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+const F_LOAD: u8 = 1 << 0;
+const F_STORE: u8 = 1 << 1;
+const F_DST: u8 = 1 << 2;
+const F_DEAD: u8 = 1 << 3;
+
+/// Hot per-instruction scalar state (structure-of-arrays column).
+#[derive(Clone, Copy, Debug)]
+pub(super) struct InstMeta {
+    /// Issue lane class.
+    pub lane: Lane,
+    /// Hardware thread context.
+    pub tid: u8,
+    /// Non-memory execution latency in cycles.
+    pub latency: u8,
+    /// Dep slots (register + predicate) whose producer has not completed.
+    /// Maintained by the completion broadcast; issue-ready at zero.
+    pub unready: u8,
+    flags: u8,
+    /// Register-source producer seqs, parallel to `inst.srcs()`.
+    /// [`NO_DEP`] marks an empty slot (no producer in flight).
+    pub deps: [u64; 2],
+    /// Predicate-source producer seqs (two slots for OR-guards, §V-K).
+    pub pred_deps: [u64; 2],
+}
+
+impl InstMeta {
+    pub(super) fn new(lane: Lane, tid: usize, latency: u32, inst: &phelps_isa::Inst) -> InstMeta {
+        debug_assert!(latency <= u8::MAX as u32, "exec latency overflows u8");
+        let mut flags = 0;
+        if inst.is_load() {
+            flags |= F_LOAD;
+        }
+        if inst.is_store() {
+            flags |= F_STORE;
+        }
+        if inst.dst().is_some() {
+            flags |= F_DST;
+        }
+        InstMeta {
+            lane,
+            tid: tid as u8,
+            latency: latency as u8,
+            unready: 0,
+            flags,
+            deps: [NO_DEP; 2],
+            pred_deps: [NO_DEP; 2],
+        }
+    }
+
+    pub(super) fn is_load(&self) -> bool {
+        self.flags & F_LOAD != 0
+    }
+
+    pub(super) fn is_store(&self) -> bool {
+        self.flags & F_STORE != 0
+    }
+
+    pub(super) fn has_dst(&self) -> bool {
+        self.flags & F_DST != 0
+    }
+
+    pub(super) fn is_dead(&self) -> bool {
+        self.flags & F_DEAD != 0
+    }
+
+    pub(super) fn set_dead(&mut self) {
+        self.flags |= F_DEAD;
+    }
+}
+
+/// A removed instruction: payload plus the column state it held, so
+/// retire/squash bookkeeping (resource release, dead check) works after
+/// the columns have been reclaimed.
+pub(super) struct RemovedInst {
+    pub di: DynInst,
+    pub stage: Stage,
+    pub meta: InstMeta,
+}
+
+/// The slab. See the module docs for the layout rationale.
+#[derive(Debug, Default)]
+pub(super) struct InstSlab {
+    /// Seq of logical slot 0. Starts at 1 (the first allocated seq).
+    base: u64,
+    slots: VecDeque<Option<DynInst>>,
+    stage: VecDeque<Option<Stage>>,
+    meta: VecDeque<InstMeta>,
+    live: usize,
+}
+
+impl InstSlab {
+    pub(super) fn new() -> InstSlab {
+        InstSlab {
+            base: 1,
+            slots: VecDeque::new(),
+            stage: VecDeque::new(),
+            meta: VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    fn index(&self, seq: u64) -> Option<usize> {
+        if seq < self.base || seq >= self.base + self.slots.len() as u64 {
+            return None;
+        }
+        Some((seq - self.base) as usize)
+    }
+
+    /// Number of live instructions. (Used by the `debug-invariants`
+    /// whole-window audit.)
+    #[cfg_attr(not(feature = "debug-invariants"), allow(dead_code))]
+    pub(super) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts the next instruction. Seqs must arrive in allocation
+    /// order — the slab is dense by construction.
+    pub(super) fn insert(&mut self, di: DynInst, stage: Stage, meta: InstMeta) {
+        assert_eq!(
+            di.seq,
+            self.base + self.slots.len() as u64,
+            "slab insert out of allocation order"
+        );
+        self.slots.push_back(Some(di));
+        self.stage.push_back(Some(stage));
+        self.meta.push_back(meta);
+        self.live += 1;
+    }
+
+    pub(super) fn contains(&self, seq: u64) -> bool {
+        self.index(seq).is_some_and(|i| self.stage[i].is_some())
+    }
+
+    pub(super) fn get(&self, seq: u64) -> Option<&DynInst> {
+        self.slots[self.index(seq)?].as_ref()
+    }
+
+    pub(super) fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
+        let i = self.index(seq)?;
+        self.slots[i].as_mut()
+    }
+
+    /// The stage column entry, `None` when the seq is no longer in
+    /// flight (retired or squashed) — callers treat that as "producer
+    /// result architecturally committed".
+    pub(super) fn stage(&self, seq: u64) -> Option<Stage> {
+        self.stage[self.index(seq)?]
+    }
+
+    /// Sets the stage of a live instruction.
+    pub(super) fn set_stage(&mut self, seq: u64, st: Stage) {
+        let i = self.index(seq).expect("set_stage on reclaimed seq");
+        debug_assert!(self.stage[i].is_some(), "set_stage on dead slot");
+        self.stage[i] = Some(st);
+    }
+
+    pub(super) fn meta(&self, seq: u64) -> Option<&InstMeta> {
+        let i = self.index(seq)?;
+        self.stage[i].is_some().then(|| &self.meta[i])
+    }
+
+    pub(super) fn meta_mut(&mut self, seq: u64) -> Option<&mut InstMeta> {
+        let i = self.index(seq)?;
+        self.stage[i].is_some().then(|| &mut self.meta[i])
+    }
+
+    /// Removes a live instruction, returning its payload and column
+    /// state, then reclaims any contiguous dead prefix so the slab
+    /// tracks the in-flight window.
+    pub(super) fn remove(&mut self, seq: u64) -> Option<RemovedInst> {
+        let i = self.index(seq)?;
+        let stage = self.stage[i].take()?;
+        let di = self.slots[i].take().expect("stage/slot parity");
+        let meta = self.meta[i];
+        self.live -= 1;
+        while let Some(None) = self.stage.front() {
+            self.stage.pop_front();
+            self.slots.pop_front();
+            self.meta.pop_front();
+            self.base += 1;
+        }
+        Some(RemovedInst { di, stage, meta })
+    }
+
+    /// Completion sweep: every `Exec { done <= now }` entry becomes
+    /// `Done`, and its seq is appended to `completed` (the caller
+    /// broadcasts wakeups). Walks the stage column contiguously.
+    pub(super) fn sweep_completed(&mut self, now: u64, completed: &mut Vec<u64>) {
+        for (i, st) in self.stage.iter_mut().enumerate() {
+            if let Some(Stage::Exec { done }) = st {
+                if *done <= now {
+                    *st = Some(Stage::Done);
+                    completed.push(self.base + i as u64);
+                }
+            }
+        }
+    }
+
+    /// Live instructions in seq order. (Used by the `debug-invariants`
+    /// whole-window audit.)
+    #[cfg_attr(not(feature = "debug-invariants"), allow(dead_code))]
+    pub(super) fn iter(&self) -> impl Iterator<Item = (u64, &DynInst)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| Some((self.base + i as u64, s.as_ref()?)))
+    }
+
+    /// Live payload/meta pairs in seq order, meta mutable (engine-tagged
+    /// selective kill).
+    pub(super) fn iter_meta_mut(&mut self) -> impl Iterator<Item = (&DynInst, &mut InstMeta)> {
+        self.slots
+            .iter()
+            .zip(self.meta.iter_mut())
+            .filter_map(|(s, m)| Some((s.as_ref()?, m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::PredFrom;
+    use super::*;
+    use phelps_isa::{ExecRecord, Inst};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn dummy(seq: u64) -> DynInst {
+        let inst = Inst::Halt;
+        DynInst {
+            seq,
+            tid: 0,
+            pc: 0x1000 + 4 * seq,
+            inst,
+            rec: ExecRecord {
+                pc: 0x1000 + 4 * seq,
+                inst,
+                next_pc: 0x1004 + 4 * seq,
+                taken: false,
+                rd_value: 0,
+                mem_addr: 0,
+                store_data: 0,
+            },
+            predicted: None,
+            default_pred: None,
+            pred_from: PredFrom::None,
+            mispredicted: false,
+            bp_ckpt: None,
+            engine_ckpt: None,
+            side: None,
+            result: 0,
+            taken: false,
+            mem_addr: 0,
+            enabled: true,
+            mem_done: 0,
+        }
+    }
+
+    /// The lifecycle operations the pipeline performs on the slab.
+    /// Indices select among the currently live seqs (mod live count).
+    #[derive(Clone, Copy, Debug)]
+    enum Op {
+        /// Fetch: insert the next seq.
+        Alloc,
+        /// In-order retire: remove the oldest live seq.
+        RetireFront,
+        /// Loose side retire: remove an arbitrary live seq.
+        RemoveAt(usize),
+        /// Squash: remove every live seq >= a live pivot.
+        SquashFrom(usize),
+        /// Stage transitions (dispatch/issue/complete).
+        SetStage(usize, u8),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Alloc),
+            Just(Op::RetireFront),
+            (0usize..64).prop_map(Op::RemoveAt),
+            (0usize..64).prop_map(Op::SquashFrom),
+            (0usize..64, 0u8..4).prop_map(|(i, s)| Op::SetStage(i, s)),
+        ]
+    }
+
+    fn stage_of(code: u8) -> Stage {
+        match code {
+            0 => Stage::Frontend,
+            1 => Stage::InIq,
+            2 => Stage::Exec { done: 7 },
+            _ => Stage::Done,
+        }
+    }
+
+    /// Picks the `i % len`-th live seq in ascending order.
+    fn pick(model: &HashMap<u64, Stage>, i: usize) -> Option<u64> {
+        if model.is_empty() {
+            return None;
+        }
+        let mut seqs: Vec<u64> = model.keys().copied().collect();
+        seqs.sort_unstable();
+        Some(seqs[i % seqs.len()])
+    }
+
+    proptest! {
+        /// Under random allocate/retire/squash interleavings the slab
+        /// stays equivalent to a reference HashMap model, reclaims its
+        /// dead prefix eagerly (storage bounded by the live window), and
+        /// never resurrects a removed seq.
+        #[test]
+        fn slab_matches_hashmap_model(ops in prop::collection::vec(op(), 0..300)) {
+            let mut slab = InstSlab::new();
+            let mut model: HashMap<u64, Stage> = HashMap::new();
+            let mut next_seq = 1u64;
+            let mut removed: Vec<u64> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Alloc => {
+                        let meta = InstMeta::new(Lane::Alu, 0, 1, &Inst::Halt);
+                        slab.insert(dummy(next_seq), Stage::Frontend, meta);
+                        model.insert(next_seq, Stage::Frontend);
+                        next_seq += 1;
+                    }
+                    Op::RetireFront => {
+                        if let Some(&s) = model.keys().min() {
+                            let r = slab.remove(s).expect("model says live");
+                            prop_assert_eq!(r.di.seq, s);
+                            model.remove(&s);
+                            removed.push(s);
+                        }
+                    }
+                    Op::RemoveAt(i) => {
+                        if let Some(s) = pick(&model, i) {
+                            let r = slab.remove(s).expect("model says live");
+                            prop_assert_eq!(Some(r.stage), model.remove(&s));
+                            removed.push(s);
+                        }
+                    }
+                    Op::SquashFrom(i) => {
+                        if let Some(pivot) = pick(&model, i) {
+                            let doomed: Vec<u64> =
+                                model.keys().copied().filter(|&s| s >= pivot).collect();
+                            for s in doomed {
+                                slab.remove(s).expect("model says live");
+                                model.remove(&s);
+                                removed.push(s);
+                            }
+                        }
+                    }
+                    Op::SetStage(i, code) => {
+                        if let Some(s) = pick(&model, i) {
+                            slab.set_stage(s, stage_of(code));
+                            model.insert(s, stage_of(code));
+                        }
+                    }
+                }
+
+                // Occupancy and per-seq agreement with the model.
+                prop_assert_eq!(slab.live(), model.len());
+                for (&s, &st) in &model {
+                    prop_assert!(slab.contains(s));
+                    prop_assert_eq!(slab.get(s).map(|d| d.seq), Some(s));
+                    prop_assert_eq!(slab.stage(s), Some(st));
+                    prop_assert!(slab.meta(s).is_some());
+                }
+                for &s in &removed {
+                    prop_assert!(!slab.contains(s));
+                    prop_assert!(slab.get(s).is_none(), "removed seq {} resurrected", s);
+                    prop_assert_eq!(slab.stage(s), None);
+                    prop_assert!(slab.meta(s).is_none());
+                }
+                // Eager prefix reclamation: storage spans exactly
+                // [oldest live, newest allocated] — empty when drained.
+                prop_assert_eq!(slab.base + slab.slots.len() as u64, next_seq);
+                match model.keys().min() {
+                    Some(&oldest) => prop_assert_eq!(slab.base, oldest),
+                    None => prop_assert_eq!(slab.slots.len(), 0),
+                }
+            }
+        }
+    }
+}

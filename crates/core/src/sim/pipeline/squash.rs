@@ -12,13 +12,9 @@ use phelps_uarch::config::ActiveThreads;
 impl<E: PreExecEngine> Pipeline<E> {
     /// Squashes MT instructions with seq >= `from`, replaying their records.
     pub(super) fn squash_mt_from(&mut self, from: u64) {
-        let squashed: Vec<u64> = self.ctx.threads[MT]
-            .rob
-            .iter()
-            .copied()
-            .filter(|&s| s >= from)
-            .collect();
-        if squashed.is_empty() {
+        // The ROB is seq-sorted, so the squash set is a suffix.
+        let cut = self.ctx.threads[MT].rob.partition_point(|&s| s < from);
+        if cut == self.ctx.threads[MT].rob.len() {
             return;
         }
         tlm::count(tlm::Counter::MtSquashes);
@@ -27,44 +23,42 @@ impl<E: PreExecEngine> Pipeline<E> {
         if let Some(engine) = self.engine.as_mut() {
             let ckpt = self.ctx.threads[MT]
                 .rob
-                .iter()
-                .copied()
-                .filter(|&s| s < from)
+                .range(..cut)
                 .rev()
-                .find_map(|s| self.ctx.insts.get(&s).and_then(|d| d.engine_ckpt.clone()))
+                .find_map(|&s| self.ctx.insts.get(s).and_then(|d| d.engine_ckpt.clone()))
                 .unwrap_or_default();
             engine.restore(&ckpt);
         }
         // Also rewind predictor history to the oldest squashed branch's
         // checkpoint.
-        if let Some(ckpt) = squashed
-            .iter()
-            .find_map(|s| self.ctx.insts.get(s).and_then(|d| d.bp_ckpt.clone()))
+        if let Some(ckpt) = self.ctx.threads[MT]
+            .rob
+            .range(cut..)
+            .find_map(|&s| self.ctx.insts.get(s).and_then(|d| d.bp_ckpt.clone()))
         {
             self.ctx.bpred.recover(&ckpt);
         }
-        let mut recs: Vec<ExecRecord> = Vec::with_capacity(squashed.len());
-        for s in &squashed {
-            if let Some(di) = self.ctx.insts.remove(s) {
-                self.ctx.release_resources(MT, &di);
-                recs.push(di.rec);
+        let n_squashed = self.ctx.threads[MT].rob.len() - cut;
+        let mut recs: Vec<ExecRecord> = Vec::with_capacity(n_squashed);
+        for i in cut..self.ctx.threads[MT].rob.len() {
+            let s = self.ctx.threads[MT].rob[i];
+            if let Some(r) = self.ctx.insts.remove(s) {
+                self.ctx.release_resources(MT, &r);
+                recs.push(r.di.rec);
             }
         }
-        self.ctx.threads[MT].rob.retain(|s| *s < from);
+        self.ctx.threads[MT].rob.truncate(cut);
+        self.ctx.threads[MT].truncate_tracked_from(from);
         self.ctx.threads[MT].frontend = 0;
         let insts = &self.ctx.insts;
-        self.ctx.iq.retain(|s| insts.contains_key(s));
+        self.ctx.iq.retain(|&s| insts.contains(s));
         self.ctx.trace.push_replay_front(recs.into_iter());
         self.ctx.threads[MT].blocking_branch = None;
         self.ctx.threads[MT].fetch_stall_until = self.ctx.cycle + 1;
         #[cfg(feature = "debug-invariants")]
         {
             assert!(
-                !self
-                    .ctx
-                    .insts
-                    .values()
-                    .any(|d| d.tid == MT && d.seq >= from),
+                !self.ctx.insts.iter().any(|(s, d)| d.tid == MT && s >= from),
                 "MT squash from {from} left a younger MT instruction in flight"
             );
             assert!(
@@ -120,17 +114,18 @@ impl<E: PreExecEngine> Pipeline<E> {
         );
         self.ctx.preexec_active = false;
         for tid in [HT_A, HT_B] {
-            let all: Vec<u64> = self.ctx.threads[tid].rob.iter().copied().collect();
-            for s in all {
-                if let Some(di) = self.ctx.insts.remove(&s) {
-                    self.ctx.release_resources(tid, &di);
+            while let Some(&s) = self.ctx.threads[tid].rob.front() {
+                self.ctx.threads[tid].rob.pop_front();
+                if let Some(r) = self.ctx.insts.remove(s) {
+                    self.ctx.release_resources(tid, &r);
                 }
             }
-            self.ctx.threads[tid].rob.clear();
+            self.ctx.threads[tid].loads.clear();
+            self.ctx.threads[tid].stores.clear();
             self.ctx.threads[tid].frontend = 0;
         }
         let insts = &self.ctx.insts;
-        self.ctx.iq.retain(|s| insts.contains_key(s));
+        self.ctx.iq.retain(|&s| insts.contains(s));
         self.ctx.store_cache.clear();
         self.ctx.apply_partition(if self.ctx.partition_only {
             ActiveThreads::MainPartitioned
@@ -170,38 +165,31 @@ impl SimContext {
     /// requested by the engine itself (inner-thread visit boundaries), so
     /// the engine has already adjusted its sequencer — no notification.
     pub(super) fn squash_side_from(&mut self, tid: usize, from: u64) {
-        let squashed: Vec<u64> = self.threads[tid]
-            .rob
-            .iter()
-            .copied()
-            .filter(|&s| s >= from)
-            .collect();
-        for s in &squashed {
-            if let Some(di) = self.insts.remove(s) {
-                self.release_resources(tid, &di);
+        let cut = self.threads[tid].rob.partition_point(|&s| s < from);
+        for i in cut..self.threads[tid].rob.len() {
+            let s = self.threads[tid].rob[i];
+            if let Some(r) = self.insts.remove(s) {
+                self.release_resources(tid, &r);
             }
         }
-        self.threads[tid].rob.retain(|s| *s < from);
+        self.threads[tid].rob.truncate(cut);
+        self.threads[tid].truncate_tracked_from(from);
         let remaining_frontend = self.threads[tid]
             .rob
             .iter()
-            .filter(|s| {
-                self.insts
-                    .get(s)
-                    .is_some_and(|d| matches!(d.stage, Stage::Frontend))
-            })
+            .filter(|&&s| matches!(self.insts.stage(s), Some(Stage::Frontend)))
             .count();
         self.threads[tid].frontend = remaining_frontend;
         let insts = &self.insts;
-        self.iq.retain(|s| insts.contains_key(s));
+        self.iq.retain(|&s| insts.contains(s));
     }
 
     /// Marks engine-tagged instructions dead (they drain without effects).
     pub(super) fn kill_tagged(&mut self, tags: &[u64]) {
-        for di in self.insts.values_mut() {
+        for (di, m) in self.insts.iter_meta_mut() {
             if let Some(side) = &di.side {
                 if tags.contains(&side.tag) {
-                    di.dead = true;
+                    m.set_dead();
                 }
             }
         }

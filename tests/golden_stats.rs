@@ -44,6 +44,25 @@ fn golden_baseline_astar_small() {
     assert!(r.stats.l1d_store_misses <= r.stats.l1d_store_accesses);
 }
 
+/// Mode-sweep pin added with the data-oriented pipeline tables (the
+/// slab/SoA rewrite of the in-flight window): all four modes must stay
+/// cycle-identical to the HashMap-backed implementation they replaced.
+/// The perfect-BP and partition-only cells exercise squash-free and
+/// repartition-heavy schedules respectively, the corners most sensitive
+/// to bookkeeping-order bugs in the table rewrite.
+#[test]
+fn golden_mode_sweep_astar_small() {
+    let perfect = simulate(suite::astar_small().cpu, &cfg(Mode::PerfectBp));
+    assert_eq!(perfect.stats.cycles, 46_741, "perfect-bp cycles drifted");
+    assert_eq!(perfect.stats.mt_mispredicts, 0);
+    assert_eq!(perfect.stats.l1d_misses, 937);
+
+    let part = simulate(suite::astar_small().cpu, &cfg(Mode::PartitionOnly));
+    assert_eq!(part.stats.cycles, 168_324, "partition-only cycles drifted");
+    assert_eq!(part.stats.mt_mispredicts, 4_185);
+    assert_eq!(part.stats.l1d_misses, 937);
+}
+
 #[test]
 fn golden_phelps_full_astar_small() {
     let r = simulate(
