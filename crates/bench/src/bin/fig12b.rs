@@ -43,10 +43,19 @@ fn main() {
         ) else {
             continue;
         };
+        // `~` marks proxy-predicted cells (PHELPS_PROXY).
         rows.push(vec![
             name.to_string(),
-            pct(speedup(&base.stats, &with.stats)),
-            pct(speedup(&base.stats, &without.stats)),
+            format!(
+                "{}{}",
+                pct(speedup(&base.stats, &with.stats)),
+                res.mark(name, "with-stores")
+            ),
+            format!(
+                "{}{}",
+                pct(speedup(&base.stats, &without.stats)),
+                res.mark(name, "no-stores")
+            ),
         ]);
     }
     print_table(

@@ -40,7 +40,8 @@ fn main() {
         let Some(r) = res.get(name, "phelps") else {
             continue;
         };
-        let mut row = vec![name.to_string()];
+        // `~` marks proxy-predicted cells (PHELPS_PROXY).
+        let mut row = vec![format!("{}{}", name, res.mark(name, "phelps"))];
         for c in classes {
             row.push(format!("{:.2}", r.breakdown.mpki(c)));
         }

@@ -26,8 +26,13 @@ fn sweep_rows(res: &MatrixResults, tags: &[String]) -> Vec<Vec<String>> {
             let base = res.get(name, &format!("base@{tag}"));
             let ph = res.get(name, &format!("phelps@{tag}"));
             any |= base.is_some() || ph.is_some();
+            // `~` marks proxy-predicted cells (PHELPS_PROXY).
             row.push(match (base, ph) {
-                (Some(b), Some(p)) => pct(speedup(&b.stats, &p.stats)),
+                (Some(b), Some(p)) => format!(
+                    "{}{}",
+                    pct(speedup(&b.stats, &p.stats)),
+                    res.mark(name, &format!("phelps@{tag}"))
+                ),
                 _ => "n/a".into(),
             });
         }
@@ -127,8 +132,12 @@ fn main() {
         };
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}", base.stats.mpki()),
-            pct(speedup(&base.stats, &ph.stats)),
+            format!("{:.1}{}", base.stats.mpki(), res.mark(&wl, "baseline")),
+            format!(
+                "{}{}",
+                pct(speedup(&base.stats, &ph.stats)),
+                res.mark(&wl, "phelps")
+            ),
         ]);
     }
     print_table(

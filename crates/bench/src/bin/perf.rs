@@ -11,12 +11,14 @@
 //! (`shards=4` on 4 workers) so the wall-clock payoff of splitting a
 //! single run is tracked PR-to-PR against its unsharded sibling.
 
-use phelps::sim::{Mode, PhelpsFeatures, SimResult};
+use phelps::sim::{Mode, PhelpsFeatures, RunConfig, SimResult};
+use phelps_bench::runner::Experiment;
 use phelps_bench::shard::run_sharded_with;
-use phelps_bench::{ckpt_support, exp_config, print_table, run, run_br};
+use phelps_bench::{ckpt_support, exp_config, print_table, run, run_br, ProxyMode};
 use phelps_isa::Cpu;
 use phelps_runahead::BrVariant;
 use phelps_workloads::suite;
+use std::path::PathBuf;
 use std::time::Instant;
 
 const WORKLOADS: [&str; 3] = ["bfs", "astar", "mcf"];
@@ -48,6 +50,100 @@ struct Cell {
     cycles: u64,
     wall_ms: f64,
     mips: f64,
+}
+
+/// The proxy-triage trajectory cell: how much of a fig11-shaped matrix
+/// the learned proxy lets the runner skip, and the wall-clock payoff.
+struct TriageCell {
+    cells: usize,
+    simulated: usize,
+    predicted: usize,
+    full_wall_ms: f64,
+    triage_wall_ms: f64,
+}
+
+/// Region/epoch for the triage trajectory matrix: fixed and small so
+/// the cell tracks triage overhead, not simulation throughput (the MIPS
+/// cells above already track that).
+const TRIAGE_REGION: u64 = 60_000;
+const TRIAGE_EPOCH: u64 = 15_000;
+
+/// The fig11 column set (one anchor + six candidates) on tiny regions.
+fn triage_matrix(workloads: &[&'static str], cache: PathBuf) -> Experiment {
+    let mut exp = Experiment::new("perf-proxy")
+        .cache_dir(Some(cache))
+        .quiet(true);
+    let modes = [
+        ("baseline", Mode::Baseline),
+        ("perfbp", Mode::PerfectBp),
+        ("partition", Mode::PartitionOnly),
+        ("phelps-b1", Mode::Phelps(PhelpsFeatures::b1_only())),
+        (
+            "phelps-b1s1",
+            Mode::Phelps(PhelpsFeatures::b1_with_stores()),
+        ),
+        ("phelps-b1b2", Mode::Phelps(PhelpsFeatures::no_stores())),
+        ("phelps-full", Mode::Phelps(PhelpsFeatures::full())),
+    ];
+    for &name in workloads {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
+        for (config, mode) in modes.clone() {
+            exp.cfg_cell(
+                name,
+                config,
+                RunConfig::quick(mode, TRIAGE_REGION, TRIAGE_EPOCH),
+                make,
+            );
+        }
+    }
+    exp
+}
+
+/// Simulates the training matrix, trains a proxy model from its cache,
+/// then re-runs the astar fig11 subset under `ProxyMode::Triage`
+/// against a cold cache. Returns `None` (omitting the trajectory cell)
+/// if anything in the pipeline degrades — the MIPS cells must survive.
+fn triage_cell() -> Option<TriageCell> {
+    let scratch = std::env::temp_dir().join(format!("phelps-perf-proxy-{}", std::process::id()));
+    let warm = scratch.join("warm");
+    let cold = scratch.join("cold");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Full pass over the astar subset (timed) plus bfs (training data).
+    let t0 = Instant::now();
+    let full = triage_matrix(&["astar"], warm.clone()).run();
+    let full_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    triage_matrix(&["bfs"], warm.clone()).run();
+
+    let (examples, _) = phelps_proxy::build_examples(&phelps_proxy::scan(&warm));
+    let model = match phelps_proxy::train_from_examples(&examples, 42, 4) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("warning: perf proxy cell skipped: {e}");
+            let _ = std::fs::remove_dir_all(&scratch);
+            return None;
+        }
+    };
+    let model_path = scratch.join("model.json");
+    if let Err(e) = model.save(&model_path) {
+        eprintln!("warning: perf proxy cell skipped: {e}");
+        let _ = std::fs::remove_dir_all(&scratch);
+        return None;
+    }
+
+    let t0 = Instant::now();
+    let triaged = triage_matrix(&["astar"], cold)
+        .proxy(ProxyMode::Triage, model_path)
+        .run();
+    let triage_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&scratch);
+    Some(TriageCell {
+        cells: full.cells.len(),
+        simulated: triaged.simulated,
+        predicted: triaged.predicted,
+        full_wall_ms,
+        triage_wall_ms,
+    })
 }
 
 fn cell(workload: &str, mode: &str, shards: usize, r: &SimResult, secs: f64) -> Cell {
@@ -116,10 +212,12 @@ fn main() {
         }
     }
 
+    let proxy = triage_cell();
+
     let mut json = phelps_telemetry::JsonWriter::new();
     json.begin_object();
     json.key("schema");
-    json.string("phelps-bench-perf/2");
+    json.string("phelps-bench-perf/3");
     json.key("region");
     json.uint(phelps_bench::region_len());
     json.key("epoch");
@@ -154,6 +252,21 @@ fn main() {
         ]);
     }
     json.end_array();
+    if let Some(t) = &proxy {
+        json.key("proxy");
+        json.begin_object();
+        json.key("cells");
+        json.uint(t.cells as u64);
+        json.key("simulated");
+        json.uint(t.simulated as u64);
+        json.key("predicted");
+        json.uint(t.predicted as u64);
+        json.key("full_wall_ms");
+        json.float(t.full_wall_ms);
+        json.key("triage_wall_ms");
+        json.float(t.triage_wall_ms);
+        json.end_object();
+    }
     json.key("total_wall_ms");
     json.float(wall.elapsed().as_secs_f64() * 1e3);
     json.end_object();
@@ -169,5 +282,12 @@ fn main() {
         &["workload", "mode", "shards", "insts", "wall_ms", "mips"],
         &rows,
     );
+    if let Some(t) = &proxy {
+        println!(
+            "proxy triage (fig11 subset): simulated {}/{} cells \
+             ({} predicted; full {:.1}ms -> triage {:.1}ms)",
+            t.simulated, t.cells, t.predicted, t.full_wall_ms, t.triage_wall_ms
+        );
+    }
     println!("[perf] wrote {out_path}");
 }

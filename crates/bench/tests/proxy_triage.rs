@@ -1,0 +1,191 @@
+//! Integration tests for proxy-triaged matrix execution.
+//!
+//! The flow under test mirrors the intended workflow: warm the result
+//! cache with a fully-simulated sweep, train a proxy model from that
+//! cache, then re-run the sweep against a *cold* cache with
+//! `ProxyMode::Triage` and check that at most half the cells simulate,
+//! predicted cells are flagged (and marked `~` in tables) but never
+//! written back to the cache, and the whole plan is deterministic.
+//!
+//! All experiments use explicit builder overrides (`.jobs()`,
+//! `.cache_dir()`, `.proxy()`, `.quiet()`) so the tests never touch
+//! `PHELPS_PROXY` and can run concurrently in one process.
+
+use phelps::sim::{Mode, PhelpsFeatures, RunConfig};
+use phelps_bench::runner::{Experiment, MatrixResults};
+use phelps_bench::ProxyMode;
+use phelps_workloads::suite;
+use std::path::PathBuf;
+
+/// A per-test scratch directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("phelps-proxy-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The seven modes of a fig11-shaped column set.
+fn modes() -> [(&'static str, Mode); 7] {
+    [
+        ("baseline", Mode::Baseline),
+        ("perfbp", Mode::PerfectBp),
+        ("partition", Mode::PartitionOnly),
+        ("phelps-b1", Mode::Phelps(PhelpsFeatures::b1_only())),
+        (
+            "phelps-b1s1",
+            Mode::Phelps(PhelpsFeatures::b1_with_stores()),
+        ),
+        ("phelps-b1b2", Mode::Phelps(PhelpsFeatures::no_stores())),
+        ("phelps-full", Mode::Phelps(PhelpsFeatures::full())),
+    ]
+}
+
+/// A 2×7 matrix (astar/bfs × the fig11 column set) on tiny regions.
+fn matrix(cache: Option<PathBuf>, proxy: Option<(ProxyMode, PathBuf)>) -> MatrixResults {
+    let mut exp = Experiment::new("proxy-test")
+        .jobs(2)
+        .cache_dir(cache)
+        .quiet(true);
+    if let Some((mode, model)) = proxy {
+        exp = exp.proxy(mode, model);
+    }
+    for name in ["astar", "bfs"] {
+        let make = move || suite::gap_workload(name).expect("known workload").cpu;
+        for (config, mode) in modes() {
+            exp.cfg_cell(name, config, RunConfig::quick(mode, 20_000, 10_000), make);
+        }
+    }
+    exp.run()
+}
+
+/// Warms `cache` by full simulation and trains a model from it,
+/// returning the saved model path inside `model_dir`.
+fn train_model(cache: &ScratchDir, model_dir: &ScratchDir) -> PathBuf {
+    let warm = matrix(Some(cache.path()), None);
+    assert_eq!(warm.simulated, 14, "cold warm-up simulates every cell");
+    let cells = phelps_proxy::scan(&cache.path());
+    assert_eq!(cells.len(), 14, "proxy dataset scan sees every cache file");
+    let (examples, summary) = phelps_proxy::build_examples(&cells);
+    assert_eq!(summary.groups, 2, "one anchor group per workload");
+    assert_eq!(examples.len(), 14, "every cell (anchors included) trains");
+    let model = phelps_proxy::train_from_examples(&examples, 42, 4).expect("trainable dataset");
+    let path = model_dir.path().join("model.json");
+    model.save(&path).expect("model saves");
+    path
+}
+
+#[test]
+fn triage_simulates_at_most_half_and_marks_predictions() {
+    let warm = ScratchDir::new("half-warm");
+    let models = ScratchDir::new("half-model");
+    let model = train_model(&warm, &models);
+
+    // Cold cache: triage must plan from predictions, not cache hits.
+    let cold = ScratchDir::new("half-cold");
+    let res = matrix(Some(cold.path()), Some((ProxyMode::Triage, model)));
+    assert_eq!(res.cells.len(), 14);
+    assert_eq!(res.hits, 0);
+    assert!(
+        res.simulated * 2 <= res.cells.len(),
+        "triage simulates at most half: {} of {}",
+        res.simulated,
+        res.cells.len()
+    );
+    assert!(res.predicted > 0, "some cells are predicted");
+    assert_eq!(res.simulated + res.predicted, res.cells.len());
+
+    for c in &res.cells {
+        let r = c.result.as_ref().expect("every slot filled");
+        assert!(r.stats.ipc().is_finite());
+        if c.predicted {
+            assert!(!c.from_cache);
+            assert_eq!(res.mark(&c.workload, &c.config), "~");
+        } else {
+            assert_eq!(res.mark(&c.workload, &c.config), "");
+        }
+    }
+    // Anchors (the baseline cells) always simulate for real.
+    for name in ["astar", "bfs"] {
+        let anchor = res
+            .cells
+            .iter()
+            .find(|c| c.workload == name && c.config == "baseline")
+            .expect("anchor cell present");
+        assert!(!anchor.predicted, "{name} anchor simulated");
+    }
+    // Predicted cells never reach the on-disk cache.
+    let cached = std::fs::read_dir(cold.path())
+        .expect("cache dir exists")
+        .count();
+    assert_eq!(cached, res.simulated, "only simulated cells are cached");
+}
+
+#[test]
+fn triage_plan_and_predictions_are_deterministic() {
+    let warm = ScratchDir::new("det-warm");
+    let models = ScratchDir::new("det-model");
+    let model = train_model(&warm, &models);
+
+    let run = |tag: &str| {
+        let cold = ScratchDir::new(tag);
+        matrix(Some(cold.path()), Some((ProxyMode::Triage, model.clone())))
+    };
+    let a = run("det-a");
+    let b = run("det-b");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!((&x.workload, &x.config), (&y.workload, &y.config));
+        assert_eq!(
+            x.predicted, y.predicted,
+            "triage plan differs for {}/{}",
+            x.workload, x.config
+        );
+        assert_eq!(
+            format!("{:?}", x.result.as_ref().unwrap().stats),
+            format!("{:?}", y.result.as_ref().unwrap().stats),
+            "stats differ for {}/{}",
+            x.workload,
+            x.config
+        );
+    }
+}
+
+#[test]
+fn strict_mode_simulates_every_uncertain_cell_and_off_mode_none() {
+    let warm = ScratchDir::new("strict-warm");
+    let models = ScratchDir::new("strict-model");
+    let model = train_model(&warm, &models);
+
+    // Off mode ignores the model entirely.
+    let cold = ScratchDir::new("strict-off");
+    let off = matrix(Some(cold.path()), Some((ProxyMode::Off, model.clone())));
+    assert_eq!((off.predicted, off.simulated), (0, 14));
+    assert!(off.cells.iter().all(|c| !c.predicted));
+
+    // Strict mode may simulate more than the triage budget (every cell
+    // over tau), and still never fabricates an anchor.
+    let cold = ScratchDir::new("strict-on");
+    let strict = matrix(Some(cold.path()), Some((ProxyMode::Strict, model)));
+    assert_eq!(strict.cells.len(), 14);
+    assert_eq!(strict.simulated + strict.predicted, 14);
+    for c in strict.cells.iter().filter(|c| c.config == "baseline") {
+        assert!(!c.predicted);
+    }
+    // A warm cache beats both prediction and simulation: re-running
+    // strict against the same cache peels hits for the simulated cells.
+    let again = matrix(Some(cold.path()), None);
+    assert_eq!(again.hits, strict.simulated, "simulated cells now hit");
+}

@@ -1,0 +1,249 @@
+//! `phelps-proxy` — train, evaluate, and query the learned IPC proxy.
+//!
+//! ```text
+//! phelps-proxy train   [--cache-dir=D] [--out=P] [--seed=N] [--folds=K] [--max-mae=X]
+//! phelps-proxy eval    [--cache-dir=D] [--model=P] [--max-mae=X]
+//! phelps-proxy predict [--cache-dir=D] [--model=P] [--only=SUBSTR]
+//! ```
+//!
+//! All three read the bench runner's content-hashed result cache
+//! (`results/cache/` or `PHELPS_CACHE_DIR`). `train` fits the model and
+//! writes it (default `results/proxy/model.json`, or
+//! `PHELPS_PROXY_MODEL`); `eval` re-derives the example set and reports
+//! aggregate predicted-vs-measured error; `predict` prints one line per
+//! cached cell with its prediction, uncertainty, and measured truth.
+//! `--max-mae` turns the cross-validated IPC MAE into an exit status,
+//! which is how ci.sh gates model quality.
+
+use phelps_proxy::{build_examples, scan, train_from_examples, Example, ProxyModel};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    cache_dir: PathBuf,
+    model: PathBuf,
+    seed: u64,
+    folds: usize,
+    max_mae: Option<f64>,
+    only: Option<String>,
+}
+
+fn env_path(name: &str, default: &str) -> PathBuf {
+    std::env::var(name)
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: phelps-proxy <train|eval|predict> [--cache-dir=D] [--model=P] [--out=P]\n\
+         \x20                 [--seed=N] [--folds=K] [--max-mae=X] [--only=SUBSTR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return Err(usage());
+    };
+    let mut parsed = Args {
+        cmd,
+        cache_dir: env_path("PHELPS_CACHE_DIR", "results/cache"),
+        model: env_path("PHELPS_PROXY_MODEL", "results/proxy/model.json"),
+        seed: 42,
+        folds: 4,
+        max_mae: None,
+        only: None,
+    };
+    for a in args {
+        let bad = |what: &str| {
+            eprintln!("phelps-proxy: bad {what} in {a:?}");
+            ExitCode::FAILURE
+        };
+        if let Some(v) = a.strip_prefix("--cache-dir=") {
+            parsed.cache_dir = PathBuf::from(v);
+        } else if let Some(v) = a.strip_prefix("--model=").or(a.strip_prefix("--out=")) {
+            parsed.model = PathBuf::from(v);
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            parsed.seed = v.parse().map_err(|_| bad("seed"))?;
+        } else if let Some(v) = a.strip_prefix("--folds=") {
+            parsed.folds = v.parse().map_err(|_| bad("fold count"))?;
+        } else if let Some(v) = a.strip_prefix("--max-mae=") {
+            parsed.max_mae = Some(v.parse().map_err(|_| bad("MAE bound"))?);
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            parsed.only = Some(v.to_string());
+        } else {
+            eprintln!("phelps-proxy: unknown argument {a:?}");
+            return Err(usage());
+        }
+    }
+    Ok(parsed)
+}
+
+fn load_examples(args: &Args) -> Result<Vec<Example>, ExitCode> {
+    let cells = scan(&args.cache_dir);
+    let (examples, summary) = build_examples(&cells);
+    println!(
+        "[proxy] cache {}: {} cells, {} examples from {} anchor groups \
+         ({} unanchored, {} degenerate)",
+        args.cache_dir.display(),
+        cells.len(),
+        examples.len(),
+        summary.groups,
+        summary.unanchored,
+        summary.degenerate
+    );
+    if examples.is_empty() {
+        eprintln!(
+            "phelps-proxy: no usable examples in {} (populate the cache by \
+             running figure binaries first)",
+            args.cache_dir.display()
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(examples)
+}
+
+/// Aggregate predicted-vs-measured error of `model` over `examples`.
+fn report_errors(model: &ProxyModel, examples: &[Example]) -> (f64, f64) {
+    let (mut mae, mut max) = (0.0f64, 0.0f64);
+    for e in examples {
+        let err = (model.predict(&e.features).ipc - e.ipc).abs();
+        mae += err;
+        max = max.max(err);
+    }
+    (mae / examples.len() as f64, max)
+}
+
+fn gate(label: &str, mae: f64, bound: Option<f64>) -> ExitCode {
+    if let Some(bound) = bound {
+        if mae > bound {
+            eprintln!("phelps-proxy: {label} IPC MAE {mae:.4} exceeds bound {bound:.4}");
+            return ExitCode::FAILURE;
+        }
+        println!("[proxy] {label} IPC MAE {mae:.4} within bound {bound:.4}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let examples = match load_examples(args) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let model = match train_from_examples(&examples, args.seed, args.folds) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("phelps-proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[proxy] trained on {} examples (seed={} folds={}): \
+         cv IPC mae={:.4} max={:.4}; cv MPKI mae={:.3} max={:.3}; tau={:.4}",
+        model.examples,
+        model.seed,
+        model.folds,
+        model.ipc.cv_mae,
+        model.ipc.cv_max,
+        model.mpki.cv_mae,
+        model.mpki.cv_max,
+        model.tau_ipc()
+    );
+    if let Err(e) = model.save(&args.model) {
+        eprintln!("phelps-proxy: cannot write {}: {e}", args.model.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[proxy] model written to {}", args.model.display());
+    gate("cross-validated", model.ipc.cv_mae, args.max_mae)
+}
+
+fn cmd_eval(args: &Args) -> ExitCode {
+    let model = match ProxyModel::load(&args.model) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("phelps-proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let examples = match load_examples(args) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let (mae, max) = report_errors(&model, &examples);
+    println!(
+        "[proxy] eval over {} examples: IPC mae={mae:.4} max={max:.4} \
+         (model cv mae={:.4}, tau={:.4})",
+        examples.len(),
+        model.ipc.cv_mae,
+        model.tau_ipc()
+    );
+    gate("eval", mae, args.max_mae)
+}
+
+fn cmd_predict(args: &Args) -> ExitCode {
+    let model = match ProxyModel::load(&args.model) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("phelps-proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let examples = match load_examples(args) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let needle = args.only.as_deref().map(str::to_lowercase);
+    println!(
+        "{:<24} {:>9} {:>9} {:>8} {:>9} {:>9}  triage",
+        "cell", "pred_ipc", "meas_ipc", "unc", "pred_mpki", "meas_mpki"
+    );
+    let tau = model.tau_ipc();
+    let mut shown = 0usize;
+    for e in &examples {
+        let name = format!("{}/{}", e.workload, e.config);
+        if needle
+            .as_ref()
+            .is_some_and(|n| !name.to_lowercase().contains(n))
+        {
+            continue;
+        }
+        let p = model.predict(&e.features);
+        println!(
+            "{name:<24} {:>9.3} {:>9.3} {:>8.4} {:>9.2} {:>9.2}  {}",
+            p.ipc,
+            e.ipc,
+            p.ipc_uncertainty,
+            p.mpki,
+            e.mpki,
+            if p.ipc_uncertainty <= tau {
+                "predict"
+            } else {
+                "simulate"
+            }
+        );
+        shown += 1;
+    }
+    if shown == 0 {
+        eprintln!("phelps-proxy: --only filter matched no cached cells");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match args.cmd.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "predict" => cmd_predict(&args),
+        _ => usage(),
+    }
+}

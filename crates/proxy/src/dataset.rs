@@ -1,0 +1,340 @@
+//! Training examples from the on-disk result cache.
+//!
+//! The bench runner fingerprints every cell as
+//! `experiment|workload|config|key|vVERSION` and stores its whole-run
+//! counters under `results/cache/<fnv1a>.json` with the fingerprint
+//! embedded. That makes the cache a free, already-labelled training
+//! set: this module scans it, groups cells into *anchor groups* — one
+//! workload, one region length, one input variant — and emits one
+//! example per cell whose features combine the group's **baseline**
+//! telemetry with the cell's own configuration knobs. Targets are the
+//! cell's measured IPC and MPKI.
+//!
+//! Groups without a baseline cell are skipped (there is no anchor to
+//! extract telemetry slots from), as are cells with zero cycles or
+//! zero retired instructions.
+//!
+//! # Determinism
+//!
+//! `read_dir` order is platform- and filesystem-dependent, so the scan
+//! sorts by fingerprint before anything else; every downstream
+//! consumer (training, evaluation, the CLI) sees one canonical order.
+
+use crate::features::{anchor_slots_from_stats, feature_vector, FEATURE_DIM, TELEMETRY_SLOTS};
+use phelps_telemetry::{parse_json, JsonValue};
+use phelps_uarch::stats::SimStats;
+use std::path::Path;
+
+/// One parsed cache file: fingerprint components plus the counters the
+/// feature extractor and targets need.
+#[derive(Clone, Debug)]
+pub struct CachedCell {
+    /// Full embedded fingerprint (sort key).
+    pub fingerprint: String,
+    /// Experiment (figure/table or service) name.
+    pub experiment: String,
+    /// Row (workload) label.
+    pub workload: String,
+    /// Column (configuration) label.
+    pub config: String,
+    /// The `RunConfig` debug rendering plus any variant suffixes.
+    pub key: String,
+    /// Whole-run counters (only the cached subset is populated).
+    pub stats: SimStats,
+}
+
+/// Splits a cache fingerprint into its four identity components,
+/// stripping the trailing `|v<version>` segment. The key itself may
+/// contain `|` (shard and Branch Runahead suffixes), so the version is
+/// taken from the right.
+pub fn split_fingerprint(fp: &str) -> Option<(&str, &str, &str, &str)> {
+    let mut it = fp.splitn(4, '|');
+    let experiment = it.next()?;
+    let workload = it.next()?;
+    let config = it.next()?;
+    let rest = it.next()?;
+    let (key, version) = rest.rsplit_once('|')?;
+    if !version.starts_with('v') || key.is_empty() {
+        return None;
+    }
+    Some((experiment, workload, config, key))
+}
+
+fn stats_from_cache_json(v: &JsonValue) -> Option<SimStats> {
+    let s = v.get("stats")?;
+    let field = |name: &str| s.get(name).and_then(JsonValue::as_u64);
+    // Only the counters the features/targets consume; absent fields in
+    // a future cache schema degrade to a skipped cell, not a panic.
+    Some(SimStats {
+        cycles: field("cycles")?,
+        mt_retired: field("mt_retired")?,
+        mt_cond_branches: field("mt_cond_branches")?,
+        mt_mispredicts: field("mt_mispredicts")?,
+        preds_from_queue: field("preds_from_queue")?,
+        triggers: field("triggers")?,
+        l3_misses: field("l3_misses")?,
+        mt_fetch_stall_ifetch: field("mt_fetch_stall_ifetch")?,
+        ..SimStats::default()
+    })
+}
+
+/// Scans a cache directory into parsed cells, sorted by fingerprint.
+/// Unreadable or structurally alien files are skipped silently — the
+/// cache is shared and may contain entries from other schema versions.
+pub fn scan(dir: &Path) -> Vec<CachedCell> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(v) = parse_json(&text) else {
+            continue;
+        };
+        let Some(fp) = v.get("fingerprint").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let Some((experiment, workload, config, key)) = split_fingerprint(fp) else {
+            continue;
+        };
+        let Some(stats) = stats_from_cache_json(&v) else {
+            continue;
+        };
+        out.push(CachedCell {
+            fingerprint: fp.to_string(),
+            experiment: experiment.to_string(),
+            workload: workload.to_string(),
+            config: config.to_string(),
+            key: key.to_string(),
+            stats,
+        });
+    }
+    out.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+    out
+}
+
+/// A cell is an anchor candidate when it is a plain baseline run: the
+/// `mode: Baseline` core with no Branch Runahead variant suffix.
+pub fn is_anchor_key(key: &str) -> bool {
+    key.contains("mode: Baseline")
+        && !key.contains("|NonSpeculative")
+        && !key.contains("|Speculative")
+        && !key.contains("|TwelveWide")
+}
+
+/// The anchor-group identity of a cell: workload, region length, and
+/// the input-variant tag (the `@suffix` some experiments append to the
+/// config label to distinguish graph inputs on the same workload).
+pub fn group_parts(workload: &str, config: &str, key: &str) -> (String, String, String) {
+    let region = key
+        .split("max_mt_insts: ")
+        .nth(1)
+        .map(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+    let input_tag = config
+        .split_once('@')
+        .map(|(_, tag)| tag.to_string())
+        .unwrap_or_default();
+    (workload.to_string(), region, input_tag)
+}
+
+/// [`group_parts`] of one scanned cell.
+pub fn group_id(cell: &CachedCell) -> (String, String, String) {
+    group_parts(&cell.workload, &cell.config, &cell.key)
+}
+
+/// One training example: features, targets, and provenance labels.
+#[derive(Clone, Debug)]
+pub struct Example {
+    /// Source cell fingerprint.
+    pub fingerprint: String,
+    /// Row (workload) label.
+    pub workload: String,
+    /// Column (configuration) label.
+    pub config: String,
+    /// Feature vector (anchor telemetry + config knobs).
+    pub features: [f64; FEATURE_DIM],
+    /// Measured instructions per cycle.
+    pub ipc: f64,
+    /// Measured mispredicts per kilo-instruction.
+    pub mpki: f64,
+}
+
+/// Dataset construction summary alongside the examples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildSummary {
+    /// Anchor groups that contributed examples.
+    pub groups: usize,
+    /// Cells skipped because their group has no baseline anchor.
+    pub unanchored: usize,
+    /// Cells skipped for degenerate counters (zero cycles/retired).
+    pub degenerate: usize,
+}
+
+/// Builds examples from scanned cells. Cells are grouped by
+/// [`group_id`]; each group's anchor is its lexicographically-first
+/// baseline cell (fingerprint order, so ties are stable), and every
+/// usable cell in an anchored group — including the anchor itself —
+/// becomes one example.
+pub fn build_examples(cells: &[CachedCell]) -> (Vec<Example>, BuildSummary) {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String, String), Vec<&CachedCell>> = BTreeMap::new();
+    for cell in cells {
+        groups.entry(group_id(cell)).or_default().push(cell);
+    }
+    let mut examples = Vec::new();
+    let mut summary = BuildSummary::default();
+    for members in groups.values() {
+        // `cells` is fingerprint-sorted, so the first match is the
+        // lexicographically-first baseline cell of the group.
+        let Some(anchor) = members.iter().find(|c| is_anchor_key(&c.key)) else {
+            summary.unanchored += members.len();
+            continue;
+        };
+        let slots: [f64; TELEMETRY_SLOTS] = anchor_slots_from_stats(&anchor.stats);
+        summary.groups += 1;
+        for cell in members {
+            if cell.stats.cycles == 0 || cell.stats.mt_retired == 0 {
+                summary.degenerate += 1;
+                continue;
+            }
+            examples.push(Example {
+                fingerprint: cell.fingerprint.clone(),
+                workload: cell.workload.clone(),
+                config: cell.config.clone(),
+                features: feature_vector(&slots, &cell.key),
+                ipc: cell.stats.ipc(),
+                mpki: cell.stats.mpki(),
+            });
+        }
+    }
+    (examples, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_splits_around_piped_keys() {
+        let fp = "fig11|astar|BR-spec|RunConfig { mode: Baseline }|Speculative|v0.1.0";
+        let (e, w, c, k) = split_fingerprint(fp).unwrap();
+        assert_eq!(e, "fig11");
+        assert_eq!(w, "astar");
+        assert_eq!(c, "BR-spec");
+        assert_eq!(k, "RunConfig { mode: Baseline }|Speculative");
+        assert!(split_fingerprint("too|few|parts").is_none());
+        assert!(split_fingerprint("a|b|c|key-without-version").is_none());
+    }
+
+    fn cell(workload: &str, config: &str, key: &str, cycles: u64, retired: u64) -> CachedCell {
+        CachedCell {
+            fingerprint: format!("exp|{workload}|{config}|{key}|v0"),
+            experiment: "exp".into(),
+            workload: workload.into(),
+            config: config.into(),
+            key: key.into(),
+            stats: SimStats {
+                cycles,
+                mt_retired: retired,
+                mt_mispredicts: retired / 100,
+                ..SimStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn groups_need_an_anchor() {
+        let base = "RunConfig { mode: Baseline, max_mt_insts: 1000 }";
+        let phelps = "RunConfig { mode: Phelps(..), max_mt_insts: 1000 }";
+        let cells = vec![
+            cell("astar", "baseline", base, 100, 1000),
+            cell("astar", "phelps", phelps, 60, 1000),
+            cell("mcf", "phelps", phelps, 80, 1000), // no anchor
+        ];
+        let (ex, summary) = build_examples(&cells);
+        assert_eq!(ex.len(), 2, "anchored group contributes both cells");
+        assert_eq!(summary.groups, 1);
+        assert_eq!(summary.unanchored, 1);
+        assert!((ex[0].ipc - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn br_cells_are_not_anchors() {
+        let br = "RunConfig { mode: Baseline, max_mt_insts: 1000 }|Speculative";
+        let (ex, summary) = build_examples(&[cell("astar", "BR-spec", br, 100, 1000)]);
+        assert!(ex.is_empty());
+        assert_eq!(summary.unanchored, 1);
+    }
+
+    #[test]
+    fn input_variants_get_their_own_anchor() {
+        let base = "RunConfig { mode: Baseline, max_mt_insts: 1000 }";
+        let phelps_key = base.replace("Baseline", "Phelps(x");
+        let a = cell("bfs", "base@uniform", base, 100, 1000);
+        let b = cell("bfs", "phelps@uniform", &phelps_key, 50, 1000);
+        let c = cell("bfs", "phelps@scale", &phelps_key, 50, 1000);
+        let (ex, summary) = build_examples(&[a, b, c]);
+        assert_eq!(summary.groups, 1, "only @uniform has an anchor");
+        assert_eq!(summary.unanchored, 1, "@scale group skipped");
+        assert_eq!(ex.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_counters_are_skipped() {
+        let base = "RunConfig { mode: Baseline, max_mt_insts: 1000 }";
+        let cells = vec![
+            cell("astar", "baseline", base, 100, 1000),
+            cell(
+                "astar",
+                "dead",
+                "RunConfig { mode: PerfectBp, max_mt_insts: 1000 }",
+                0,
+                0,
+            ),
+        ];
+        let (ex, summary) = build_examples(&cells);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(summary.degenerate, 1);
+    }
+
+    #[test]
+    fn scan_reads_runner_cache_files_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("phelps-proxy-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two minimal but format-faithful cache files plus garbage.
+        for (name, fp, cycles) in [
+            ("b.json", "exp|w|base|RunConfig { mode: Baseline }|v0", 10),
+            ("a.json", "exp|w|aaa|RunConfig { mode: PerfectBp }|v0", 20),
+        ] {
+            std::fs::write(
+                dir.join(name),
+                format!(
+                    "{{\"fingerprint\":\"{fp}\",\"stats\":{{\"cycles\":{cycles},\
+                     \"mt_retired\":100,\"mt_cond_branches\":10,\"mt_mispredicts\":1,\
+                     \"preds_from_queue\":0,\"triggers\":0,\"l3_misses\":2,\
+                     \"mt_fetch_stall_ifetch\":3}},\"breakdown\":{{}}}}"
+                ),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("junk.json"), "{not json").unwrap();
+        std::fs::write(dir.join("other.txt"), "ignored").unwrap();
+        let cells = scan(&dir);
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].fingerprint < cells[1].fingerprint, "sorted");
+        assert_eq!(cells[0].stats.cycles, 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,769 @@
+//! Deterministic regression ensemble with uncertainty estimates.
+//!
+//! One [`ProxyModel`] carries two [`Head`]s — IPC and MPKI — each a
+//! ridge baseline plus gradient-boosted depth-1 stumps fit to the ridge
+//! residuals. Uncertainty comes from k-fold sub-models: alongside the
+//! full-data regressor, each head keeps `K` regressors trained with one
+//! fold held out. A prediction's uncertainty is the held-out models'
+//! spread around the full model, floored at the cross-validated MAE, so
+//! it is never optimistically below the model's own measured error.
+//!
+//! # Determinism
+//!
+//! Everything is seeded and order-stable: fold assignment is a seeded
+//! Fisher–Yates shuffle of the example indices, stump splits break ties
+//! by (feature, threshold) order, and no step consults the clock, a
+//! hash map, or platform randomness. The same seed and the same example
+//! sequence produce a bit-identical model — the JSON format encodes
+//! every `f64` as its exact IEEE-754 bit pattern (`"0x3ff0..."`)
+//! precisely so that save → load → save is byte-identical and
+//! predictions cannot drift through a decimal round-trip.
+
+use crate::features::{FEATURE_DIM, FEATURE_NAMES};
+use phelps_telemetry::{parse_json, JsonValue, JsonWriter};
+use std::path::Path;
+
+/// Versioned schema tag embedded in every model file.
+pub const MODEL_SCHEMA: &str = "phelps-proxy-model/1";
+
+/// Minimum training-set size; below this the k-fold error estimate is
+/// meaningless and training refuses to produce a model.
+pub const MIN_EXAMPLES: usize = 8;
+
+/// Boosting rounds per head.
+const BOOST_ROUNDS: usize = 48;
+/// Boosting learning rate (folded into the stored leaf values).
+const BOOST_LR: f64 = 0.3;
+/// Ridge penalty on standardized features.
+const RIDGE_LAMBDA: f64 = 1.0;
+/// Stop boosting when the best split's SSE gain falls below this.
+const MIN_GAIN: f64 = 1e-9;
+
+/// SplitMix64: tiny, seedable, and identical on every platform.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One depth-1 regression tree: `x[feature] <= threshold ? left : right`
+/// (leaf values already scaled by the learning rate).
+#[derive(Clone, Debug, PartialEq)]
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    left: f64,
+    right: f64,
+}
+
+impl Stump {
+    fn predict(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        if x[self.feature] <= self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+}
+
+/// Ridge baseline + boosted stumps over standardized features.
+#[derive(Clone, Debug, PartialEq)]
+struct Regressor {
+    mean: [f64; FEATURE_DIM],
+    scale: [f64; FEATURE_DIM],
+    weights: [f64; FEATURE_DIM],
+    intercept: f64,
+    stumps: Vec<Stump>,
+}
+
+impl Regressor {
+    fn predict(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        let mut y = self.intercept;
+        for (((w, v), m), s) in self.weights.iter().zip(x).zip(&self.mean).zip(&self.scale) {
+            y += w * (v - m) / s;
+        }
+        for s in &self.stumps {
+            y += s.predict(x);
+        }
+        if y.is_finite() {
+            y
+        } else {
+            self.intercept
+        }
+    }
+
+    /// Fits ridge + boosted stumps on `(xs[i], ys[i])` for `i` in `idx`.
+    #[allow(clippy::needless_range_loop)] // matrix assembly reads clearer indexed
+    fn fit(xs: &[[f64; FEATURE_DIM]], ys: &[f64], idx: &[usize]) -> Regressor {
+        let n = idx.len();
+        let nf = n as f64;
+
+        // Standardization over the training subset. A constant feature
+        // gets scale 1.0: its centered value is 0 everywhere, so its
+        // weight is irrelevant but the division stays finite.
+        let mut mean = [0.0; FEATURE_DIM];
+        for &i in idx {
+            for f in 0..FEATURE_DIM {
+                mean[f] += xs[i][f];
+            }
+        }
+        for m in &mut mean {
+            *m /= nf;
+        }
+        let mut scale = [0.0; FEATURE_DIM];
+        for &i in idx {
+            for f in 0..FEATURE_DIM {
+                let d = xs[i][f] - mean[f];
+                scale[f] += d * d;
+            }
+        }
+        for s in &mut scale {
+            *s = (*s / nf).sqrt();
+            if s.is_nan() || *s <= 1e-12 {
+                *s = 1.0;
+            }
+        }
+
+        let intercept = idx.iter().map(|&i| ys[i]).sum::<f64>() / nf;
+
+        // Ridge normal equations on standardized X and centered y:
+        // (Z'Z + lambda*I) w = Z'yc, solved by Gaussian elimination with
+        // partial pivoting (FEATURE_DIM x FEATURE_DIM, tiny).
+        let z = |i: usize, f: usize| (xs[i][f] - mean[f]) / scale[f];
+        let mut a = [[0.0; FEATURE_DIM + 1]; FEATURE_DIM];
+        for &i in idx {
+            let yc = ys[i] - intercept;
+            for r in 0..FEATURE_DIM {
+                let zr = z(i, r);
+                for c in r..FEATURE_DIM {
+                    a[r][c] += zr * z(i, c);
+                }
+                a[r][FEATURE_DIM] += zr * yc;
+            }
+        }
+        for r in 0..FEATURE_DIM {
+            for c in 0..r {
+                a[r][c] = a[c][r];
+            }
+            a[r][r] += RIDGE_LAMBDA;
+        }
+        let mut weights = [0.0; FEATURE_DIM];
+        if solve_in_place(&mut a, &mut weights) {
+            if weights.iter().any(|w| !w.is_finite()) {
+                weights = [0.0; FEATURE_DIM];
+            }
+        } else {
+            weights = [0.0; FEATURE_DIM];
+        }
+
+        let mut reg = Regressor {
+            mean,
+            scale,
+            weights,
+            intercept,
+            stumps: Vec::new(),
+        };
+
+        // Boost stumps on the residuals.
+        let mut resid: Vec<f64> = idx.iter().map(|&i| ys[i] - reg.predict(&xs[i])).collect();
+        for _ in 0..BOOST_ROUNDS {
+            let Some(stump) = best_stump(xs, &resid, idx) else {
+                break;
+            };
+            for (r, &i) in resid.iter_mut().zip(idx) {
+                *r -= stump.predict(&xs[i]);
+            }
+            reg.stumps.push(stump);
+        }
+        reg
+    }
+}
+
+/// Gaussian elimination with partial pivoting on the augmented system
+/// `a` (last column is the RHS); returns false when singular.
+#[allow(clippy::needless_range_loop)] // elimination reads clearer indexed
+fn solve_in_place(
+    a: &mut [[f64; FEATURE_DIM + 1]; FEATURE_DIM],
+    out: &mut [f64; FEATURE_DIM],
+) -> bool {
+    let n = FEATURE_DIM;
+    for col in 0..n {
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return false;
+        }
+        a.swap(col, pivot);
+        for r in col + 1..n {
+            let factor = a[r][col] / a[col][col];
+            for c in col..=n {
+                a[r][c] -= factor * a[col][c];
+            }
+        }
+    }
+    for col in (0..n).rev() {
+        let mut v = a[col][n];
+        for c in col + 1..n {
+            v -= a[col][c] * out[c];
+        }
+        out[col] = v / a[col][col];
+    }
+    true
+}
+
+/// Exhaustive best-SSE-gain depth-1 split over the subset `idx`, with
+/// deterministic tie-breaking: strictly better gain wins, otherwise the
+/// lower feature index, otherwise the lower threshold. Thresholds are
+/// midpoints between consecutive distinct feature values; leaf values
+/// are residual means scaled by the learning rate. Returns `None` when
+/// no split clears [`MIN_GAIN`].
+#[allow(clippy::needless_range_loop)] // `f` indexes a column across two arrays
+fn best_stump(xs: &[[f64; FEATURE_DIM]], resid: &[f64], idx: &[usize]) -> Option<Stump> {
+    let n = idx.len();
+    if n < 2 {
+        return None;
+    }
+    let total: f64 = resid.iter().sum();
+    let mut best: Option<(f64, Stump)> = None;
+    let mut order: Vec<usize> = (0..n).collect();
+    for f in 0..FEATURE_DIM {
+        // Sort subset positions by feature value; positions (stable
+        // within the already-deterministic idx order) break value ties.
+        order.sort_by(|&a, &b| {
+            xs[idx[a]][f]
+                .partial_cmp(&xs[idx[b]][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut left_sum = 0.0;
+        for (k, &p) in order.iter().enumerate().take(n - 1) {
+            left_sum += resid[p];
+            let a = xs[idx[p]][f];
+            let b = xs[idx[order[k + 1]]][f];
+            if a == b {
+                continue; // can't split between equal values
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = (n - k - 1) as f64;
+            let right_sum = total - left_sum;
+            // SSE reduction of a mean-valued two-leaf split.
+            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                - total * total / n as f64;
+            let better = match &best {
+                Some((g, s)) => {
+                    gain > *g + 1e-15
+                        || ((gain - *g).abs() <= 1e-15
+                            && (f, (a + b) / 2.0) < (s.feature, s.threshold))
+                }
+                None => gain > MIN_GAIN,
+            };
+            if better && gain > MIN_GAIN {
+                best = Some((
+                    gain,
+                    Stump {
+                        feature: f,
+                        threshold: (a + b) / 2.0,
+                        left: BOOST_LR * left_sum / left_n,
+                        right: BOOST_LR * right_sum / right_n,
+                    },
+                ));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// One prediction target (IPC or MPKI): the full-data regressor, the
+/// k-fold sub-models behind the uncertainty estimate, the
+/// cross-validated error, and the clamp range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Head {
+    full: Regressor,
+    folds: Vec<Regressor>,
+    /// Mean absolute held-out error across the k folds.
+    pub cv_mae: f64,
+    /// Worst held-out absolute error.
+    pub cv_max: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl Head {
+    /// Predicted value (clamped to the training range, widened) and its
+    /// uncertainty (fold spread floored at the cross-validated MAE).
+    pub fn predict(&self, x: &[f64; FEATURE_DIM]) -> (f64, f64) {
+        let y = self.full.predict(x);
+        let mut spread = 0.0f64;
+        for fold in &self.folds {
+            spread = spread.max((fold.predict(x) - y).abs());
+        }
+        (y.clamp(self.lo, self.hi), spread.max(self.cv_mae))
+    }
+
+    fn train(xs: &[[f64; FEATURE_DIM]], ys: &[f64], fold_of: &[usize], k: usize) -> Head {
+        let all: Vec<usize> = (0..xs.len()).collect();
+        let full = Regressor::fit(xs, ys, &all);
+        let mut folds = Vec::with_capacity(k);
+        let mut abs_errs: Vec<f64> = Vec::with_capacity(xs.len());
+        for fold in 0..k {
+            let train_idx: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| fold_of[i] != fold)
+                .collect();
+            let reg = Regressor::fit(xs, ys, &train_idx);
+            for &i in all.iter().filter(|&&i| fold_of[i] == fold) {
+                abs_errs.push((reg.predict(&xs[i]) - ys[i]).abs());
+            }
+            folds.push(reg);
+        }
+        let cv_mae = abs_errs.iter().sum::<f64>() / abs_errs.len().max(1) as f64;
+        let cv_max = abs_errs.iter().fold(0.0f64, |m, &e| m.max(e));
+        let lo = ys.iter().fold(f64::INFINITY, |m, &y| m.min(y));
+        let hi = ys.iter().fold(0.0f64, |m, &y| m.max(y));
+        Head {
+            full,
+            folds,
+            cv_mae,
+            cv_max,
+            // Clamp to the training range widened by half: targets are
+            // physical rates, so an extrapolation far outside what was
+            // ever measured is a model failure, not a discovery.
+            lo: (lo * 0.5).max(0.0),
+            hi: hi * 1.5 + 1e-9,
+        }
+    }
+}
+
+/// A cell's predicted targets and their uncertainties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Predicted instructions per cycle.
+    pub ipc: f64,
+    /// Predicted mispredicts per kilo-instruction.
+    pub mpki: f64,
+    /// IPC uncertainty (same unit as IPC).
+    pub ipc_uncertainty: f64,
+    /// MPKI uncertainty (same unit as MPKI).
+    pub mpki_uncertainty: f64,
+}
+
+/// The trained proxy: versioned, seeded, and fully deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProxyModel {
+    /// Training seed (fold shuffling).
+    pub seed: u64,
+    /// Fold count used for the error estimate.
+    pub folds: usize,
+    /// Training-set size.
+    pub examples: usize,
+    /// IPC head.
+    pub ipc: Head,
+    /// MPKI head.
+    pub mpki: Head,
+}
+
+impl ProxyModel {
+    /// Trains both heads on parallel slices. Fails below
+    /// [`MIN_EXAMPLES`] or when any input is non-finite.
+    pub fn train(
+        xs: &[[f64; FEATURE_DIM]],
+        ipc_ys: &[f64],
+        mpki_ys: &[f64],
+        seed: u64,
+        folds: usize,
+    ) -> Result<ProxyModel, String> {
+        let n = xs.len();
+        if n < MIN_EXAMPLES {
+            return Err(format!(
+                "need at least {MIN_EXAMPLES} training examples, have {n} \
+                 (run more sweeps into the result cache first)"
+            ));
+        }
+        assert_eq!(ipc_ys.len(), n);
+        assert_eq!(mpki_ys.len(), n);
+        for (i, x) in xs.iter().enumerate() {
+            if x.iter().any(|v| !v.is_finite()) || !ipc_ys[i].is_finite() || !mpki_ys[i].is_finite()
+            {
+                return Err(format!("example {i} contains a non-finite value"));
+            }
+        }
+        let k = folds.clamp(2, n);
+        // Seeded Fisher–Yates permutation of the example indices; fold
+        // of example `perm[p]` is `p % k`. Depends only on (seed, n).
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut fold_of = vec![0usize; n];
+        for (p, &i) in perm.iter().enumerate() {
+            fold_of[i] = p % k;
+        }
+        Ok(ProxyModel {
+            seed,
+            folds: k,
+            examples: n,
+            ipc: Head::train(xs, ipc_ys, &fold_of, k),
+            mpki: Head::train(xs, mpki_ys, &fold_of, k),
+        })
+    }
+
+    /// Predicts both targets for one feature vector. Always finite.
+    pub fn predict(&self, x: &[f64; FEATURE_DIM]) -> Prediction {
+        let (ipc, ipc_u) = self.ipc.predict(x);
+        let (mpki, mpki_u) = self.mpki.predict(x);
+        Prediction {
+            ipc: ipc.max(1e-6),
+            mpki: mpki.max(0.0),
+            ipc_uncertainty: ipc_u,
+            mpki_uncertainty: mpki_u,
+        }
+    }
+
+    /// IPC uncertainty threshold below which a prediction may replace a
+    /// simulation: 1.5x the cross-validated MAE. Cells whose fold
+    /// ensemble disagrees by more than the model's own measured error
+    /// band land on the simulate side of the triage.
+    pub fn tau_ipc(&self) -> f64 {
+        1.5 * self.ipc.cv_mae
+    }
+
+    /// Serializes to the versioned JSON format. Floats are IEEE-754 bit
+    /// patterns in hex strings, so the encoding is exact and the
+    /// round-trip bit-identical.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string(MODEL_SCHEMA);
+        w.key("seed");
+        w.string(&self.seed.to_string());
+        w.key("folds");
+        w.uint(self.folds as u64);
+        w.key("examples");
+        w.uint(self.examples as u64);
+        w.key("feature_names");
+        w.begin_array();
+        for name in FEATURE_NAMES {
+            w.string(name);
+        }
+        w.end_array();
+        w.key("heads");
+        w.begin_object();
+        for (name, head) in [("ipc", &self.ipc), ("mpki", &self.mpki)] {
+            w.key(name);
+            head_to_json(&mut w, head);
+        }
+        w.end_object();
+        w.end_object();
+        let mut text = w.finish();
+        text.push('\n');
+        text
+    }
+
+    /// Parses the versioned JSON format; any structural problem or
+    /// schema mismatch is an error, never a silently-partial model.
+    pub fn from_json(text: &str) -> Result<ProxyModel, String> {
+        let v = parse_json(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?;
+        if schema != MODEL_SCHEMA {
+            return Err(format!(
+                "unsupported model schema {schema:?} (want {MODEL_SCHEMA:?})"
+            ));
+        }
+        let names = v
+            .get("feature_names")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing feature_names")?;
+        if names.len() != FEATURE_DIM {
+            return Err(format!(
+                "model was trained on {} features, this build extracts {FEATURE_DIM}",
+                names.len()
+            ));
+        }
+        let heads = v.get("heads").ok_or("missing heads")?;
+        Ok(ProxyModel {
+            seed: v
+                .get("seed")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or("missing seed")?,
+            folds: v
+                .get("folds")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing folds")? as usize,
+            examples: v
+                .get("examples")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing examples")? as usize,
+            ipc: head_from_json(heads.get("ipc").ok_or("missing ipc head")?)?,
+            mpki: head_from_json(heads.get("mpki").ok_or("missing mpki head")?)?,
+        })
+    }
+
+    /// Writes the model atomically (tmp + rename), creating parents.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Loads and parses a model file.
+    pub fn load(path: &Path) -> Result<ProxyModel, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        ProxyModel::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Exact f64 encoding: the IEEE-754 bit pattern as a hex string.
+fn fbits(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+fn f_from_json(v: &JsonValue) -> Result<f64, String> {
+    let s = v.as_str().ok_or("float field is not a bit string")?;
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("bad float encoding {s:?}"))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad float encoding {s:?}: {e}"))
+}
+
+fn farray_to_json(w: &mut JsonWriter, key: &str, vals: &[f64]) {
+    w.key(key);
+    w.begin_array();
+    for &v in vals {
+        w.string(&fbits(v));
+    }
+    w.end_array();
+}
+
+fn farray_from_json(v: &JsonValue, key: &str) -> Result<[f64; FEATURE_DIM], String> {
+    let arr = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing {key}"))?;
+    if arr.len() != FEATURE_DIM {
+        return Err(format!(
+            "{key} has {} entries, want {FEATURE_DIM}",
+            arr.len()
+        ));
+    }
+    let mut out = [0.0; FEATURE_DIM];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = f_from_json(item)?;
+    }
+    Ok(out)
+}
+
+fn regressor_to_json(w: &mut JsonWriter, r: &Regressor) {
+    w.begin_object();
+    farray_to_json(w, "mean", &r.mean);
+    farray_to_json(w, "scale", &r.scale);
+    farray_to_json(w, "weights", &r.weights);
+    w.key("intercept");
+    w.string(&fbits(r.intercept));
+    w.key("stumps");
+    w.begin_array();
+    for s in &r.stumps {
+        w.begin_object();
+        w.key("f");
+        w.uint(s.feature as u64);
+        w.key("t");
+        w.string(&fbits(s.threshold));
+        w.key("l");
+        w.string(&fbits(s.left));
+        w.key("r");
+        w.string(&fbits(s.right));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn regressor_from_json(v: &JsonValue) -> Result<Regressor, String> {
+    let mut stumps = Vec::new();
+    for s in v
+        .get("stumps")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing stumps")?
+    {
+        let feature = s
+            .get("f")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing stump feature")? as usize;
+        if feature >= FEATURE_DIM {
+            return Err(format!("stump feature {feature} out of range"));
+        }
+        stumps.push(Stump {
+            feature,
+            threshold: f_from_json(s.get("t").ok_or("missing stump threshold")?)?,
+            left: f_from_json(s.get("l").ok_or("missing stump left")?)?,
+            right: f_from_json(s.get("r").ok_or("missing stump right")?)?,
+        });
+    }
+    Ok(Regressor {
+        mean: farray_from_json(v, "mean")?,
+        scale: farray_from_json(v, "scale")?,
+        weights: farray_from_json(v, "weights")?,
+        intercept: f_from_json(v.get("intercept").ok_or("missing intercept")?)?,
+        stumps,
+    })
+}
+
+fn head_to_json(w: &mut JsonWriter, h: &Head) {
+    w.begin_object();
+    for (k, v) in [
+        ("cv_mae", h.cv_mae),
+        ("cv_max", h.cv_max),
+        ("lo", h.lo),
+        ("hi", h.hi),
+    ] {
+        w.key(k);
+        w.string(&fbits(v));
+    }
+    w.key("full");
+    regressor_to_json(w, &h.full);
+    w.key("folds");
+    w.begin_array();
+    for fold in &h.folds {
+        regressor_to_json(w, fold);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn head_from_json(v: &JsonValue) -> Result<Head, String> {
+    let mut folds = Vec::new();
+    for fold in v
+        .get("folds")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing folds")?
+    {
+        folds.push(regressor_from_json(fold)?);
+    }
+    Ok(Head {
+        full: regressor_from_json(v.get("full").ok_or("missing full regressor")?)?,
+        folds,
+        cv_mae: f_from_json(v.get("cv_mae").ok_or("missing cv_mae")?)?,
+        cv_max: f_from_json(v.get("cv_max").ok_or("missing cv_max")?)?,
+        lo: f_from_json(v.get("lo").ok_or("missing lo")?)?,
+        hi: f_from_json(v.get("hi").ok_or("missing hi")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic but structured data: ipc is a noisy-free linear+step
+    /// function of two features, mpki an affine one.
+    fn dataset(n: usize) -> (Vec<[f64; FEATURE_DIM]>, Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ipc = Vec::with_capacity(n);
+        let mut mpki = Vec::with_capacity(n);
+        let mut state = 7u64;
+        for _ in 0..n {
+            let mut x = [0.0; FEATURE_DIM];
+            for slot in x.iter_mut() {
+                *slot = (splitmix64(&mut state) % 1000) as f64 / 500.0;
+            }
+            let step = if x[2] > 1.0 { 0.5 } else { 0.0 };
+            ipc.push(0.8 + 0.6 * x[0] + step);
+            mpki.push(20.0 - 4.0 * x[1]);
+            xs.push(x);
+        }
+        (xs, ipc, mpki)
+    }
+
+    #[test]
+    fn refuses_tiny_datasets() {
+        let (xs, i, m) = dataset(MIN_EXAMPLES - 1);
+        assert!(ProxyModel::train(&xs, &i, &m, 1, 4).is_err());
+    }
+
+    #[test]
+    fn refuses_non_finite_inputs() {
+        let (mut xs, i, m) = dataset(12);
+        xs[3][0] = f64::NAN;
+        assert!(ProxyModel::train(&xs, &i, &m, 1, 4).is_err());
+    }
+
+    #[test]
+    fn learns_structured_targets() {
+        let (xs, i, m) = dataset(64);
+        let model = ProxyModel::train(&xs, &i, &m, 42, 4).unwrap();
+        assert!(model.ipc.cv_mae < 0.15, "ipc cv_mae {}", model.ipc.cv_mae);
+        assert!(model.mpki.cv_mae < 1.5, "mpki cv_mae {}", model.mpki.cv_mae);
+        let p = model.predict(&xs[0]);
+        assert!((p.ipc - i[0]).abs() < 0.3);
+        assert!((p.mpki - m[0]).abs() < 3.0);
+        assert!(
+            p.ipc_uncertainty >= model.ipc.cv_mae,
+            "MAE floors uncertainty"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_and_seed_sensitive() {
+        let (xs, i, m) = dataset(32);
+        let a = ProxyModel::train(&xs, &i, &m, 9, 4).unwrap();
+        let b = ProxyModel::train(&xs, &i, &m, 9, 4).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "bit-identical across runs");
+        let c = ProxyModel::train(&xs, &i, &m, 10, 4).unwrap();
+        assert_ne!(a.to_json(), c.to_json(), "seed changes the folds");
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_identical() {
+        let (xs, i, m) = dataset(24);
+        let model = ProxyModel::train(&xs, &i, &m, 3, 3).unwrap();
+        let text = model.to_json();
+        let back = ProxyModel::from_json(&text).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_width() {
+        assert!(ProxyModel::from_json("{\"schema\":\"other/9\"}").is_err());
+        let (xs, i, m) = dataset(16);
+        let text = ProxyModel::train(&xs, &i, &m, 1, 2).unwrap().to_json();
+        let truncated = text.replace("\"anchor_ipc\",", "");
+        assert!(ProxyModel::from_json(&truncated).is_err());
+    }
+
+    #[test]
+    fn predictions_are_finite_even_for_extreme_inputs() {
+        let (xs, i, m) = dataset(20);
+        let model = ProxyModel::train(&xs, &i, &m, 5, 4).unwrap();
+        for x in [
+            [f64::MAX; FEATURE_DIM],
+            [f64::MIN_POSITIVE; FEATURE_DIM],
+            [-1e300; FEATURE_DIM],
+        ] {
+            let p = model.predict(&x);
+            assert!(p.ipc.is_finite() && p.ipc > 0.0);
+            assert!(p.mpki.is_finite() && p.mpki >= 0.0);
+            assert!(p.ipc_uncertainty.is_finite());
+        }
+    }
+}

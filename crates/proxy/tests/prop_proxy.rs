@@ -1,0 +1,97 @@
+//! Property tests for the proxy math: seeded training is
+//! deterministic, predictions stay finite for arbitrary finite
+//! features, and the model JSON round-trips bit-identically.
+
+use phelps_proxy::{ProxyModel, FEATURE_DIM};
+use proptest::prelude::*;
+
+/// A finite f64 spanning several orders of magnitude, including exact
+/// zeros (constant features) and negatives.
+fn any_finite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 1024.0),
+        (1u64..1 << 40).prop_map(|v| v as f64),
+        (1u64..1 << 40).prop_map(|v| 1.0 / v as f64),
+    ]
+}
+
+fn any_features() -> impl Strategy<Value = [f64; FEATURE_DIM]> {
+    proptest::collection::vec(any_finite(), FEATURE_DIM..FEATURE_DIM + 1)
+        .prop_map(|v| v.try_into().expect("exact length"))
+}
+
+/// A small but trainable dataset: 12..32 examples with bounded,
+/// finite features and physical (non-negative) targets.
+fn any_dataset() -> impl Strategy<Value = (Vec<[f64; FEATURE_DIM]>, Vec<f64>, Vec<f64>)> {
+    (12usize..32, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % 4096
+        };
+        let mut xs = Vec::with_capacity(n);
+        let mut ipc = Vec::with_capacity(n);
+        let mut mpki = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut x = [0.0; FEATURE_DIM];
+            for slot in x.iter_mut() {
+                *slot = next() as f64 / 512.0;
+            }
+            ipc.push(0.1 + x[0] * 0.5 + next() as f64 / 8192.0);
+            mpki.push(x[1] * 3.0 + next() as f64 / 1024.0);
+            xs.push(x);
+        }
+        (xs, ipc, mpki)
+    })
+}
+
+proptest! {
+    #[test]
+    fn training_is_deterministic_under_a_fixed_seed(
+        data in any_dataset(),
+        seed in any::<u64>(),
+    ) {
+        let (xs, ipc, mpki) = data;
+        let a = ProxyModel::train(&xs, &ipc, &mpki, seed, 4).expect("trains");
+        let b = ProxyModel::train(&xs, &ipc, &mpki, seed, 4).expect("trains");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn predictions_are_finite_for_arbitrary_finite_features(
+        data in any_dataset(),
+        probe in any_features(),
+    ) {
+        let (xs, ipc, mpki) = data;
+        let model = ProxyModel::train(&xs, &ipc, &mpki, 7, 4).expect("trains");
+        let p = model.predict(&probe);
+        prop_assert!(p.ipc.is_finite() && p.ipc > 0.0, "ipc {}", p.ipc);
+        prop_assert!(p.mpki.is_finite() && p.mpki >= 0.0, "mpki {}", p.mpki);
+        prop_assert!(p.ipc_uncertainty.is_finite() && p.ipc_uncertainty >= 0.0);
+        prop_assert!(p.mpki_uncertainty.is_finite() && p.mpki_uncertainty >= 0.0);
+    }
+
+    #[test]
+    fn model_json_roundtrips_bit_identically(
+        data in any_dataset(),
+        seed in any::<u64>(),
+        probe in any_features(),
+    ) {
+        let (xs, ipc, mpki) = data;
+        let model = ProxyModel::train(&xs, &ipc, &mpki, seed, 3).expect("trains");
+        let text = model.to_json();
+        let back = ProxyModel::from_json(&text).expect("parses");
+        prop_assert_eq!(&model, &back, "structural equality");
+        prop_assert_eq!(&text, &back.to_json(), "byte-identical re-encoding");
+        // Bit-identical models make bit-identical predictions.
+        let (a, b) = (model.predict(&probe), back.predict(&probe));
+        prop_assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+        prop_assert_eq!(a.mpki.to_bits(), b.mpki.to_bits());
+        prop_assert_eq!(a.ipc_uncertainty.to_bits(), b.ipc_uncertainty.to_bits());
+    }
+}

@@ -13,7 +13,13 @@
 //!    live stream to the shared result.
 //! 3. **cached** — the shared on-disk result cache (the same files the
 //!    batch runner reads/writes) already holds the cell.
-//! 4. **fresh** — the cell is pushed onto the bounded submission queue;
+//! 4. **predicted** — with a proxy model loaded (`PHELPS_PROXY`), a
+//!    non-baseline cell whose baseline *anchor* is already known (in
+//!    session memory or the disk cache) and whose prediction clears the
+//!    model's confidence gate answers immediately with synthesized
+//!    counters (`"dedup":"predicted"`); predicted results never enter
+//!    the cache or session memory.
+//! 5. **fresh** — the cell is pushed onto the bounded submission queue;
 //!    a full queue answers `busy` instead of stalling the accept loop.
 //!
 //! Workers pop the queue and execute through the same
@@ -38,7 +44,7 @@ use crate::codec::{self, FrameReader};
 use crate::protocol::{
     encode_response, parse_mode, parse_request, Dedup, Request, Response, ServerStats, Submit,
 };
-use phelps::sim::RunConfig;
+use phelps::sim::{Mode, RunConfig, SimResult};
 use phelps_bench::ckpt_support::CkptPolicy;
 use phelps_bench::exec::{execute_cell_prepared, CellOutcome, CellRequest, ExecPolicy};
 use phelps_bench::runner::cache;
@@ -73,6 +79,8 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// Completed jobs kept in session memory for epoch replay.
     pub session_capacity: usize,
+    /// Proxy model for the predicted fast path; `None` disables it.
+    pub proxy_model: Option<PathBuf>,
     /// Suppress the listening/shutdown log lines.
     pub quiet: bool,
 }
@@ -86,6 +94,7 @@ impl Default for ServeConfig {
             cache_dir: default_cache_dir(),
             retry_after_ms: 100,
             session_capacity: 256,
+            proxy_model: default_proxy_model(),
             quiet: false,
         }
     }
@@ -105,6 +114,16 @@ pub fn default_cache_dir() -> Option<PathBuf> {
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("results/cache")),
     )
+}
+
+/// The batch runner's proxy policy, shared verbatim: a predicted fast
+/// path only when `PHELPS_PROXY` asks for one (`triage`/`strict`), with
+/// the model at `PHELPS_PROXY_MODEL` (default `results/proxy/model.json`).
+pub fn default_proxy_model() -> Option<PathBuf> {
+    match phelps_bench::proxy_mode() {
+        phelps_bench::ProxyMode::Off => None,
+        _ => Some(phelps_bench::proxy_model_path()),
+    }
 }
 
 /// What the daemon reports after a clean shutdown.
@@ -204,8 +223,11 @@ struct Shared {
     dedup_in_flight: AtomicU64,
     session_hits: AtomicU64,
     disk_hits: AtomicU64,
+    proxy_predicted: AtomicU64,
     busy_rejections: AtomicU64,
     malformed: AtomicU64,
+    /// Proxy model for the predicted fast path, loaded once at startup.
+    proxy: Option<phelps_proxy::ProxyModel>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -214,9 +236,20 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 
 impl Shared {
     fn new(cfg: ServeConfig, addr: SocketAddr) -> Shared {
+        let proxy =
+            cfg.proxy_model.as_deref().and_then(|path| {
+                match phelps_proxy::ProxyModel::load(path) {
+                    Ok(m) => Some(m),
+                    Err(e) => {
+                        eprintln!("warning: proxy fast path disabled: {e}");
+                        None
+                    }
+                }
+            });
         Shared {
             cfg,
             addr,
+            proxy,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             jobs: Mutex::new(JobTable::default()),
@@ -226,6 +259,7 @@ impl Shared {
             dedup_in_flight: AtomicU64::new(0),
             session_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            proxy_predicted: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
         }
@@ -258,6 +292,7 @@ impl Shared {
             dedup_in_flight: self.dedup_in_flight.load(Ordering::SeqCst),
             session_hits: self.session_hits.load(Ordering::SeqCst),
             disk_hits: self.disk_hits.load(Ordering::SeqCst),
+            proxy_predicted: self.proxy_predicted.load(Ordering::SeqCst),
             busy_rejections: self.busy_rejections.load(Ordering::SeqCst),
             malformed: self.malformed.load(Ordering::SeqCst),
             queue_depth,
@@ -534,6 +569,17 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
                     return;
                 }
             }
+            if let Some(result) = proxy_predict(shared, &jobs, &sub, &run_cfg, &request.key, shards)
+            {
+                shared.proxy_predicted.fetch_add(1, Ordering::SeqCst);
+                send(&accepted);
+                send(&Response::Result {
+                    id: sub.id,
+                    dedup: Dedup::Predicted,
+                    result: Box::new(result),
+                });
+                return;
+            }
             // Fresh cell: admit it only if the bounded queue has room.
             // The job-table entry is created under the same `jobs` lock
             // that workers take to publish epochs/results, so a worker
@@ -571,6 +617,69 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
             send(&accepted);
         }
     }
+}
+
+/// The proxy fast path: predicts a non-baseline cell from its baseline
+/// anchor's measured counters, mirroring the batch runner's triage.
+/// Returns `None` — falling through to fresh simulation — unless a
+/// model is loaded, an anchor measurement already exists (session
+/// memory or the disk cache), and the prediction clears the model's
+/// confidence gate (IPC uncertainty within `tau`). Predicted results
+/// are estimates: they are never cached, never stored in session
+/// memory, and stream no epoch frames.
+fn proxy_predict(
+    shared: &Shared,
+    jobs: &JobTable,
+    sub: &Submit,
+    run_cfg: &RunConfig,
+    key: &str,
+    shards: usize,
+) -> Option<SimResult> {
+    let model = shared.proxy.as_ref()?;
+    if sub.mode == "baseline" {
+        return None; // anchors always simulate for real
+    }
+    // The anchor is the baseline cell of the same workload, region, and
+    // shard decomposition, fingerprinted exactly as a submission would be.
+    let anchor_cfg = RunConfig::quick(Mode::Baseline, run_cfg.max_mt_insts, run_cfg.epoch_len);
+    let anchor_key = if shards > 1 {
+        format!("{anchor_cfg:?}|shards={shards}")
+    } else {
+        format!("{anchor_cfg:?}")
+    };
+    let anchor_fp = CellRequest {
+        experiment: "serve".to_string(),
+        workload: sub.workload.clone(),
+        config: "baseline".to_string(),
+        key: anchor_key,
+    }
+    .fingerprint();
+    let anchor = match jobs.entries.get(&anchor_fp) {
+        Some(JobEntry::Done(rec)) => Some(rec.result.clone()),
+        _ => shared
+            .cfg
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| cache::load(dir, &anchor_fp)),
+    }?;
+    if anchor.stats.cycles == 0 || anchor.stats.mt_retired == 0 {
+        return None;
+    }
+    let x =
+        phelps_proxy::feature_vector(&phelps_proxy::anchor_slots_from_stats(&anchor.stats), key);
+    let p = model.predict(&x);
+    if !p.ipc.is_finite() || !p.mpki.is_finite() || p.ipc_uncertainty > model.tau_ipc() {
+        return None;
+    }
+    let mut breakdown = phelps::classify::MispredictBreakdown::new();
+    breakdown.retired = anchor.breakdown.retired;
+    Some(SimResult {
+        stats: phelps_proxy::synthesize_stats(&anchor.stats, p.ipc, p.mpki),
+        breakdown,
+        telemetry: None,
+        retire_log: None,
+        final_state: None,
+    })
 }
 
 /// Worker: pop → execute → publish, until shutdown *and* an empty queue

@@ -139,6 +139,7 @@ fn control_responses_round_trip() {
         dedup_in_flight: 5,
         session_hits: 7,
         disk_hits: 1,
+        proxy_predicted: 6,
         busy_rejections: 2,
         malformed: 3,
         queue_depth: 1,
@@ -222,6 +223,7 @@ fn mode_vocabulary_is_complete() {
         Dedup::InFlight,
         Dedup::Session,
         Dedup::Cached,
+        Dedup::Predicted,
     ] {
         assert_eq!(Dedup::parse(d.label()), Some(d));
     }

@@ -40,7 +40,10 @@ mod json;
 mod report;
 
 pub use json::{parse as parse_json, JsonValue, JsonWriter};
-pub use report::{EpochSample, EventRecord, GaugeSummary, HistSummary, Report};
+pub use report::{
+    EpochSample, EventRecord, GaugeSummary, HistSummary, Report, EPOCH_FEATURES,
+    EPOCH_FEATURE_NAMES,
+};
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;

@@ -134,10 +134,72 @@ impl Default for Report {
     }
 }
 
+/// Number of per-epoch feature columns produced by
+/// [`Report::epoch_feature_rows`].
+pub const EPOCH_FEATURES: usize = 6;
+
+/// Column names of [`Report::epoch_feature_rows`], in order. The first
+/// six telemetry slots of the `phelps-proxy` feature vector use the
+/// same definitions, so a prefix of the epoch series and a whole-run
+/// stats bundle feed the same model.
+pub const EPOCH_FEATURE_NAMES: [&str; EPOCH_FEATURES] = [
+    "ipc",
+    "mpki",
+    "triggers_pki",
+    "pred_hits_pki",
+    "mem_pki",
+    "ifetch_stall_frac",
+];
+
 impl Report {
     /// Total for one counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters[c as usize]
+    }
+
+    /// The epoch series as fixed-width numeric feature rows (one row per
+    /// epoch, columns per [`EPOCH_FEATURE_NAMES`]): IPC, MPKI, triggers
+    /// and timely queue hits per kilo-instruction, memory (DRAM)
+    /// accesses per kilo-instruction, and the fraction of the epoch's
+    /// cycles fetch spent stalled on L1-I misses.
+    ///
+    /// Rates are recomputed from the epoch's raw counts (never taken
+    /// from the stored `ipc`/`mpki` fields), and every division is
+    /// guarded: an epoch with zero retired instructions or zero cycles
+    /// contributes 0.0 in the affected columns instead of NaN/inf, so a
+    /// feature extractor can consume any report — including partial or
+    /// degenerate runs — without dividing by zero.
+    pub fn epoch_feature_rows(&self) -> Vec<[f64; EPOCH_FEATURES]> {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let per_kilo = |n: u64| {
+                    if e.retired == 0 {
+                        0.0
+                    } else {
+                        1000.0 * n as f64 / e.retired as f64
+                    }
+                };
+                let ipc = if e.cycles == 0 {
+                    0.0
+                } else {
+                    e.retired as f64 / e.cycles as f64
+                };
+                let stall_frac = if e.cycles == 0 {
+                    0.0
+                } else {
+                    e.ifetch_stalls as f64 / e.cycles as f64
+                };
+                [
+                    ipc,
+                    per_kilo(e.mispredicts),
+                    per_kilo(e.triggers),
+                    per_kilo(e.pred_hits),
+                    per_kilo(e.dram_accesses),
+                    stall_frac,
+                ]
+            })
+            .collect()
     }
 
     /// Folds a later shard's report into this one, stitching two runs
@@ -482,5 +544,76 @@ mod tests {
         assert_eq!(rep.event_count(EventKind::Trigger), 1);
         assert_eq!(rep.event_count(EventKind::EpochEnd), 3);
         assert_eq!(rep.event_count(EventKind::Mispredict), 0);
+    }
+
+    #[test]
+    fn epoch_feature_rows_empty_series() {
+        let rep = Report::default();
+        assert!(rep.epoch_feature_rows().is_empty());
+    }
+
+    #[test]
+    fn epoch_feature_rows_single_epoch() {
+        let mut rep = Report::default();
+        rep.epochs.push(EpochSample {
+            epoch: 0,
+            end_cycle: 500,
+            cycles: 500,
+            retired: 1000,
+            ipc: 0.0, // stored fields are deliberately ignored
+            mispredicts: 20,
+            mpki: 0.0,
+            triggers: 4,
+            pred_hits: 10,
+            dram_accesses: 6,
+            ifetch_stalls: 50,
+            avg_rob: 0.0,
+            avg_pred_queue: 0.0,
+        });
+        let rows = rep.epoch_feature_rows();
+        assert_eq!(rows.len(), 1);
+        let r = rows[0];
+        assert!((r[0] - 2.0).abs() < 1e-12, "ipc = retired/cycles");
+        assert!((r[1] - 20.0).abs() < 1e-12, "mpki");
+        assert!((r[2] - 4.0).abs() < 1e-12, "triggers_pki");
+        assert!((r[3] - 10.0).abs() < 1e-12, "pred_hits_pki");
+        assert!((r[4] - 6.0).abs() < 1e-12, "mem_pki");
+        assert!((r[5] - 0.1).abs() < 1e-12, "ifetch_stall_frac");
+    }
+
+    #[test]
+    fn epoch_feature_rows_zero_cycle_and_zero_retired_epochs_are_finite() {
+        let mut rep = Report::default();
+        let degenerate = EpochSample {
+            epoch: 0,
+            end_cycle: 0,
+            cycles: 0,
+            retired: 0,
+            ipc: f64::NAN,
+            mispredicts: 7,
+            mpki: f64::INFINITY,
+            triggers: 1,
+            pred_hits: 1,
+            dram_accesses: 1,
+            ifetch_stalls: 1,
+            avg_rob: 0.0,
+            avg_pred_queue: 0.0,
+        };
+        rep.epochs.push(degenerate.clone());
+        rep.epochs.push(EpochSample {
+            epoch: 1,
+            cycles: 100,
+            retired: 0, // zero retired but nonzero cycles
+            ..degenerate
+        });
+        for row in rep.epoch_feature_rows() {
+            for (i, v) in row.iter().enumerate() {
+                assert!(v.is_finite(), "column {i} not finite: {v}");
+            }
+        }
+        let rows = rep.epoch_feature_rows();
+        assert_eq!(rows[0], [0.0; EPOCH_FEATURES]);
+        // Second epoch: rates over retired are 0, stall fraction is real.
+        assert!((rows[1][5] - 0.01).abs() < 1e-12);
     }
 }

@@ -51,6 +51,41 @@ case $smoke_out in
 *) echo "ci.sh: warm runner smoke run missed the cache" >&2; exit 1 ;;
 esac
 
+echo "==> proxy smoke test (train on cached sweeps, gate MAE, triage fig11)"
+cargo build --release -q -p phelps-bench --bin fig12b
+cargo build --release -q -p phelps-proxy --bin phelps-proxy
+proxy_cache=$(mktemp -d)
+proxy_cold=$(mktemp -d)
+PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$proxy_cache" ./target/release/fig11 >/dev/null
+PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$proxy_cache" ./target/release/fig12b >/dev/null
+# The 0.05 IPC bound is ~2x the cross-validated MAE this matrix trains
+# to (see DESIGN.md section 13) — slack for workload drift, hard fail
+# for a broken feature extractor or regressor.
+./target/release/phelps-proxy train --cache-dir="$proxy_cache" \
+    --out="$proxy_cache/model.json" --max-mae=0.05
+triage_out=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$proxy_cold" PHELPS_PROXY=triage \
+    PHELPS_PROXY_MODEL="$proxy_cache/model.json" \
+    ./target/release/fig11 | grep -E '^\[(runner|proxy)\]')
+echo "$triage_out" | sed 's/^/    /'
+echo "$triage_out" | grep -q 'cells=7 hits=0 simulated=3' || {
+    echo "ci.sh: triage run did not simulate <=50% of the fig11 matrix" >&2
+    exit 1; }
+echo "$triage_out" | grep -q '^\[proxy\] fig11: mode=triage' || {
+    echo "ci.sh: triage run printed no [proxy] summary" >&2; exit 1; }
+# PHELPS_PROXY=off must leave figure output byte-identical to an unset
+# environment (warm cache, so both runs are pure table rendering).
+off_a=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$proxy_cache" ./target/release/fig11)
+off_b=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$proxy_cache" PHELPS_PROXY=off \
+    PHELPS_PROXY_MODEL="$proxy_cache/model.json" ./target/release/fig11)
+[ "$off_a" = "$off_b" ] || {
+    echo "ci.sh: PHELPS_PROXY=off changed figure output" >&2; exit 1; }
+rm -rf "$proxy_cache" "$proxy_cold"
+
 echo "==> serve smoke test (daemon on ephemeral port: stream, dedup, drain)"
 cargo build --release -q -p phelps-serve --bin phelps-serve
 serve_cache=$(mktemp -d)
@@ -100,7 +135,7 @@ committed_schema=$(sed -n 's/.*"schema":"\([^"]*\)".*/\1/p' BENCH_perf.json | he
 prev_perf=$(mktemp)
 cp BENCH_perf.json "$prev_perf"
 PHELPS_REGION=200000 PHELPS_EPOCH=50000 ./target/release/perf --out=BENCH_perf.json
-grep -q '"schema":"phelps-bench-perf/2"' BENCH_perf.json || {
+grep -q '"schema":"phelps-bench-perf/3"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json missing or malformed" >&2; exit 1; }
 fresh_schema=$(sed -n 's/.*"schema":"\([^"]*\)".*/\1/p' BENCH_perf.json | head -n 1)
 [ "$committed_schema" = "$fresh_schema" ] || {
