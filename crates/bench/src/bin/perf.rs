@@ -9,9 +9,11 @@
 //! SPEC idiom (mcf) — under the three headline engines (baseline,
 //! Phelps, Branch Runahead), plus one checkpoint-sharded baseline run
 //! (`shards=4` on 4 workers) so the wall-clock payoff of splitting a
-//! single run is tracked PR-to-PR against its unsharded sibling.
+//! single run is tracked PR-to-PR against its unsharded sibling, and one
+//! two-tenant co-run cell (bfs vs. the uniform-graph neighbor) tracking
+//! the shared-uncore engine's throughput.
 
-use phelps::sim::{Mode, PhelpsFeatures, RunConfig, SimResult};
+use phelps::sim::{simulate_corun_pair, Mode, PhelpsFeatures, RunConfig, SimResult};
 use phelps_bench::runner::Experiment;
 use phelps_bench::shard::run_sharded_with;
 use phelps_bench::{ckpt_support, exp_config, print_table, run, run_br, ProxyMode};
@@ -212,12 +214,41 @@ fn main() {
         }
     }
 
+    // Co-run cell: the two-tenant shared-uncore engine stepping bfs
+    // against the uniform-graph neighbor, both baseline. The MIPS
+    // numerator counts both tenants' retired instructions (the engine
+    // simulates two cores per wall-clock second), and the cycle count is
+    // the pair's makespan. Keyed (bfs, corun, 1) in the drift check.
+    {
+        let cfg = exp_config(Mode::Baseline);
+        let peer_cfg = exp_config(Mode::Baseline);
+        let cpu = workload("bfs");
+        let peer = suite::uniform_bfs(suite::GAP_VERTICES, 0xc0417).cpu;
+        let t0 = Instant::now();
+        let [primary, neighbor] = simulate_corun_pair(cpu, &cfg, peer, &peer_cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let insts = primary.stats.mt_retired + neighbor.stats.mt_retired;
+        cells.push(Cell {
+            workload: "bfs".to_string(),
+            mode: "corun".to_string(),
+            shards: 1,
+            insts,
+            cycles: primary.stats.cycles.max(neighbor.stats.cycles),
+            wall_ms: secs * 1e3,
+            mips: if secs > 0.0 {
+                insts as f64 / 1e6 / secs
+            } else {
+                0.0
+            },
+        });
+    }
+
     let proxy = triage_cell();
 
     let mut json = phelps_telemetry::JsonWriter::new();
     json.begin_object();
     json.key("schema");
-    json.string("phelps-bench-perf/3");
+    json.string("phelps-bench-perf/4");
     json.key("region");
     json.uint(phelps_bench::region_len());
     json.key("epoch");

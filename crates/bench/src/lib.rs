@@ -48,14 +48,30 @@ use phelps_isa::{Cpu, EmuError};
 use phelps_runahead::{simulate_runahead, BrVariant};
 use phelps_uarch::config::CoreConfig;
 
-/// Parses `name` as u64, warning (once per read) when the variable is
+/// Emits `warning: <msg>` once per process per environment-variable
+/// name — the `PHELPS_PROXY` convention generalized, so a bad value in a
+/// variable consulted many times per run (e.g. `PHELPS_SHARDS` per cell)
+/// does not spam the log.
+fn warn_env_once(name: &'static str, msg: std::fmt::Arguments<'_>) {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static WARNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    if WARNED.lock().map(|mut s| s.insert(name)).unwrap_or(false) {
+        eprintln!("warning: {msg}");
+    }
+}
+
+/// Parses `name` as u64, warning (once per process) when the variable is
 /// set but unparsable instead of silently using the default.
-fn env_u64(name: &str, default: u64) -> u64 {
+fn env_u64(name: &'static str, default: u64) -> u64 {
     match std::env::var(name) {
         Ok(v) => match v.trim().parse() {
             Ok(n) => n,
             Err(_) => {
-                eprintln!("warning: ignoring unparsable {name}={v:?}; using default {default}");
+                warn_env_once(
+                    name,
+                    format_args!("ignoring unparsable {name}={v:?}; using default {default}"),
+                );
                 default
             }
         },
@@ -131,18 +147,31 @@ pub fn proxy_model_path() -> std::path::PathBuf {
 /// and the shard pool ([`shard`], [`run_simpoints`]); it is pure
 /// execution parallelism and never changes any result byte.
 pub fn resolved_jobs() -> usize {
-    match std::env::var("PHELPS_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
-        Some(n) if n >= 1 => n,
-        Some(_) => {
-            eprintln!("warning: PHELPS_JOBS must be >= 1; using 1");
-            1
-        }
-        None => std::thread::available_parallelism()
+    let default = || {
+        std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+            .unwrap_or(1)
+    };
+    match std::env::var("PHELPS_JOBS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            Ok(_) => {
+                warn_env_once(
+                    "PHELPS_JOBS",
+                    format_args!("PHELPS_JOBS must be >= 1; using 1"),
+                );
+                1
+            }
+            Err(_) => {
+                let d = default();
+                warn_env_once(
+                    "PHELPS_JOBS",
+                    format_args!("ignoring unparsable PHELPS_JOBS={v:?}; using default {d}"),
+                );
+                d
+            }
+        },
+        Err(_) => default(),
     }
 }
 

@@ -25,7 +25,7 @@ pub mod cache;
 
 use crate::exec::{execute_cell_prepared, CellRequest, ExecPolicy};
 use crate::{exp_config, trace};
-use phelps::sim::{simulate, Mode, RunConfig, SimResult};
+use phelps::sim::{simulate, simulate_corun_pair, Mode, RunConfig, SimResult};
 use phelps_isa::Cpu;
 use phelps_runahead::{simulate_runahead, BrVariant};
 use phelps_telemetry as tlm;
@@ -352,6 +352,34 @@ impl Experiment {
                 Some(simulate(make(), &cfg))
             });
         }
+    }
+
+    /// Adds a co-run cell: `make()` under `cfg` co-scheduled against a
+    /// contending `peer` workload (tenant 1, `make_peer()` under
+    /// `peer_cfg`) on one shared uncore via
+    /// [`phelps::sim::simulate_corun_pair`]. The cell's result is the
+    /// primary tenant's co-run outcome with its attributed share of the
+    /// uncore contention; pair it with a plain solo cell of the same
+    /// (workload, cfg) to read off the interference. The cache key gains
+    /// a `|corun=<peer>` suffix (plus the peer's full config) — a
+    /// different neighbor is a different machine, while the solo cell's
+    /// key stays untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn corun_cell(
+        &mut self,
+        workload: &str,
+        config: &str,
+        cfg: RunConfig,
+        make: impl FnOnce() -> Cpu + Send + 'static,
+        peer: &str,
+        peer_cfg: RunConfig,
+        make_peer: impl FnOnce() -> Cpu + Send + 'static,
+    ) {
+        let key = format!("{cfg:?}|peer={peer_cfg:?}|corun={peer}");
+        self.cell(workload, config, key, move || {
+            let [primary, _] = simulate_corun_pair(make(), &cfg, make_peer(), &peer_cfg);
+            Some(primary)
+        });
     }
 
     /// Adds a Branch Runahead cell.

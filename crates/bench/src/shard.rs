@@ -39,7 +39,10 @@ use phelps_telemetry as tlm;
 pub fn shard_count() -> usize {
     match crate::env_u64("PHELPS_SHARDS", 1) {
         0 => {
-            eprintln!("warning: PHELPS_SHARDS must be >= 1; using 1");
+            crate::warn_env_once(
+                "PHELPS_SHARDS",
+                format_args!("PHELPS_SHARDS must be >= 1; using 1"),
+            );
             1
         }
         n => usize::try_from(n).unwrap_or(usize::MAX),

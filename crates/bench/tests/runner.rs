@@ -8,7 +8,7 @@
 //! process. The `PHELPS_NO_CACHE` environment path is covered by the
 //! separate `runner_env` test binary (its own process).
 
-use phelps::sim::{Mode, PhelpsFeatures, RunConfig};
+use phelps::sim::{simulate_corun_pair, Mode, PhelpsFeatures, RunConfig};
 use phelps_bench::runner::{Experiment, MatrixResults};
 use phelps_uarch::config::CoreConfig;
 use phelps_workloads::suite;
@@ -94,6 +94,63 @@ fn parallel_run_matches_sequential() {
         );
         assert_eq!(ta.label, format!("{}/{}", a.workload, a.config));
     }
+}
+
+/// Co-run determinism across worker counts: the two-tenant shared-uncore
+/// engine, driven through the runner's worker pool, produces
+/// byte-identical per-tenant stats whether the cells run sequentially or
+/// on four workers. One cell per tenant of the same (bfs, astar) pair,
+/// plus a `corun_cell` for the primary-tenant path the figure binaries
+/// use.
+#[test]
+fn corun_results_are_identical_across_worker_counts() {
+    clean_env();
+    let corun_matrix = |jobs: usize| {
+        let mut exp = Experiment::new("runner-test")
+            .jobs(jobs)
+            .cache_dir(None)
+            .quiet(true);
+        for (config, tenant) in [("pair-t0", 0usize), ("pair-t1", 1usize)] {
+            let cfg0 = tiny_cfg(Mode::Baseline);
+            let cfg1 = tiny_cfg(Mode::Baseline);
+            let key = format!("{cfg0:?}|peer={cfg1:?}|corun=astar|tenant={tenant}");
+            exp.cell("bfs", config, key, move || {
+                let pair = simulate_corun_pair(suite::bfs().cpu, &cfg0, suite::astar().cpu, &cfg1);
+                let [t0, t1] = pair;
+                Some(if tenant == 0 { t0 } else { t1 })
+            });
+        }
+        exp.corun_cell(
+            "bfs",
+            "phelps-corun",
+            tiny_cfg(Mode::Phelps(PhelpsFeatures::full())),
+            || suite::bfs().cpu,
+            "astar",
+            tiny_cfg(Mode::Baseline),
+            || suite::astar().cpu,
+        );
+        exp.run()
+    };
+    let seq = corun_matrix(1);
+    let par = corun_matrix(4);
+    assert_eq!(seq.cells.len(), 3);
+    for (a, b) in seq.cells.iter().zip(&par.cells) {
+        assert_eq!((&a.workload, &a.config), (&b.workload, &b.config));
+        assert_eq!(
+            format!("{:?}", a.result.as_ref().expect("jobs=1 cell ran").stats),
+            format!("{:?}", b.result.as_ref().expect("jobs=4 cell ran").stats),
+            "per-tenant co-run stats differ across worker counts for {}/{}",
+            a.workload,
+            a.config
+        );
+    }
+    // The shared uncore really coupled the tenants: the primary tenant
+    // saw nonzero shared-tier contention.
+    let t0 = seq.get("bfs", "pair-t0").expect("tenant 0 cell");
+    assert!(
+        t0.stats.l2_port_stalls + t0.stats.l3_port_stalls + t0.stats.dram_queue_stalls > 0,
+        "contended pair must attribute shared-uncore stalls to tenant 0"
+    );
 }
 
 #[test]

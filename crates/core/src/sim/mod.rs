@@ -8,6 +8,11 @@
 //! The Branch Runahead baseline lives in the `phelps-runahead` crate and
 //! plugs into the same pipeline through [`PreExecEngine`] via
 //! [`simulate_with_engine`].
+//!
+//! [`simulate_corun`] co-schedules two workloads onto two cores sharing
+//! one uncore (L2/L3 + ports + DRAM queue), interleaved cycle-by-cycle
+//! with deterministic tenant-id arbitration, and reports per-tenant
+//! results plus an interference summary against each tenant's solo run.
 
 mod phelps_engine;
 mod pipeline;
@@ -21,6 +26,7 @@ pub use types::{
 };
 
 use phelps_isa::{Cpu, ExecRecord};
+use phelps_uarch::mem::Uncore;
 
 /// Runs `cpu` (program + initialized memory/registers) to completion under
 /// `cfg` and returns the statistics bundle.
@@ -112,6 +118,131 @@ pub fn simulate_with_engine<E: PreExecEngine>(cpu: Cpu, cfg: &RunConfig, engine:
         cfg.max_mt_insts,
     )
     .run()
+}
+
+/// How one co-running tenant fared against its own solo run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantInterference {
+    /// IPC of the same (cpu, config) run alone on the machine.
+    pub solo_ipc: f64,
+    /// IPC under the co-running neighbor.
+    pub corun_ipc: f64,
+    /// `solo_ipc / corun_ipc`: 1.0 = no interference, above 1.0 = the
+    /// neighbor cost this tenant throughput.
+    pub slowdown: f64,
+    /// Shared (L2 + L3) port admission delay charged to this tenant.
+    pub shared_port_stalls: u64,
+    /// DRAM-queue admission delay charged to this tenant.
+    pub dram_queue_stalls: u64,
+    /// DRAM accesses issued by this tenant.
+    pub dram_accesses: u64,
+}
+
+/// Result bundle of [`simulate_corun`].
+#[derive(Debug)]
+pub struct CorunOutcome {
+    /// Per-tenant co-run results. Shared-level fields of each tenant's
+    /// [`phelps_uarch::stats::SimStats`] (L2/L3 misses, shared port and
+    /// DRAM-queue stalls, prefetches) hold that tenant's attributed
+    /// share, so summing the two tenants reproduces the machine totals.
+    pub tenants: [SimResult; 2],
+    /// Each tenant's solo run of the identical (cpu, config), for the
+    /// interference baseline.
+    pub solo: [SimResult; 2],
+    /// Per-tenant interference summary (co-run vs. solo).
+    pub interference: [TenantInterference; 2],
+}
+
+/// Co-runs two workloads on two cores sharing one uncore built from
+/// `cfg0.core` (tenant 0's shared-tier geometry; co-run pairs normally
+/// share a [`phelps_uarch::config::CoreConfig`]).
+///
+/// The driver interleaves the two pipelines cycle-by-cycle in fixed
+/// tenant-id order, swapping the communal [`Uncore`] into each core
+/// around its step — tenant 0 always claims same-cycle shared-port and
+/// DRAM-queue slots first, so arbitration (and the whole co-run) is
+/// deterministic: no host threading, timing, or worker count can change
+/// the outcome. When one tenant finishes, the other keeps running alone.
+///
+/// Each tenant's solo run executes first on its own private uncore; the
+/// returned [`CorunOutcome::interference`] compares the two. Telemetry is
+/// machine-wide under co-run (both cores tick one thread-local registry)
+/// and is harvested into tenant 0's result; the tenant-split counters
+/// (`shared_port_stalls_t0/t1`, `dram_queue_stalls_t0/t1`) carry the
+/// per-tenant attribution there.
+pub fn simulate_corun(cpu0: Cpu, cfg0: &RunConfig, cpu1: Cpu, cfg1: &RunConfig) -> CorunOutcome {
+    let solo = [simulate(cpu0.clone(), cfg0), simulate(cpu1.clone(), cfg1)];
+    let tenants = simulate_corun_pair(cpu0, cfg0, cpu1, cfg1);
+    let interference = std::array::from_fn(|t| {
+        let s = &tenants[t].stats;
+        let solo_ipc = solo[t].stats.ipc();
+        let corun_ipc = s.ipc();
+        TenantInterference {
+            solo_ipc,
+            corun_ipc,
+            slowdown: if corun_ipc > 0.0 {
+                solo_ipc / corun_ipc
+            } else {
+                f64::INFINITY
+            },
+            shared_port_stalls: s.l2_port_stalls + s.l3_port_stalls,
+            dram_queue_stalls: s.dram_queue_stalls,
+            // Every shared-tier L3 miss goes to DRAM, so the attributed
+            // L3-miss count is this tenant's DRAM traffic.
+            dram_accesses: s.l3_misses,
+        }
+    });
+    CorunOutcome {
+        tenants,
+        solo,
+        interference,
+    }
+}
+
+/// The co-run core of [`simulate_corun`]: interleaves the two pipelines
+/// against one communal uncore and returns the per-tenant results (with
+/// per-tenant attributed shared-level stats), without running the solo
+/// baselines. Batch harnesses use this directly and obtain solo numbers
+/// from their own (cached) solo cells.
+pub fn simulate_corun_pair(
+    cpu0: Cpu,
+    cfg0: &RunConfig,
+    cpu1: Cpu,
+    cfg1: &RunConfig,
+) -> [SimResult; 2] {
+    let mut uncore = Uncore::new(&cfg0.core);
+    let mut p0 = build_pipeline(cpu0, cfg0);
+    let mut p1 = build_pipeline(cpu1, cfg1);
+    p0.set_tenant(0);
+    p1.set_tenant(1);
+    let bound = p0.cycle_bound().max(p1.cycle_bound());
+    let mut outer = 0u64;
+    while (!p0.finished() || !p1.finished()) && outer < bound {
+        // Fixed tenant-id order within the cycle = deterministic
+        // same-cycle arbitration at every shared port.
+        if !p0.finished() {
+            p0.step_shared(&mut uncore);
+        }
+        if !p1.finished() {
+            p1.step_shared(&mut uncore);
+        }
+        outer += 1;
+    }
+    let mut tenants = [p0.finalize(), p1.finalize()];
+    for (t, r) in tenants.iter_mut().enumerate() {
+        // The cores' owned uncores sat idle behind the swap, so the
+        // shared-level stats flushed as zero; fill in each tenant's
+        // attributed share from the communal uncore. Prefetches add onto
+        // the core-private (L1-targeted) count the flush did capture.
+        let ts = uncore.tenant_stats(t);
+        r.stats.l2_misses = ts.l2_misses;
+        r.stats.l3_misses = ts.l3_misses;
+        r.stats.l2_port_stalls = ts.l2_port_stalls;
+        r.stats.l3_port_stalls = ts.l3_port_stalls;
+        r.stats.dram_queue_stalls = ts.dram_queue_stalls;
+        r.stats.prefetches_issued += ts.prefetches_issued;
+    }
+    tenants
 }
 
 #[cfg(test)]
@@ -312,5 +443,85 @@ mod tests {
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.stats.mt_mispredicts, b.stats.mt_mispredicts);
         assert_eq!(a.stats.ht_retired, b.stats.ht_retired);
+    }
+
+    /// A peer that issues zero shared-tier traffic: a register-only loop
+    /// (no loads/stores) under `ideal_memory` (L1I disabled, so not even
+    /// instruction fetches reach the uncore).
+    fn silent_peer() -> (Cpu, RunConfig) {
+        let mut cfg = quick_cfg(Mode::Baseline);
+        cfg.core = cfg.core.clone().ideal_memory();
+        (counted_loop(500), cfg)
+    }
+
+    #[test]
+    fn corun_against_silent_peer_is_bit_identical_to_solo() {
+        // The refactor's pin: a tenant whose neighbor issues no uncore
+        // traffic must see the exact solo machine, byte for byte —
+        // including through the swap-based shared stepping.
+        let cfg = quick_cfg(Mode::Baseline);
+        let (peer_cpu, peer_cfg) = silent_peer();
+        let out = simulate_corun(random_branch_loop(10_000), &cfg, peer_cpu, &peer_cfg);
+        assert_eq!(
+            out.tenants[0].stats, out.solo[0].stats,
+            "silent neighbor must not perturb tenant 0"
+        );
+        assert_eq!(out.interference[0].slowdown, 1.0);
+        assert_eq!(out.interference[1].dram_accesses, 0, "peer stayed silent");
+    }
+
+    #[test]
+    fn contended_corun_slows_both_tenants_and_attributes_stalls() {
+        let cfg = quick_cfg(Mode::Baseline);
+        let out = simulate_corun(
+            random_branch_loop(10_000),
+            &cfg,
+            random_branch_loop(10_000),
+            &cfg,
+        );
+        for t in 0..2 {
+            let i = &out.interference[t];
+            assert!(
+                i.corun_ipc <= i.solo_ipc + 1e-9,
+                "tenant {t} cannot speed up under contention: {} vs {}",
+                i.corun_ipc,
+                i.solo_ipc
+            );
+            assert!(i.dram_accesses > 0, "tenant {t} reached DRAM");
+        }
+        let stalls: u64 = out
+            .interference
+            .iter()
+            .map(|i| i.shared_port_stalls + i.dram_queue_stalls)
+            .sum();
+        assert!(stalls > 0, "contention must show up in stall attribution");
+        // Per-tenant shared-level stats sum to the machine totals.
+        let (s0, s1) = (&out.tenants[0].stats, &out.tenants[1].stats);
+        assert_eq!(
+            s0.dram_queue_stalls + s1.dram_queue_stalls,
+            out.interference[0].dram_queue_stalls + out.interference[1].dram_queue_stalls
+        );
+    }
+
+    #[test]
+    fn corun_is_deterministic() {
+        let cfg_b = quick_cfg(Mode::Baseline);
+        let cfg_p = quick_cfg(Mode::Phelps(PhelpsFeatures::full()));
+        let a = simulate_corun(
+            random_branch_loop(10_000),
+            &cfg_p,
+            counted_loop(20_000),
+            &cfg_b,
+        );
+        let b = simulate_corun(
+            random_branch_loop(10_000),
+            &cfg_p,
+            counted_loop(20_000),
+            &cfg_b,
+        );
+        for t in 0..2 {
+            assert_eq!(a.tenants[t].stats, b.tenants[t].stats, "tenant {t}");
+            assert_eq!(a.solo[t].stats, b.solo[t].stats, "solo {t}");
+        }
     }
 }

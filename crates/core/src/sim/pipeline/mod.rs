@@ -50,7 +50,7 @@ use phelps_isa::{Cpu, EmuError, ExecRecord, Inst, Memory, NUM_REGS};
 use phelps_telemetry as tlm;
 use phelps_uarch::bpred::{DirectionPredictor, HistoryCheckpoint, TageScL};
 use phelps_uarch::config::{ActiveThreads, CoreConfig, PartitionPlan};
-use phelps_uarch::mem::MemoryHierarchy;
+use phelps_uarch::mem::{MemoryHierarchy, Uncore};
 use phelps_uarch::stats::SimStats;
 use std::collections::{HashMap, VecDeque};
 
@@ -556,14 +556,50 @@ impl<E: PreExecEngine> Pipeline<E> {
     /// Runs to completion (trace exhausted or `max_mt_insts` retired) and
     /// returns the result bundle.
     pub fn run(mut self) -> SimResult {
-        // Hard bound to catch livelocks in debugging scenarios.
-        let cycle_bound = self.ctx.max_mt_insts.saturating_mul(64).max(1_000_000);
+        let cycle_bound = self.cycle_bound();
         while !self.ctx.finished && self.ctx.cycle < cycle_bound {
             self.step_cycle();
         }
+        self.finalize()
+    }
+
+    /// Hard cycle bound to catch livelocks in debugging scenarios.
+    pub fn cycle_bound(&self) -> u64 {
+        self.ctx.max_mt_insts.saturating_mul(64).max(1_000_000)
+    }
+
+    /// Whether the run has reached its end condition (trace exhausted or
+    /// `max_mt_insts` retired).
+    pub fn finished(&self) -> bool {
+        self.ctx.finished
+    }
+
+    /// Tags this core's shared-tier traffic with `tenant` (co-run driver;
+    /// solo runs keep the default 0).
+    pub fn set_tenant(&mut self, tenant: usize) {
+        self.ctx.hierarchy.set_tenant(tenant);
+    }
+
+    /// Advances one cycle against a communal shared tier: swaps `uncore`
+    /// in for the step and back out after, so every co-running core's
+    /// misses land in the same L2/L3/DRAM. The swap leaves this
+    /// pipeline's owned uncore untouched while the step runs elsewhere —
+    /// a solo run never calls this and is bit-identical to [`Pipeline::run`].
+    pub fn step_shared(&mut self, uncore: &mut Uncore) {
+        self.ctx.hierarchy.swap_uncore(uncore);
+        self.step_cycle();
+        self.ctx.hierarchy.swap_uncore(uncore);
+    }
+
+    /// Closes out a stepped run: flushes hierarchy counters into the stat
+    /// bundle and assembles the [`SimResult`]. [`Pipeline::run`] ends
+    /// here; a co-run driver calls it on each core after interleaved
+    /// [`Pipeline::step_shared`] stepping.
+    pub fn finalize(mut self) -> SimResult {
         assert!(
             self.ctx.finished,
-            "simulation did not converge within {cycle_bound} cycles (deadlock?)"
+            "simulation did not converge within {} cycles (deadlock?)",
+            self.cycle_bound()
         );
         self.flush_mem_stats();
         if std::env::var("PHELPS_DBG").is_ok() {
@@ -836,7 +872,7 @@ impl SimContext {
         self.stats.l1i_misses = i_miss;
         self.stats.l2_misses = self.hierarchy.l2_misses();
         self.stats.l3_misses = self.hierarchy.l3_misses();
-        self.stats.prefetches_issued = self.hierarchy.prefetches_issued;
+        self.stats.prefetches_issued = self.hierarchy.prefetches_issued();
         let (l1i_p, l1d_p, l2_p, l3_p, dram_p) = self.hierarchy.port_stalls();
         self.stats.l1i_port_stalls = l1i_p;
         self.stats.l1d_port_stalls = l1d_p;

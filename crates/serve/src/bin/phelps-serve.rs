@@ -28,6 +28,7 @@ fn usage() -> ExitCode {
          \x20           [--proxy-model=PATH] [--no-proxy]\n\
          \x20 submit    --port=N --workload=NAME [--mode=LABEL]\n\
          \x20           [--region=N] [--epoch=N] [--id=STRING]\n\
+         \x20           [--corun=NAME]  (co-schedule against a baseline neighbor)\n\
          \x20 stats     --port=N\n\
          \x20 ping      --port=N\n\
          \x20 shutdown  --port=N\n\
@@ -168,6 +169,7 @@ fn cmd_submit(opts: &Opts) -> Result<ExitCode, String> {
         mode: opts.get("mode").unwrap_or("baseline").to_string(),
         region: opts.get_u64("region")?,
         epoch: opts.get_u64("epoch")?,
+        corun: opts.get("corun").map(str::to_string),
     };
     let id = submit.id.clone();
     let mut client = connect(opts)?;

@@ -49,6 +49,11 @@ pub struct Submit {
     pub region: Option<u64>,
     /// Telemetry/construction epoch length (daemon default when absent).
     pub epoch: Option<u64>,
+    /// Co-run neighbor workload: when present, the cell runs tenant 0 of
+    /// a deterministic two-tenant co-schedule against this workload
+    /// (baseline mode, same region/epoch) on a shared uncore, and the
+    /// streamed result is the primary tenant's. Absent = solo.
+    pub corun: Option<String>,
 }
 
 /// How the daemon satisfied a submission.
@@ -219,6 +224,10 @@ pub fn encode_request(req: &Request) -> String {
                 j.key("epoch");
                 j.uint(e);
             }
+            if let Some(p) = &s.corun {
+                j.key("corun");
+                j.string(p);
+            }
         }
         Request::Stats => j.string("stats"),
         Request::Ping => j.string("ping"),
@@ -244,6 +253,16 @@ fn opt_u64(v: &JsonValue, key: &str, ty: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn opt_str(v: &JsonValue, key: &str, ty: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("{ty}: \"{key}\" must be a string")),
+    }
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = parse_json(line).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -258,6 +277,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             mode: req_str(&v, "mode", "submit")?.to_string(),
             region: opt_u64(&v, "region", "submit")?,
             epoch: opt_u64(&v, "epoch", "submit")?,
+            corun: opt_str(&v, "corun", "submit")?,
         })),
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),

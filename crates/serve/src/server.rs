@@ -44,7 +44,7 @@ use crate::codec::{self, FrameReader};
 use crate::protocol::{
     encode_response, parse_mode, parse_request, Dedup, Request, Response, ServerStats, Submit,
 };
-use phelps::sim::{Mode, RunConfig, SimResult};
+use phelps::sim::{simulate_corun_pair, Mode, RunConfig, SimResult};
 use phelps_bench::ckpt_support::CkptPolicy;
 use phelps_bench::exec::{execute_cell_prepared, CellOutcome, CellRequest, ExecPolicy};
 use phelps_bench::runner::cache;
@@ -182,6 +182,10 @@ struct Job {
     /// so a mid-session environment change can't split one fingerprint
     /// across two decompositions.
     shards: usize,
+    /// Co-run neighbor workload; `Some` routes execution through the
+    /// two-tenant shared-uncore engine (monolithic — co-run timing is a
+    /// cross-tenant interleaving and cannot be checkpoint-sharded).
+    corun: Option<String>,
 }
 
 /// A client subscribed to one job's frame stream.
@@ -460,7 +464,11 @@ fn reject(shared: &Shared, tx: &mpsc::Sender<String>, id: &str, reason: String) 
 }
 
 fn known_workload(name: &str) -> bool {
-    suite::gap_names().contains(&name) || suite::spec_names().contains(&name)
+    // The name lists cover the figure sweeps; the factory probe also
+    // admits extras like `bfs_uniform` (the co-run neighbor input).
+    suite::gap_names().contains(&name)
+        || suite::spec_names().contains(&name)
+        || suite::gap_workload(name).is_some()
 }
 
 fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
@@ -496,15 +504,31 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
         );
         return;
     }
+    if let Some(peer) = &sub.corun {
+        if !known_workload(peer) {
+            reject(
+                shared,
+                tx,
+                &sub.id,
+                format!("unknown corun workload {peer:?}"),
+            );
+            return;
+        }
+    }
     let region = sub.region.unwrap_or_else(phelps_bench::region_len).max(1);
     let epoch = sub.epoch.unwrap_or_else(phelps_bench::epoch_len).max(1);
     let run_cfg = RunConfig::quick(mode, region, epoch);
     // The shard decomposition is part of the result's identity (an
     // N-shard run is a sampling approximation of the monolithic run),
     // so it joins the fingerprint — but only when sharding is actually
-    // on, keeping historical unsharded cache entries valid.
+    // on, keeping historical unsharded cache entries valid. Co-run cells
+    // instead carry the neighbor's identity (the batch runner's
+    // `corun_cell` key shape) and always run monolithic.
     let shards = shard::shard_count();
-    let key = if shards > 1 {
+    let key = if let Some(peer) = &sub.corun {
+        let peer_cfg = RunConfig::quick(Mode::Baseline, region, epoch);
+        format!("{run_cfg:?}|peer={peer_cfg:?}|corun={peer}")
+    } else if shards > 1 {
         format!("{run_cfg:?}|shards={shards}")
     } else {
         format!("{run_cfg:?}")
@@ -600,6 +624,7 @@ fn handle_submit(shared: &Arc<Shared>, sub: Submit, tx: &mpsc::Sender<String>) {
                 workload: sub.workload,
                 mode_label: sub.mode,
                 shards,
+                corun: sub.corun,
             });
             shared.queue_cv.notify_one();
             drop(queue);
@@ -638,6 +663,9 @@ fn proxy_predict(
     let model = shared.proxy.as_ref()?;
     if sub.mode == "baseline" {
         return None; // anchors always simulate for real
+    }
+    if sub.corun.is_some() {
+        return None; // the model is trained on solo anchors only
     }
     // The anchor is the baseline cell of the same workload, region, and
     // shard decomposition, fingerprinted exactly as a submission would be.
@@ -740,8 +768,24 @@ fn run_job(shared: &Arc<Shared>, job: Job, ticket: Option<u64>) {
         let workload = job.workload.clone();
         let run_cfg = job.run_cfg.clone();
         let shards = job.shards;
+        let corun = job.corun.clone();
         move |tlm_cfg| {
             let w = suite::gap_workload(&workload).or_else(|| suite::spec_workload(&workload))?;
+            if let Some(peer) = &corun {
+                // Two-tenant co-schedule on a shared uncore: monolithic
+                // on this worker thread (the interleaving cannot be
+                // sharded), streaming the machine-wide telemetry the
+                // primary tenant harvests. The neighbor always runs
+                // baseline — it is load, not an experiment arm.
+                let p = suite::gap_workload(peer).or_else(|| suite::spec_workload(peer))?;
+                let peer_cfg =
+                    RunConfig::quick(Mode::Baseline, run_cfg.max_mt_insts, run_cfg.epoch_len);
+                if let Some(t) = tlm_cfg.as_ref() {
+                    tlm::install(t.clone());
+                }
+                let [primary, _] = simulate_corun_pair(w.cpu, &run_cfg, p.cpu, &peer_cfg);
+                return Some(primary);
+            }
             shard::run_sharded_with(
                 &CkptPolicy::from_env(),
                 phelps_bench::resolved_jobs(),

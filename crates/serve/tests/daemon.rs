@@ -54,6 +54,7 @@ fn cell(id: &str, workload: &str, mode: &str, region: u64, epoch: u64) -> Submit
         mode: mode.to_string(),
         region: Some(region),
         epoch: Some(epoch),
+        corun: None,
     }
 }
 
@@ -364,6 +365,68 @@ fn repeat_submissions_hit_session_memory_then_disk_cache() {
     let stats = cl.stats().unwrap();
     assert_eq!(stats.simulated, 0);
     assert_eq!(stats.disk_hits, 1);
+    drop(cl);
+    shutdown(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Co-run submissions: a cell with a `corun` neighbor fingerprints
+/// separately from its solo twin, simulates for real (through the
+/// two-tenant shared-uncore engine), can only lose cycles to the
+/// contending neighbor, and an unknown neighbor is rejected up front.
+#[test]
+fn corun_submissions_simulate_against_a_neighbor() {
+    const REGION: u64 = 12_000;
+    const EPOCH: u64 = 2_000;
+    let dir = scratch("corun");
+    let handle = daemon(1, 8, &dir);
+    let mut cl = client(&handle);
+
+    let solo = cl
+        .submit(cell("solo", "bfs", "baseline", REGION, EPOCH))
+        .unwrap();
+    let (_, solo_result) = solo.result.as_ref().expect("solo result");
+
+    let mut corun_cell = cell("pair", "bfs", "baseline", REGION, EPOCH);
+    corun_cell.corun = Some("bfs_uniform".to_string());
+    let corun = cl.submit(corun_cell.clone()).unwrap();
+    let (dedup, corun_result) = corun.result.as_ref().expect("corun result");
+    assert_eq!(*dedup, Dedup::Simulated);
+    assert_ne!(
+        solo.fingerprint, corun.fingerprint,
+        "the neighbor is part of the cell's identity"
+    );
+    assert_eq!(corun_result.stats.mt_retired, solo_result.stats.mt_retired);
+    assert!(
+        corun_result.stats.cycles >= solo_result.stats.cycles,
+        "a contending neighbor cannot speed the primary tenant up: \
+         corun {} vs solo {} cycles",
+        corun_result.stats.cycles,
+        solo_result.stats.cycles
+    );
+    assert!(
+        !corun.epochs.is_empty(),
+        "co-run jobs stream telemetry epochs like any other cell"
+    );
+
+    // Identical resubmission replays from session memory.
+    corun_cell.id = "pair-2".to_string();
+    let again = cl.submit(corun_cell).unwrap();
+    assert_eq!(again.result.as_ref().unwrap().0, Dedup::Session);
+
+    // An unknown neighbor is rejected before anything queues.
+    let mut bad = cell("bad", "bfs", "baseline", REGION, EPOCH);
+    bad.corun = Some("not_a_workload".to_string());
+    let rejected = cl.submit(bad).unwrap();
+    let reason = rejected.error.expect("unknown corun workload rejects");
+    assert!(
+        reason.contains("corun"),
+        "reason names the corun field: {reason}"
+    );
+
+    let stats = cl.stats().unwrap();
+    assert_eq!(stats.simulated, 2, "solo + corun each simulated once");
+    assert_eq!(stats.session_hits, 1);
     drop(cl);
     shutdown(handle);
     let _ = std::fs::remove_dir_all(&dir);

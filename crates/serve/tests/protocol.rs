@@ -56,10 +56,23 @@ fn golden_request_encodings() {
         mode: "phelps".to_string(),
         region: Some(20_000),
         epoch: Some(2_000),
+        corun: None,
     });
     assert_eq!(
         encode_request(&submit),
         r#"{"type":"submit","id":"job-1","workload":"bfs","mode":"phelps","region":20000,"epoch":2000}"#
+    );
+    let corun = Request::Submit(Submit {
+        id: "job-2".to_string(),
+        workload: "bfs".to_string(),
+        mode: "phelps".to_string(),
+        region: Some(20_000),
+        epoch: Some(2_000),
+        corun: Some("bfs_uniform".to_string()),
+    });
+    assert_eq!(
+        encode_request(&corun),
+        r#"{"type":"submit","id":"job-2","workload":"bfs","mode":"phelps","region":20000,"epoch":2000,"corun":"bfs_uniform"}"#
     );
     assert_eq!(encode_request(&Request::Ping), r#"{"type":"ping"}"#);
     assert_eq!(encode_request(&Request::Stats), r#"{"type":"stats"}"#);
@@ -75,6 +88,15 @@ fn requests_round_trip() {
             mode: "phelps:b1b2".to_string(),
             region: None,
             epoch: Some(1),
+            corun: None,
+        }),
+        Request::Submit(Submit {
+            id: "corun".to_string(),
+            workload: "bc".to_string(),
+            mode: "baseline".to_string(),
+            region: Some(5_000),
+            epoch: None,
+            corun: Some("bfs_uniform".to_string()),
         }),
         Request::Stats,
         Request::Ping,
@@ -199,6 +221,10 @@ fn malformed_requests_are_rejected_with_reasons() {
         (
             "{\"type\":\"submit\",\"id\":\"x\",\"workload\":\"bfs\",\"mode\":\"phelps\",\"region\":-4}",
             "\"region\"",
+        ),
+        (
+            "{\"type\":\"submit\",\"id\":\"x\",\"workload\":\"bfs\",\"mode\":\"phelps\",\"corun\":7}",
+            "\"corun\" must be a string",
         ),
         ("[1,2,3]", "\"type\""),
     ] {

@@ -126,11 +126,21 @@ pub enum Counter {
     L3PortStalls,
     /// Cycles of admission delay imposed by the DRAM queue.
     DramQueueStalls,
+    /// Shared (L2+L3) port admission delay charged to tenant 0. In a
+    /// solo run this equals `L2PortStalls + L3PortStalls`; in a co-run
+    /// the T0/T1 split attributes uncore contention per tenant.
+    SharedPortStallsT0,
+    /// Shared (L2+L3) port admission delay charged to tenant 1.
+    SharedPortStallsT1,
+    /// DRAM-queue admission delay charged to tenant 0.
+    DramQueueStallsT0,
+    /// DRAM-queue admission delay charged to tenant 1.
+    DramQueueStallsT1,
 }
 
 impl Counter {
     /// Number of counter kinds (array size).
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 41;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -171,6 +181,10 @@ impl Counter {
         Counter::L2PortStalls,
         Counter::L3PortStalls,
         Counter::DramQueueStalls,
+        Counter::SharedPortStallsT0,
+        Counter::SharedPortStallsT1,
+        Counter::DramQueueStallsT0,
+        Counter::DramQueueStallsT1,
     ];
 
     /// How this counter combines when two shards' reports merge (see
@@ -223,6 +237,10 @@ impl Counter {
             Counter::L2PortStalls => "l2_port_stalls",
             Counter::L3PortStalls => "l3_port_stalls",
             Counter::DramQueueStalls => "dram_queue_stalls",
+            Counter::SharedPortStallsT0 => "shared_port_stalls_t0",
+            Counter::SharedPortStallsT1 => "shared_port_stalls_t1",
+            Counter::DramQueueStallsT0 => "dram_queue_stalls_t0",
+            Counter::DramQueueStallsT1 => "dram_queue_stalls_t1",
         }
     }
 }

@@ -1,13 +1,23 @@
 //! Three-level memory hierarchy behind bandwidth-limited ports.
 //!
-//! [`MemoryHierarchy`] binds the L1I/L1D/L2/L3 [`Cache`]s, the DRAM
-//! latency, the per-level [`Port`]s and the two prefetchers into a single
-//! request interface used by the timing model: every piece of traffic —
-//! instruction fetches, demand loads, retired stores, prefetches — is a
-//! [`MemRequest`] handed to [`MemoryHierarchy::request`], which admits it
-//! through the ports of each level it touches, performs fills on the way
-//! back, trains the prefetchers, and returns the cycle at which the data
-//! is available.
+//! [`MemoryHierarchy`] is one core's view of the memory system: the
+//! core-private tier (L1I/L1D [`Cache`]s with their MSHRs, the L1
+//! prefetcher, per-core admission [`Port`]s) plus an owned shared tier
+//! ([`Uncore`]: L2/L3, their ports, the DRAM queue and the L2
+//! prefetcher). Every piece of traffic — instruction fetches, demand
+//! loads, retired stores, prefetches — is a [`MemRequest`] handed to
+//! [`MemoryHierarchy::request`], which admits it through the ports of
+//! each level it touches, performs fills on the way back, trains the
+//! prefetchers, and returns the cycle at which the data is available.
+//! Requests that miss the private tier are re-stamped with this core's
+//! tenant id and handed to the uncore, which attributes shared-level
+//! contention per tenant.
+//!
+//! A solo run keeps the owned uncore in place and is bit-identical to
+//! the pre-split hierarchy. A co-run driver instead maintains one
+//! external `Uncore` and swaps it in around each core's cycle step
+//! ([`MemoryHierarchy::swap_uncore`]), so N cores share one L2/L3/DRAM
+//! while each keeps its private tier.
 //!
 //! Port admission models finite bandwidth: a level with `ports = N`
 //! accepts N requests per cycle and pushes the rest to later cycles, so
@@ -15,7 +25,7 @@
 //! creates. `ports = 0` disables the limit at that level.
 
 use crate::config::CoreConfig;
-use crate::mem::{Cache, IpcpPrefetcher, MemRequest, Port, Probe, ReqKind, VldpPrefetcher};
+use crate::mem::{Cache, IpcpPrefetcher, MemRequest, Port, Probe, ReqKind, Uncore};
 use phelps_telemetry as tlm;
 
 /// Outcome of a demand access, for statistics.
@@ -63,18 +73,17 @@ pub struct MemoryHierarchy {
     /// every [`ReqKind::IFetch`] completes instantly.
     l1i: Option<Cache>,
     l1d: Cache,
-    l2: Cache,
-    l3: Cache,
-    dram_latency: u32,
     l1i_port: Port,
     l1d_port: Port,
-    l2_port: Port,
-    l3_port: Port,
-    dram_queue: Port,
     ipcp: Option<IpcpPrefetcher>,
-    vldp: Option<VldpPrefetcher>,
-    /// Prefetches issued (after in-cache filtering).
-    pub prefetches_issued: u64,
+    /// L1-targeted prefetch fills issued by this core (after in-cache
+    /// filtering). Shared-tier (VLDP) prefetches live in the uncore.
+    core_prefetches: u64,
+    /// Tenant id stamped onto every request handed to the shared tier.
+    tenant: usize,
+    /// The shared tier. Solo runs use this owned instance; a co-run
+    /// driver swaps a communal one in and out around each cycle step.
+    uncore: Uncore,
 }
 
 impl MemoryHierarchy {
@@ -83,20 +92,37 @@ impl MemoryHierarchy {
         MemoryHierarchy {
             l1i: (cfg.l1i.size_bytes > 0).then(|| Cache::new(cfg.l1i)),
             l1d: Cache::new(cfg.l1d),
-            l2: Cache::new(cfg.l2),
-            l3: Cache::new(cfg.l3),
-            dram_latency: cfg.dram_latency,
             l1i_port: Port::new(cfg.l1i.ports),
             l1d_port: Port::new(cfg.l1d.ports),
-            l2_port: Port::new(cfg.l2.ports),
-            l3_port: Port::new(cfg.l3.ports),
-            dram_queue: Port::new(cfg.dram_queue_width),
             ipcp: cfg.l1d_prefetcher.then(|| IpcpPrefetcher::new(256)),
-            vldp: cfg
-                .l2_prefetcher
-                .then(|| VldpPrefetcher::new(cfg.l2.block_bytes)),
-            prefetches_issued: 0,
+            core_prefetches: 0,
+            tenant: 0,
+            uncore: Uncore::new(cfg),
         }
+    }
+
+    /// Sets the tenant id stamped onto requests entering the shared tier
+    /// (solo runs keep the default 0).
+    pub fn set_tenant(&mut self, tenant: usize) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant id this core stamps onto shared-tier requests.
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+
+    /// Exchanges the shared tier with `uncore`. A co-run driver keeps
+    /// one communal [`Uncore`] and swaps it in before each core's cycle
+    /// step and back out after, so every core's misses land in the same
+    /// L2/L3/DRAM while the cores themselves stay independently owned.
+    pub fn swap_uncore(&mut self, uncore: &mut Uncore) {
+        std::mem::swap(&mut self.uncore, uncore);
+    }
+
+    /// The currently-installed shared tier.
+    pub fn uncore(&self) -> &Uncore {
+        &self.uncore
     }
 
     /// L1I instruction-fetch statistics: (accesses, misses). Both zero
@@ -117,26 +143,37 @@ impl MemoryHierarchy {
         (self.l1d.store_accesses, self.l1d.store_misses)
     }
 
-    /// L2 demand misses.
+    /// L2 demand misses (machine-wide: all tenants of the installed
+    /// uncore).
     pub fn l2_misses(&self) -> u64 {
-        self.l2.misses
+        self.uncore.l2_misses()
     }
 
-    /// L3 demand misses.
+    /// L3 demand misses (machine-wide: all tenants of the installed
+    /// uncore).
     pub fn l3_misses(&self) -> u64 {
-        self.l3.misses
+        self.uncore.l3_misses()
+    }
+
+    /// Prefetches issued on this core's behalf: L1-targeted fills plus
+    /// the shared prefetcher's fills attributed to this tenant. In a solo
+    /// run this equals the pre-split hierarchy's single counter.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.core_prefetches + self.uncore.tenant_stats(self.tenant).prefetches_issued
     }
 
     /// Per-level port admission-stall cycles:
     /// `(l1i, l1d, l2, l3, dram queue)`. Each value is the total delay the
-    /// level's port imposed on requests over the run.
+    /// level's port imposed on requests over the run; the shared-tier
+    /// values are machine-wide (all tenants of the installed uncore).
     pub fn port_stalls(&self) -> (u64, u64, u64, u64, u64) {
+        let (l2, l3, dram) = self.uncore.port_stalls();
         (
             self.l1i_port.stall_cycles(),
             self.l1d_port.stall_cycles(),
-            self.l2_port.stall_cycles(),
-            self.l3_port.stall_cycles(),
-            self.dram_queue.stall_cycles(),
+            l2,
+            l3,
+            dram,
         )
     }
 
@@ -200,7 +237,7 @@ impl MemoryHierarchy {
                 }
                 Probe::Miss => {
                     l1_prefetch_hit = false;
-                    let (lower_done, lower_level) = self.access_l2(req.addr, cycle);
+                    let (lower_done, lower_level) = self.access_lower(req, cycle);
                     done = lower_done;
                     level = lower_level;
                     if !self.l1d.mshr_allocate(req.addr, cycle, done, level) {
@@ -270,7 +307,7 @@ impl MemoryHierarchy {
                 l1_prefetch_hit: false,
             },
             Probe::Miss => {
-                let (mut done, level) = self.access_l2(req.addr, cycle);
+                let (mut done, level) = self.access_lower(req, cycle);
                 if !self.l1d.mshr_allocate(req.addr, cycle, done, level) {
                     done += 4;
                     tlm::count(tlm::Counter::MshrFullRetries);
@@ -318,7 +355,7 @@ impl MemoryHierarchy {
                     l1_prefetch_hit: false,
                 },
                 Probe::Miss => {
-                    let (mut done, level) = self.access_l2(req.addr, cycle);
+                    let (mut done, level) = self.access_lower(req, cycle);
                     if !l1i.mshr_allocate(req.addr, cycle, done, level) {
                         done += 4;
                         tlm::count(tlm::Counter::MshrFullRetries);
@@ -364,57 +401,20 @@ impl MemoryHierarchy {
         if self.l1d.contains(addr) {
             return false;
         }
-        self.prefetches_issued += 1;
+        self.core_prefetches += 1;
         let at = Self::admit(&mut self.l1d_port, tlm::Counter::L1dPortStalls, cycle);
-        if !self.l2.contains(addr) {
-            let at2 = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, at);
-            self.l2.fill(addr, true, at2);
+        if !self.uncore.l2_contains(addr, self.tenant) {
+            self.uncore.prefetch_fill_l2(addr, at, self.tenant);
         }
         self.l1d.fill(addr, true, at);
         true
     }
 
-    fn access_l2(&mut self, addr: u64, cycle: u64) -> (u64, AccessLevel) {
-        let cycle = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, cycle);
-        let l2_lat = self.l2.latency() as u64;
-        let result = match self.l2.probe(addr, cycle) {
-            Probe::Hit { .. } => (cycle + l2_lat, AccessLevel::L2),
-            Probe::Miss => {
-                tlm::count(tlm::Counter::L2Misses);
-                let at3 = Self::admit(&mut self.l3_port, tlm::Counter::L3PortStalls, cycle);
-                let (done, level) = match self.l3.probe(addr, at3) {
-                    Probe::Hit { .. } => (at3 + self.l3.latency() as u64, AccessLevel::L3),
-                    Probe::Miss => {
-                        tlm::count(tlm::Counter::L3Misses);
-                        tlm::count(tlm::Counter::DramAccesses);
-                        let atq =
-                            Self::admit(&mut self.dram_queue, tlm::Counter::DramQueueStalls, at3);
-                        let done = atq + self.l3.latency() as u64 + self.dram_latency as u64;
-                        self.l3.fill(addr, false, done);
-                        (done, AccessLevel::Dram)
-                    }
-                };
-                self.l2.fill(addr, false, done);
-                (done, level)
-            }
-        };
-        // Train the L2 delta prefetcher on demand traffic reaching L2; its
-        // fills are charged L2/L3 port bandwidth like any other traffic.
-        if let Some(vldp) = &mut self.vldp {
-            let reqs = vldp.train(addr);
-            for r in reqs {
-                if !self.l2.contains(r.addr) {
-                    self.prefetches_issued += 1;
-                    let at2 = Self::admit(&mut self.l2_port, tlm::Counter::L2PortStalls, cycle);
-                    if matches!(self.l3.probe(r.addr, at2), Probe::Miss) {
-                        let at3 = Self::admit(&mut self.l3_port, tlm::Counter::L3PortStalls, at2);
-                        self.l3.fill(r.addr, true, at3);
-                    }
-                    self.l2.fill(r.addr, true, at2);
-                }
-            }
-        }
-        result
+    /// Hands a private-tier miss to the shared uncore, re-stamped with
+    /// this core's tenant id and the post-L1-port cycle.
+    fn access_lower(&mut self, req: MemRequest, cycle: u64) -> (u64, AccessLevel) {
+        self.uncore
+            .access(MemRequest { cycle, ..req }.with_tenant(self.tenant))
     }
 
     /// Functional warming: replays one memory reference through the tag
@@ -427,7 +427,7 @@ impl MemoryHierarchy {
         if self.l1d.warm_touch(addr) {
             return;
         }
-        self.warm_lower(addr);
+        self.uncore.warm(addr, self.tenant);
         self.l1d.warm_insert(addr);
     }
 
@@ -441,19 +441,9 @@ impl MemoryHierarchy {
         if l1i.warm_touch(pc) {
             return;
         }
-        self.warm_lower(pc);
+        self.uncore.warm(pc, self.tenant);
         if let Some(l1i) = self.l1i.as_mut() {
             l1i.warm_insert(pc);
-        }
-    }
-
-    /// Shared L2/L3 warm ladder under either L1.
-    fn warm_lower(&mut self, addr: u64) {
-        if !self.l2.warm_touch(addr) {
-            if !self.l3.warm_touch(addr) {
-                self.l3.warm_insert(addr);
-            }
-            self.l2.warm_insert(addr);
         }
     }
 }
@@ -620,7 +610,7 @@ mod tests {
             dram_late < 8,
             "stride prefetcher hides most DRAM accesses late in the stream: {dram_late}"
         );
-        assert!(m.prefetches_issued > 0);
+        assert!(m.prefetches_issued() > 0);
     }
 
     #[test]
@@ -628,7 +618,7 @@ mod tests {
         let mut m = MemoryHierarchy::new(&quiet_cfg());
         let r = m.request(MemRequest::prefetch(0, 0, 0x55_0000, 0));
         assert_eq!(r.level, AccessLevel::L2, "cold prefetch did a fill");
-        assert_eq!(m.prefetches_issued, 1);
+        assert_eq!(m.prefetches_issued(), 1);
         let (acc, miss, _) = m.l1d_stats();
         assert_eq!((acc, miss), (0, 0), "no demand traffic from prefetches");
         let hit = load(&mut m, 0x0, 0x55_0000, 100);
@@ -637,7 +627,7 @@ mod tests {
         // A redundant prefetch to resident data is filtered.
         let r = m.request(MemRequest::prefetch(0, 0, 0x55_0000, 200));
         assert_eq!(r.level, AccessLevel::L1);
-        assert_eq!(m.prefetches_issued, 1);
+        assert_eq!(m.prefetches_issued(), 1);
     }
 
     #[test]
@@ -751,7 +741,7 @@ mod tests {
         }
         assert!(merges >= 3, "stream produced MSHR merges: {merges}");
         assert!(
-            m.prefetches_issued > 0,
+            m.prefetches_issued() > 0,
             "IPCP trained on merged accesses issues prefetches"
         );
     }
@@ -763,7 +753,7 @@ mod tests {
         let (acc, miss, pf) = m.l1d_stats();
         assert_eq!((acc, miss, pf), (0, 0, 0));
         assert_eq!((m.l2_misses(), m.l3_misses()), (0, 0));
-        assert_eq!(m.prefetches_issued, 0, "warming trains no prefetcher");
+        assert_eq!(m.prefetches_issued(), 0, "warming trains no prefetcher");
         assert_eq!(m.port_stalls(), (0, 0, 0, 0, 0), "warming charges no port");
         // The block is genuinely resident: the first demand access hits L1.
         let r = load(&mut m, 0x0, 0x44_0000, 100);

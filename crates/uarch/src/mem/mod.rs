@@ -5,8 +5,10 @@ mod cache;
 mod hierarchy;
 mod port;
 mod prefetch;
+mod uncore;
 
 pub use cache::{Cache, Probe};
 pub use hierarchy::{AccessLevel, AccessResult, MemoryHierarchy};
 pub use port::{MemRequest, Port, ReqKind};
 pub use prefetch::{IpcpPrefetcher, PrefetchRequest, VldpPrefetcher};
+pub use uncore::{Uncore, UncoreStats};

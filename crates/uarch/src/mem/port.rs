@@ -40,6 +40,13 @@ pub struct MemRequest {
     pub addr: u64,
     /// Cycle the request is issued.
     pub cycle: u64,
+    /// Core (tenant) that issued the request. A solo run is tenant 0;
+    /// the co-run driver tags each core's traffic so the shared
+    /// [`crate::mem::Uncore`] can attribute contention per tenant. The
+    /// constructors default to 0 — the hierarchy re-stamps the field
+    /// with its own tenant id on entry, so pipeline call sites never
+    /// need to thread it through.
+    pub tenant: usize,
 }
 
 impl MemRequest {
@@ -51,6 +58,7 @@ impl MemRequest {
             pc,
             addr: pc,
             cycle,
+            tenant: 0,
         }
     }
 
@@ -62,6 +70,7 @@ impl MemRequest {
             pc,
             addr,
             cycle,
+            tenant: 0,
         }
     }
 
@@ -73,6 +82,7 @@ impl MemRequest {
             pc,
             addr,
             cycle,
+            tenant: 0,
         }
     }
 
@@ -84,7 +94,14 @@ impl MemRequest {
             pc,
             addr,
             cycle,
+            tenant: 0,
         }
+    }
+
+    /// The same request re-tagged with `tenant`.
+    pub fn with_tenant(mut self, tenant: usize) -> MemRequest {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -224,5 +241,7 @@ mod tests {
         assert_eq!(MemRequest::prefetch(0, 0, 0x80, 1).kind, ReqKind::Prefetch);
         let r = MemRequest::ifetch(2, 0x1000, 7);
         assert_eq!((r.thread, r.pc, r.addr, r.cycle), (2, 0x1000, 0x1000, 7));
+        assert_eq!(r.tenant, 0, "constructors default to tenant 0");
+        assert_eq!(r.with_tenant(1).tenant, 1);
     }
 }

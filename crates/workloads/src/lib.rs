@@ -95,6 +95,24 @@ pub mod suite {
         }
     }
 
+    /// A seeded uniform-random (Erdős–Rényi-style) graph: the first
+    /// slice of the Fig. 15b input study, and the memory-intensive
+    /// contending neighbor used by the `fig_corun` co-run sweep.
+    pub fn uniform_graph(n: usize, seed: u64) -> Graph {
+        Graph::generate(GraphKind::Uniform, n, seed)
+    }
+
+    /// bfs on a seeded uniform-random graph (factory name
+    /// `bfs_uniform`). Unlike [`bfs_on`], the seed is a parameter, so
+    /// co-run experiments can contend against an input decorrelated from
+    /// the suite's shared [`SEED`].
+    pub fn uniform_bfs(n: usize, seed: u64) -> Workload {
+        Workload {
+            name: "bfs_uniform",
+            cpu: gap::bfs(&uniform_graph(n, seed), 0),
+        }
+    }
+
     /// bc (forward phase) on the road network.
     pub fn bc() -> Workload {
         Workload {
@@ -160,6 +178,9 @@ pub mod suite {
             "sssp" => sssp(),
             "tc" => tc(),
             "astar" => astar(),
+            // Input-study extra (not part of the Figs. 12/13 suite):
+            // bfs on the seeded uniform-random graph.
+            "bfs_uniform" => uniform_bfs(GAP_VERTICES, SEED),
             _ => return None,
         })
     }
@@ -250,5 +271,28 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn uniform_bfs_is_seeded_and_in_the_factory() {
+        let a = suite::uniform_graph(2_000, 7);
+        let b = suite::uniform_graph(2_000, 7);
+        let c = suite::uniform_graph(2_000, 8);
+        assert_eq!(a.num_edges(), b.num_edges(), "same seed, same graph");
+        assert!(
+            (0..a.num_vertices()).all(|v| a.neighbors_of(v) == b.neighbors_of(v)),
+            "same seed, same adjacency"
+        );
+        assert!(
+            a.num_edges() != c.num_edges()
+                || (0..a.num_vertices()).any(|v| a.neighbors_of(v) != c.neighbors_of(v)),
+            "seed changes the input graph"
+        );
+        let w = suite::gap_workload("bfs_uniform").expect("factory entry");
+        assert_eq!(w.name, "bfs_uniform");
+        assert!(
+            !suite::gap_names().contains(&"bfs_uniform"),
+            "input-study extra must not join the Figs. 12/13 sweep"
+        );
     }
 }

@@ -126,6 +126,28 @@ echo "    cold: $(echo "$cold_submit" | grep -c '"type":"epoch"') epochs streame
     "warm: session replay; shutdown clean"
 rm -rf "$serve_cache" "$serve_log"
 
+echo "==> co-run smoke test (idle-peer identity, contended slowdown, fig_corun)"
+# The release-profile co-run invariants: a tenant co-scheduled against a
+# memory-silent peer on unlimited uncore ports is bit-identical to its
+# solo run; a contended pair slows both tenants (per-tenant IPC <= solo
+# IPC) with nonzero attributed shared-uncore stalls; and the pair result
+# is byte-stable across repeated runs. These are the `corun` tests in
+# crates/core/src/sim/mod.rs.
+cargo test --release -q -p phelps --lib corun
+# End-to-end bench wiring: the fig_corun binary's bfs row must produce
+# all four cells (solo + co-run x baseline + Phelps) from a cold cache.
+cargo build --release -q -p phelps-bench --bin fig_corun
+corun_cache=$(mktemp -d)
+corun_out=$(PHELPS_JOBS=2 PHELPS_REGION=20000 PHELPS_EPOCH=10000 \
+    PHELPS_CACHE_DIR="$corun_cache" ./target/release/fig_corun --only=bfs/)
+rm -rf "$corun_cache"
+echo "$corun_out" | grep '^\[runner\]' | sed 's/^/    /'
+echo "$corun_out" | grep -q 'cells=4 hits=0 simulated=4' || {
+    echo "ci.sh: fig_corun smoke run did not simulate its 4 bfs cells" >&2
+    exit 1; }
+echo "$corun_out" | grep -Eq '^ *bfs  ' || {
+    echo "ci.sh: fig_corun printed no bfs row" >&2; exit 1; }
+
 echo "==> perf trajectory (simulated MIPS per mode -> BENCH_perf.json)"
 cargo build --release -q -p phelps-bench --bin perf
 # The committed trajectory must have been produced by the current binary's
@@ -135,7 +157,7 @@ committed_schema=$(sed -n 's/.*"schema":"\([^"]*\)".*/\1/p' BENCH_perf.json | he
 prev_perf=$(mktemp)
 cp BENCH_perf.json "$prev_perf"
 PHELPS_REGION=200000 PHELPS_EPOCH=50000 ./target/release/perf --out=BENCH_perf.json
-grep -q '"schema":"phelps-bench-perf/3"' BENCH_perf.json || {
+grep -q '"schema":"phelps-bench-perf/4"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json missing or malformed" >&2; exit 1; }
 fresh_schema=$(sed -n 's/.*"schema":"\([^"]*\)".*/\1/p' BENCH_perf.json | head -n 1)
 [ "$committed_schema" = "$fresh_schema" ] || {
